@@ -1,0 +1,263 @@
+// Command expreport regenerates every table and evaluatable claim of
+// the paper (see DESIGN.md's experiment index T1, E1-E8). Each
+// experiment prints the measured rows next to the paper's qualitative
+// expectation, so the shape of every result can be checked at a glance.
+//
+// Usage:
+//
+//	expreport            # run all experiments
+//	expreport -exp E3    # run one experiment
+//	expreport -n 20000   # change the hot-loop iteration count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/progen"
+	"repro/internal/testprogs"
+	"repro/internal/types"
+)
+
+var (
+	expFlag = flag.String("exp", "", "run a single experiment (T1, E1..E8)")
+	nFlag   = flag.Int("n", 10000, "hot-loop iteration count for timed experiments")
+	repFlag = flag.Int("reps", 3, "timing repetitions (best-of)")
+)
+
+func main() {
+	flag.Parse()
+	all := []struct {
+		id  string
+		fn  func()
+		hdr string
+	}{
+		{"T1", expT1, "Type constructor summary (§2.5 table)"},
+		{"E1", expE1, "Dynamic calling-convention checks vs normalization (§4.1)"},
+		{"E2", expE2, "Tuple flattening vs boxing, small and large (§4.2)"},
+		{"E3", expE3, "Monomorphization vs runtime type arguments (§4.3)"},
+		{"E4", expE4, "Code expansion from specialization (§4.3, §6.1)"},
+		{"E5", expE5, "print1 query-chain folding (§3.3)"},
+		{"E6", expE6, "Polymorphic matcher dispatch (§3.4)"},
+		{"E7", expE7, "Compile-speed scaling (§5)"},
+		{"E8", expE8, "Variance rules replace class variance (§2.2, §3.6)"},
+	}
+	want := strings.ToUpper(*expFlag)
+	ran := false
+	for _, e := range all {
+		if want != "" && e.id != want {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", e.id, e.hdr)
+		e.fn()
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "expreport: unknown experiment %q\n", *expFlag)
+		os.Exit(2)
+	}
+}
+
+// measured holds one timed run of a program under a configuration.
+type measured struct {
+	wall   time.Duration
+	steps  int64
+	checks int64
+	boxes  int64
+	binds  int64
+	output string
+}
+
+func compileOrDie(p testprogs.Prog, cfg core.Config) *core.Compilation {
+	comp, err := core.Compile(p.Name+".v", p.Source, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "expreport: compile %s [%s]: %v\n", p.Name, cfg.Name(), err)
+		os.Exit(1)
+	}
+	return comp
+}
+
+// measure runs the program repFlag times and keeps the fastest run.
+func measure(p testprogs.Prog, cfg core.Config) measured {
+	comp := compileOrDie(p, cfg)
+	best := measured{wall: time.Hour}
+	for r := 0; r < *repFlag; r++ {
+		var sb strings.Builder
+		start := time.Now()
+		st, err := comp.RunTo(&sb, 0)
+		wall := time.Since(start)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expreport: run %s [%s]: %v\n", p.Name, cfg.Name(), err)
+			os.Exit(1)
+		}
+		if wall < best.wall {
+			best = measured{wall: wall, steps: st.Steps, checks: st.AdaptChecks, boxes: st.TupleAllocs, binds: st.TypeEnvBinds, output: sb.String()}
+		}
+	}
+	return best
+}
+
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}
+
+func expT1() {
+	fmt.Printf("%-10s | %-14s | %s\n", "Typecon", "Type Params", "Syntax")
+	fmt.Println(strings.Repeat("-", 50))
+	for _, row := range types.TypeConstructorTable() {
+		fmt.Printf("%-10s | %-14s | %s\n", row.Typecon, row.TypeParams, row.Syntax)
+	}
+	fmt.Println("(variance marks: + covariant, - contravariant, = invariant;")
+	fmt.Println(" each mark is verified against IsSubtype by TestTypeConstructorTable)")
+}
+
+func expE1() {
+	p := testprogs.BenchTupleSmall(*nFlag)
+	ref := measure(p, core.Reference())
+	cmp := measure(p, core.Compiled())
+	fmt.Printf("workload: first-class (int, int) calls, n=%d\n", *nFlag)
+	fmt.Printf("%-12s %12s %14s %14s %12s\n", "config", "time", "arity-checks", "tuple-boxes", "vm-steps")
+	fmt.Printf("%-12s %12v %14d %14d %12d\n", "reference", ref.wall, ref.checks, ref.boxes, ref.steps)
+	fmt.Printf("%-12s %12v %14d %14d %12d\n", "compiled", cmp.wall, cmp.checks, cmp.boxes, cmp.steps)
+	fmt.Printf("speedup: %s (paper: checks at call sites are 'expensive'; normalization removes the\n", ratio(ref.wall, cmp.wall))
+	fmt.Println("ambiguity so all calls pass scalars, §4.1-§4.2)")
+}
+
+func expE2() {
+	small := testprogs.BenchTupleSmall(*nFlag)
+	large := testprogs.BenchTupleLarge(*nFlag / 4)
+	boxed := core.Config{Monomorphize: true}
+	flat := core.Compiled()
+	sb := measure(small, boxed)
+	sf := measure(small, flat)
+	lb := measure(large, boxed)
+	lf := measure(large, flat)
+	fmt.Printf("%-22s %12s %12s %10s\n", "workload", "boxed", "flattened", "boxed/flat")
+	fmt.Printf("%-22s %12v %12v %10s\n", "small (int, int)", sb.wall, sf.wall, ratio(sb.wall, sf.wall))
+	fmt.Printf("%-22s %12v %12v %10s\n", "large 16-tuple", lb.wall, lf.wall, ratio(lb.wall, lf.wall))
+	fmt.Println("(paper §4.2: small tuples much faster flattened; for large tuples the gap")
+	fmt.Println(" narrows and boxing 'might actually perform better', i.e. the ratio shrinks)")
+}
+
+func expE3() {
+	for _, p := range []testprogs.Prog{testprogs.BenchGenericList(*nFlag / 4), testprogs.BenchHashMap(*nFlag / 2)} {
+		ref := measure(p, core.Reference())
+		mono := measure(p, core.Config{Monomorphize: true})
+		cmp := measure(p, core.Compiled())
+		fmt.Printf("workload %s:\n", p.Name)
+		fmt.Printf("  %-14s %12s %14s %12s\n", "config", "time", "type-binds", "vm-steps")
+		fmt.Printf("  %-14s %12v %14d %12d\n", "reference", ref.wall, ref.binds, ref.steps)
+		fmt.Printf("  %-14s %12v %14d %12d\n", "mono", mono.wall, mono.binds, mono.steps)
+		fmt.Printf("  %-14s %12v %14d %12d\n", "mono+norm+opt", cmp.wall, cmp.binds, cmp.steps)
+		fmt.Printf("  speedup ref -> compiled: %s (paper §4.3: runtime type arguments 'exact a\n", ratio(ref.wall, cmp.wall))
+		fmt.Println("  considerable runtime cost'; monomorphized code passes none)")
+	}
+}
+
+func expE4() {
+	fmt.Printf("%-22s %8s %8s %10s %8s\n", "program", "before", "after", "expansion", "classes")
+	rows := append([]testprogs.Prog{}, testprogs.All()...)
+	rows = append(rows, testprogs.Prog{Name: "progen-scale4", Source: progen.Generate(progen.Scale(4))})
+	for _, p := range rows {
+		comp, err := core.Compile(p.Name, p.Source, core.Config{Monomorphize: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expreport: %s: %v\n", p.Name, err)
+			continue
+		}
+		ms := comp.MonoStats
+		fmt.Printf("%-22s %8d %8d %9.2fx %5d->%d\n", p.Name, ms.InstrsBefore, ms.InstrsAfter, ms.ExpansionFactor(), ms.ClassesBefore, ms.ClassesAfter)
+	}
+	fmt.Println("(§6.1: 'We continually track the amount of code expansion due to")
+	fmt.Println(" specialization'; §4.3: expansion 'has not been an issue in real programs')")
+}
+
+func expE5() {
+	gen := testprogs.BenchPrint1(*nFlag)
+	direct := testprogs.BenchDirect(*nFlag)
+	ref := measure(gen, core.Reference())
+	cmp := measure(gen, core.Compiled())
+	dir := measure(direct, core.Compiled())
+	comp := compileOrDie(gen, core.Compiled())
+	fmt.Printf("%-24s %12s %12s\n", "config", "time", "vm-steps")
+	fmt.Printf("%-24s %12v %12d\n", "print1 reference", ref.wall, ref.steps)
+	fmt.Printf("%-24s %12v %12d\n", "print1 compiled", cmp.wall, cmp.steps)
+	fmt.Printf("%-24s %12v %12d\n", "direct calls compiled", dir.wall, dir.steps)
+	fmt.Printf("queries folded: %d, branches folded: %d, calls inlined: %d\n",
+		comp.OptStats.QueriesFolded, comp.OptStats.BranchesFolded, comp.OptStats.Inlined)
+	fmt.Printf("compiled print1 / direct: %s in steps (paper §3.3: 'code just as efficient\n",
+		fmt.Sprintf("%.3fx", float64(cmp.steps)/float64(dir.steps)))
+	fmt.Println(" as if the caller had called the appropriate print* method directly')")
+}
+
+func expE6() {
+	p := testprogs.BenchMatcher(*nFlag / 2)
+	d := testprogs.BenchDirect(*nFlag / 2)
+	ref := measure(p, core.Reference())
+	cmp := measure(p, core.Compiled())
+	dir := measure(d, core.Compiled())
+	fmt.Printf("%-24s %12s %12s\n", "config", "time", "vm-steps")
+	fmt.Printf("%-24s %12v %12d\n", "matcher reference", ref.wall, ref.steps)
+	fmt.Printf("%-24s %12v %12d\n", "matcher compiled", cmp.wall, cmp.steps)
+	fmt.Printf("%-24s %12v %12d\n", "direct calls compiled", dir.wall, dir.steps)
+	fmt.Println("(paper §3.4: the matcher works because instantiations are reified — it")
+	fmt.Println(" 'may fail at runtime' and costs a list search per dispatch, visible above)")
+}
+
+func expE7() {
+	fmt.Printf("%-10s %8s %12s %14s\n", "scale", "lines", "compile", "lines/sec")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		src := progen.Generate(progen.Scale(k))
+		lines := progen.Lines(src)
+		best := time.Hour
+		for r := 0; r < *repFlag; r++ {
+			start := time.Now()
+			if _, err := core.Compile("gen.v", src, core.Compiled()); err != nil {
+				fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
+				os.Exit(1)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		fmt.Printf("%-10d %8d %12v %14.0f\n", k, lines, best, float64(lines)/best.Seconds())
+	}
+	fmt.Println("(paper §5: the 25 KLoC self-hosted compiler 'compiles very fast'; throughput")
+	fmt.Println(" should stay roughly flat as program size grows)")
+}
+
+func expE8() {
+	base := `
+class Animal { }
+class Bat extends Animal { }
+class List<T> { var head: T; var tail: List<T>; new(head, tail) { } }
+def apply<A>(list: List<A>, f: A -> void) {
+	for (l = list; l != null; l = l.tail) f(l.head);
+}
+def g(a: Animal) { }
+def f(list: List<Animal>) { }
+var b: List<Bat>;
+`
+	_, err1 := core.Compile("o6.v", base+"def main() { f(b); }", core.Reference())
+	_, err2 := core.Compile("o7.v", base+"def main() { apply(b, g); }", core.Reference())
+	fmt.Printf("(o6) f(b) where f: List<Animal> -> void, b: List<Bat>:\n")
+	if err1 != nil {
+		first := strings.SplitN(err1.Error(), "\n", 2)[0]
+		fmt.Printf("  REJECTED: %s\n", first)
+	} else {
+		fmt.Printf("  ACCEPTED (WRONG: classes are invariant, §3.6)\n")
+	}
+	fmt.Printf("(o7) apply(b, g) via contravariant Animal -> void <: Bat -> void:\n")
+	if err2 == nil {
+		fmt.Printf("  ACCEPTED (function variance replaces class variance, §3.6)\n")
+	} else {
+		fmt.Printf("  REJECTED (WRONG): %v\n", err2)
+	}
+}

@@ -1,0 +1,149 @@
+// Command virgil is the Virgil-core compiler driver.
+//
+// Usage:
+//
+//	virgil run [-config ref|mono|norm|full] file.v...
+//	virgil check file.v...
+//	virgil dump [-config ...] file.v...
+//	virgil stats file.v...
+//
+// run executes the program; check typechecks only; dump prints the IR
+// after the selected pipeline stages; stats prints monomorphization,
+// normalization and optimization statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cfgName := fs.String("config", "full", "pipeline config: ref, mono, norm, or full")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "virgil: no input files")
+		os.Exit(2)
+	}
+	cfg, err := configByName(*cfgName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "virgil:", err)
+		os.Exit(2)
+	}
+
+	var srcs []core.File
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "virgil:", err)
+			os.Exit(1)
+		}
+		srcs = append(srcs, core.File{Name: name, Source: string(data)})
+	}
+
+	switch cmd {
+	case "check":
+		cfg = core.Reference()
+		if _, err := core.CompileFiles(srcs, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "run":
+		comp, err := core.CompileFiles(srcs, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if comp.Module.Main == nil {
+			fmt.Fprintln(os.Stderr, "virgil: program has no main function")
+			os.Exit(1)
+		}
+		if _, err := comp.RunTo(os.Stdout, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "\n"+err.Error())
+			os.Exit(1)
+		}
+	case "dump":
+		comp, err := core.CompileFiles(srcs, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(comp.Module.String())
+	case "stats":
+		printStats(srcs)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func configByName(name string) (core.Config, error) {
+	switch name {
+	case "ref", "reference":
+		return core.Reference(), nil
+	case "mono":
+		return core.Config{Monomorphize: true}, nil
+	case "norm":
+		return core.Config{Monomorphize: true, Normalize: true}, nil
+	case "full":
+		return core.Compiled(), nil
+	}
+	return core.Config{}, fmt.Errorf("unknown config %q (want ref, mono, norm, or full)", name)
+}
+
+func printStats(srcs []core.File) {
+	comp, err := core.CompileFiles(srcs, core.Compiled())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ms := comp.MonoStats
+	fmt.Printf("monomorphization (§4.3):\n")
+	fmt.Printf("  functions: %d -> %d\n", ms.FuncsBefore, ms.FuncsAfter)
+	fmt.Printf("  classes:   %d -> %d\n", ms.ClassesBefore, ms.ClassesAfter)
+	fmt.Printf("  instrs:    %d -> %d (expansion %.2fx)\n", ms.InstrsBefore, ms.InstrsAfter, ms.ExpansionFactor())
+	fmt.Printf("  top specializations:\n")
+	for i, fe := range ms.PerFunc {
+		if i >= 10 || fe.Instances < 2 {
+			break
+		}
+		fmt.Printf("    %-30s %3d instances, %4d -> %4d instrs\n", fe.Name, fe.Instances, fe.InstrsBefore, fe.InstrsAfter)
+	}
+	ns := comp.NormStats
+	fmt.Printf("normalization (§4.2):\n")
+	fmt.Printf("  tuples eliminated: %d\n", ns.TuplesEliminated)
+	fmt.Printf("  fields split:      %d\n", ns.FieldsSplit)
+	fmt.Printf("  globals split:     %d\n", ns.GlobalsSplit)
+	fmt.Printf("  params split:      %d\n", ns.ParamsSplit)
+	os := comp.OptStats
+	fmt.Printf("optimization (§3.3):\n")
+	fmt.Printf("  instrs:          %d -> %d\n", os.InstrsBefore, os.InstrsAfter)
+	fmt.Printf("  queries folded:  %d\n", os.QueriesFolded)
+	fmt.Printf("  casts elided:    %d\n", os.CastsElided)
+	fmt.Printf("  branches folded: %d\n", os.BranchesFolded)
+	fmt.Printf("  calls inlined:   %d\n", os.Inlined)
+	fmt.Printf("timings: parse %v, check %v, lower %v, mono %v, norm %v, opt %v, total %v\n",
+		comp.Timings.Parse, comp.Timings.Check, comp.Timings.Lower,
+		comp.Timings.Mono, comp.Timings.Norm, comp.Timings.Opt, comp.Timings.Total)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: virgil <command> [-config ref|mono|norm|full] file.v...
+
+commands:
+  run    compile and execute the program
+  check  typecheck only
+  dump   print the IR after the selected pipeline stages
+  stats  print per-stage compilation statistics`)
+}

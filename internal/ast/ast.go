@@ -1,0 +1,643 @@
+// Package ast defines the abstract syntax tree of Virgil-core.
+//
+// The checker (package typecheck) annotates expression nodes in place:
+// every Expr carries a TypeOf field holding its computed type, and
+// reference nodes carry a Binding describing what they resolved to.
+package ast
+
+import (
+	"repro/internal/src"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Node is implemented by every syntax node.
+type Node interface {
+	Pos() src.Pos
+}
+
+// ---------------------------------------------------------------- files
+
+// File is a parsed compilation unit.
+type File struct {
+	Source *src.File
+	Decls  []Decl
+}
+
+// Pos returns the start of the file.
+func (f *File) Pos() src.Pos { return src.Pos{File: f.Source, Off: 0} }
+
+// ---------------------------------------------------------------- decls
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Ident is an identifier occurrence.
+type Ident struct {
+	Name string
+	Off  src.Pos
+}
+
+// Pos returns the identifier's position.
+func (i *Ident) Pos() src.Pos { return i.Off }
+
+// TypeParamDecl declares one type parameter.
+type TypeParamDecl struct {
+	Name Ident
+	// Def is filled in by the checker.
+	Def *types.TypeParamDef
+}
+
+// Pos returns the declaration position.
+func (t *TypeParamDecl) Pos() src.Pos { return t.Name.Off }
+
+// Param is a formal parameter. Type may be nil inside a constructor,
+// where a bare name refers to (and initializes) the field of the same
+// name (§3.1's compact constructors).
+type Param struct {
+	Name Ident
+	Type TypeRef // nil for constructor field-shorthand
+
+	// Set by the checker.
+	TypeOf types.Type
+}
+
+// Pos returns the parameter position.
+func (p *Param) Pos() src.Pos { return p.Name.Off }
+
+// ClassDecl declares a class. CtorParams is the compact class-parameter
+// form `class C(f: T, ...)`, which declares immutable fields plus an
+// implicit constructor.
+type ClassDecl struct {
+	Name       Ident
+	TypeParams []*TypeParamDecl
+	CtorParams []*Param // nil when absent
+	Extends    TypeRef  // nil for a hierarchy root
+	Members    []Member
+
+	// Set by the checker.
+	Def *types.ClassDef
+}
+
+func (d *ClassDecl) declNode() {}
+
+// Pos returns the class name position.
+func (d *ClassDecl) Pos() src.Pos { return d.Name.Off }
+
+// Member is a class member.
+type Member interface {
+	Node
+	memberNode()
+}
+
+// FieldDecl declares a field; Mutable distinguishes `var` from `def`.
+type FieldDecl struct {
+	Mutable bool
+	Name    Ident
+	Type    TypeRef // may be nil when Init provides the type
+	Init    Expr    // may be nil
+
+	// Set by the checker.
+	TypeOf types.Type
+	Index  int // slot index within the class (set by checker)
+}
+
+func (d *FieldDecl) memberNode() {}
+
+// Pos returns the field name position.
+func (d *FieldDecl) Pos() src.Pos { return d.Name.Off }
+
+// MethodDecl declares a method or (at top level) a function.
+type MethodDecl struct {
+	Private    bool
+	Name       Ident
+	TypeParams []*TypeParamDecl
+	Params     []*Param
+	RetType    TypeRef // nil means void
+	Body       *Block  // nil for abstract methods (paper n2)
+
+	// Set by the checker.
+	Sig      *types.Func
+	Owner    *ClassDecl // nil for top-level functions
+	VtSlot   int        // virtual table slot, assigned by checker
+	Override *MethodDecl
+}
+
+func (d *MethodDecl) declNode()   {}
+func (d *MethodDecl) memberNode() {}
+
+// Pos returns the method name position.
+func (d *MethodDecl) Pos() src.Pos { return d.Name.Off }
+
+// CtorDecl declares an explicit constructor `new(params) [super(args)] {}`.
+type CtorDecl struct {
+	NewPos    src.Pos
+	Params    []*Param
+	HasSuper  bool
+	SuperArgs []Expr
+	Body      *Block
+
+	// Set by the checker.
+	Owner *ClassDecl
+	Sig   *types.Func
+}
+
+func (d *CtorDecl) memberNode() {}
+
+// Pos returns the `new` keyword position.
+func (d *CtorDecl) Pos() src.Pos { return d.NewPos }
+
+// EnumDecl declares an enumerated type: `enum Color { RED, GREEN }`.
+// Enums implement the paper's top-priority future feature (§6.1) with a
+// minimal design: value semantics, a closed case set, `.tag` and
+// `.name` accessors, and the universal operators.
+type EnumDecl struct {
+	Name  Ident
+	Cases []Ident
+
+	// Def is set by the checker.
+	Def *types.EnumDef
+}
+
+func (d *EnumDecl) declNode() {}
+
+// Pos returns the enum name position.
+func (d *EnumDecl) Pos() src.Pos { return d.Name.Off }
+
+// ComponentDecl declares a component: a singleton namespace of fields
+// (program globals) and functions, the unit Virgil organizes systems
+// around (System and clock are built-in components).
+type ComponentDecl struct {
+	Name    Ident
+	Members []Member
+}
+
+func (d *ComponentDecl) declNode() {}
+
+// Pos returns the component name position.
+func (d *ComponentDecl) Pos() src.Pos { return d.Name.Off }
+
+// VarDecl is a top-level variable: `var x = e;` or `def x = e;`.
+type VarDecl struct {
+	Mutable bool
+	Name    Ident
+	Type    TypeRef // may be nil
+	Init    Expr    // may be nil
+
+	// Set by the checker.
+	TypeOf types.Type
+}
+
+func (d *VarDecl) declNode() {}
+
+// Pos returns the variable name position.
+func (d *VarDecl) Pos() src.Pos { return d.Name.Off }
+
+// ------------------------------------------------------------ type refs
+
+// TypeRef is a syntactic reference to a type.
+type TypeRef interface {
+	Node
+	typeRefNode()
+}
+
+// NamedTypeRef is `Name` or `Name<Args>`: a primitive, class, Array, or
+// type parameter reference.
+type NamedTypeRef struct {
+	Name Ident
+	Args []TypeRef
+}
+
+func (t *NamedTypeRef) typeRefNode() {}
+
+// Pos returns the name position.
+func (t *NamedTypeRef) Pos() src.Pos { return t.Name.Off }
+
+// TupleTypeRef is `(T0, ..., Tn)`.
+type TupleTypeRef struct {
+	LPos  src.Pos
+	Elems []TypeRef
+}
+
+func (t *TupleTypeRef) typeRefNode() {}
+
+// Pos returns the open-paren position.
+func (t *TupleTypeRef) Pos() src.Pos { return t.LPos }
+
+// FuncTypeRef is `Param -> Ret`.
+type FuncTypeRef struct {
+	Param TypeRef
+	Ret   TypeRef
+}
+
+func (t *FuncTypeRef) typeRefNode() {}
+
+// Pos returns the parameter type position.
+func (t *FuncTypeRef) Pos() src.Pos { return t.Param.Pos() }
+
+// ---------------------------------------------------------------- stmts
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is `{ stmts }`. DeclGroup marks a synthetic block produced by a
+// multi-declarator statement (`var a = 1, b = 2;`), whose declarations
+// live in the enclosing scope.
+type Block struct {
+	LPos      src.Pos
+	Stmts     []Stmt
+	DeclGroup bool
+}
+
+func (s *Block) stmtNode() {}
+
+// Pos returns the open-brace position.
+func (s *Block) Pos() src.Pos { return s.LPos }
+
+// IfStmt is `if (cond) then [else els]`.
+type IfStmt struct {
+	IfPos src.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+func (s *IfStmt) stmtNode() {}
+
+// Pos returns the `if` position.
+func (s *IfStmt) Pos() src.Pos { return s.IfPos }
+
+// WhileStmt is `while (cond) body`.
+type WhileStmt struct {
+	WhilePos src.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+func (s *WhileStmt) stmtNode() {}
+
+// Pos returns the `while` position.
+func (s *WhileStmt) Pos() src.Pos { return s.WhilePos }
+
+// ForStmt is the paper's `for (v = init; cond; post) body`, which
+// declares v as a fresh local scoped to the loop. Cond and Post may be
+// nil.
+type ForStmt struct {
+	ForPos src.Pos
+	Var    Ident
+	Init   Expr
+	Cond   Expr
+	Post   Expr
+	Body   Stmt
+
+	// Set by the checker.
+	VarType types.Type
+	Local   *LocalDecl // synthesized binding for Var
+}
+
+func (s *ForStmt) stmtNode() {}
+
+// Pos returns the `for` position.
+func (s *ForStmt) Pos() src.Pos { return s.ForPos }
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	RetPos src.Pos
+	Value  Expr // nil for bare return
+}
+
+func (s *ReturnStmt) stmtNode() {}
+
+// Pos returns the `return` position.
+func (s *ReturnStmt) Pos() src.Pos { return s.RetPos }
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ BrkPos src.Pos }
+
+func (s *BreakStmt) stmtNode() {}
+
+// Pos returns the `break` position.
+func (s *BreakStmt) Pos() src.Pos { return s.BrkPos }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ ContPos src.Pos }
+
+func (s *ContinueStmt) stmtNode() {}
+
+// Pos returns the `continue` position.
+func (s *ContinueStmt) Pos() src.Pos { return s.ContPos }
+
+// LocalDecl is `var x[: T] [= e];` or `def x[: T] = e;` inside a body.
+// One statement may declare several locals (`var a = 1, b = 2;`); the
+// parser expands those into consecutive LocalDecls.
+type LocalDecl struct {
+	Mutable bool
+	Name    Ident
+	Type    TypeRef // may be nil
+	Init    Expr    // may be nil
+
+	// Set by the checker.
+	TypeOf types.Type
+}
+
+func (s *LocalDecl) stmtNode() {}
+
+// Pos returns the local name position.
+func (s *LocalDecl) Pos() src.Pos { return s.Name.Off }
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct{ E Expr }
+
+func (s *ExprStmt) stmtNode() {}
+
+// Pos returns the expression position.
+func (s *ExprStmt) Pos() src.Pos { return s.E.Pos() }
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ SemiPos src.Pos }
+
+func (s *EmptyStmt) stmtNode() {}
+
+// Pos returns the semicolon position.
+func (s *EmptyStmt) Pos() src.Pos { return s.SemiPos }
+
+// ---------------------------------------------------------------- exprs
+
+// Expr is an expression. TypeOf is set by the checker.
+type Expr interface {
+	Node
+	exprNode()
+	// Type returns the checked type (nil before checking).
+	Type() types.Type
+	// SetType records the checked type.
+	SetType(types.Type)
+}
+
+// typed is embedded in every expression node to carry the checked type.
+type typed struct{ T types.Type }
+
+// Type returns the checked type.
+func (t *typed) Type() types.Type { return t.T }
+
+// SetType records the checked type.
+func (t *typed) SetType(tt types.Type) { t.T = tt }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	typed
+	LitPos src.Pos
+	Value  int64
+}
+
+func (e *IntLit) exprNode() {}
+
+// Pos returns the literal position.
+func (e *IntLit) Pos() src.Pos { return e.LitPos }
+
+// ByteLit is a character literal such as 'a'.
+type ByteLit struct {
+	typed
+	LitPos src.Pos
+	Value  byte
+}
+
+func (e *ByteLit) exprNode() {}
+
+// Pos returns the literal position.
+func (e *ByteLit) Pos() src.Pos { return e.LitPos }
+
+// BoolLit is `true` or `false`.
+type BoolLit struct {
+	typed
+	LitPos src.Pos
+	Value  bool
+}
+
+func (e *BoolLit) exprNode() {}
+
+// Pos returns the literal position.
+func (e *BoolLit) Pos() src.Pos { return e.LitPos }
+
+// StrLit is a string literal; strings are Array<byte>.
+type StrLit struct {
+	typed
+	LitPos src.Pos
+	Value  string
+}
+
+func (e *StrLit) exprNode() {}
+
+// Pos returns the literal position.
+func (e *StrLit) Pos() src.Pos { return e.LitPos }
+
+// NullLit is `null`.
+type NullLit struct {
+	typed
+	LitPos src.Pos
+}
+
+func (e *NullLit) exprNode() {}
+
+// Pos returns the literal position.
+func (e *NullLit) Pos() src.Pos { return e.LitPos }
+
+// ThisExpr is `this`.
+type ThisExpr struct {
+	typed
+	LitPos src.Pos
+}
+
+func (e *ThisExpr) exprNode() {}
+
+// Pos returns the `this` position.
+func (e *ThisExpr) Pos() src.Pos { return e.LitPos }
+
+// VarRef is an identifier expression, possibly with explicit type
+// arguments (`apply<int>`). The checker sets Binding to the resolved
+// entity (a typecheck symbol) and Kind to its classification.
+type VarRef struct {
+	typed
+	Name     Ident
+	TypeArgs []TypeRef
+
+	// Set by the checker.
+	Binding      any
+	TypeArgsOf   []types.Type
+	IsTypeName   bool // resolved to a type rather than a value
+	ResolvedType types.Type
+	// FreeParams are type parameters not yet bound at this use; they are
+	// inferred at an enclosing call (d10'-d12').
+	FreeParams []*types.TypeParamDef
+}
+
+func (e *VarRef) exprNode() {}
+
+// Pos returns the identifier position.
+func (e *VarRef) Pos() src.Pos { return e.Name.Off }
+
+// TupleExpr is `(e0, ..., en)` with n != 1; `()` is the void value.
+type TupleExpr struct {
+	typed
+	LPos  src.Pos
+	Elems []Expr
+}
+
+func (e *TupleExpr) exprNode() {}
+
+// Pos returns the open-paren position.
+func (e *TupleExpr) Pos() src.Pos { return e.LPos }
+
+// TypeExpr is a parenthesized type used in expression position as the
+// receiver of a member operator, e.g. (StringBuffer -> void).?(x). The
+// parser produces it only for function types; bare names and tuples of
+// names reach the checker as VarRef/TupleExpr and are classified there.
+type TypeExpr struct {
+	typed
+	Ref TypeRef
+}
+
+func (e *TypeExpr) exprNode() {}
+
+// Pos returns the type position.
+func (e *TypeExpr) Pos() src.Pos { return e.Ref.Pos() }
+
+// MemberKind classifies what a checked member expression denotes.
+type MemberKind int
+
+// Member expression classifications assigned by the checker.
+const (
+	MUnknown         MemberKind = iota
+	MTupleIndex                 // v.0
+	MField                      // o.f
+	MBoundMethod                // o.m        (closure bound to o)
+	MClassMethod                // A.m        (receiver becomes first param)
+	MNew                        // A.new      (constructor as function)
+	MOperator                   // T.== T.!= T.! T.? int.+ ...
+	MArrayLength                // a.length
+	MComponentMember            // System.puts, clock.ticks (built-ins)
+	MGlobal                     // Comp.x: a user component field
+	MTopFunc                    // Comp.m: a user component function
+	MEnumCase                   // Color.RED
+	MEnumTag                    // c.tag
+	MEnumName                   // c.name
+)
+
+// MemberExpr is `recv.Name` or `recv.Name<TypeArgs>`. Recv may denote a
+// value or a type; the checker disambiguates and sets Kind plus the
+// resolution fields.
+type MemberExpr struct {
+	typed
+	Recv     Expr
+	Name     Ident
+	TypeArgs []TypeRef
+
+	// Set by the checker.
+	Kind       MemberKind
+	Binding    any
+	TypeArgsOf []types.Type
+	RecvType   types.Type // for type-qualified members: the subject type
+	TupleIdx   int
+	OpToken    token.Kind // for MOperator
+	// FreeParams are type parameters not yet bound at this use; they are
+	// inferred at an enclosing call.
+	FreeParams []*types.TypeParamDef
+}
+
+func (e *MemberExpr) exprNode() {}
+
+// Pos returns the member name position.
+func (e *MemberExpr) Pos() src.Pos { return e.Name.Off }
+
+// CallExpr is `fn(args)`. The argument list (a0, ..., an) is the tuple
+// argument of fn per §2.3.
+type CallExpr struct {
+	typed
+	Fn   Expr
+	Args []Expr
+}
+
+func (e *CallExpr) exprNode() {}
+
+// Pos returns the callee position.
+func (e *CallExpr) Pos() src.Pos { return e.Fn.Pos() }
+
+// IndexExpr is `arr[idx]`.
+type IndexExpr struct {
+	typed
+	Arr Expr
+	Idx Expr
+}
+
+func (e *IndexExpr) exprNode() {}
+
+// Pos returns the array expression position.
+func (e *IndexExpr) Pos() src.Pos { return e.Arr.Pos() }
+
+// BinaryExpr is `l op r` for arithmetic, comparison, logical and bitwise
+// operators.
+type BinaryExpr struct {
+	typed
+	Op    token.Kind
+	OpPos src.Pos
+	L, R  Expr
+}
+
+func (e *BinaryExpr) exprNode() {}
+
+// Pos returns the operator position.
+func (e *BinaryExpr) Pos() src.Pos { return e.OpPos }
+
+// UnaryExpr is `-e` or `!e`.
+type UnaryExpr struct {
+	typed
+	Op    token.Kind
+	OpPos src.Pos
+	E     Expr
+}
+
+func (e *UnaryExpr) exprNode() {}
+
+// Pos returns the operator position.
+func (e *UnaryExpr) Pos() src.Pos { return e.OpPos }
+
+// TernaryExpr is `cond ? then : els`.
+type TernaryExpr struct {
+	typed
+	Cond, Then, Els Expr
+}
+
+func (e *TernaryExpr) exprNode() {}
+
+// Pos returns the condition position.
+func (e *TernaryExpr) Pos() src.Pos { return e.Cond.Pos() }
+
+// AssignExpr is `target = value`, `target += value`, or `target -= value`.
+type AssignExpr struct {
+	typed
+	Op     token.Kind // Assign, AddEq, SubEq
+	Target Expr
+	Value  Expr
+}
+
+func (e *AssignExpr) exprNode() {}
+
+// Pos returns the target position.
+func (e *AssignExpr) Pos() src.Pos { return e.Target.Pos() }
+
+// IncDecExpr is `target++` or `target--` (statement-position sugar).
+type IncDecExpr struct {
+	typed
+	Inc    bool
+	Target Expr
+}
+
+func (e *IncDecExpr) exprNode() {}
+
+// Pos returns the target position.
+func (e *IncDecExpr) Pos() src.Pos { return e.Target.Pos() }

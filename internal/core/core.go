@@ -1,0 +1,214 @@
+// Package core is the public entry point of the Virgil-core compiler:
+// it wires the paper's full pipeline — parse, typecheck, lower,
+// monomorphize (§4.3), normalize (§4.2), optimize — and executes the
+// result.
+//
+// The pipeline has two canonical configurations:
+//
+//   - Reference(): the paper's interpreter — polymorphic IR, boxed
+//     tuples, runtime type arguments, dynamic arity checks.
+//   - Compiled(): the paper's static compiler — monomorphized,
+//     normalized, optimized IR with scalar-only calling conventions.
+//
+// Intermediate configurations (mono without norm, etc.) exist for the
+// ablation experiments.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/mono"
+	"repro/internal/norm"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/src"
+	"repro/internal/typecheck"
+)
+
+// Config selects pipeline stages. Normalize requires Monomorphize;
+// Optimize requires both.
+type Config struct {
+	Monomorphize bool
+	Normalize    bool
+	Optimize     bool
+}
+
+// Reference returns the reference-interpreter configuration.
+func Reference() Config { return Config{} }
+
+// Compiled returns the full static-compilation configuration.
+func Compiled() Config { return Config{Monomorphize: true, Normalize: true, Optimize: true} }
+
+// Name returns a short label for the configuration, used in reports.
+func (c Config) Name() string {
+	switch {
+	case c.Optimize:
+		return "mono+norm+opt"
+	case c.Normalize:
+		return "mono+norm"
+	case c.Monomorphize:
+		return "mono"
+	default:
+		return "reference"
+	}
+}
+
+// Validate checks stage dependencies.
+func (c Config) Validate() error {
+	if c.Normalize && !c.Monomorphize {
+		return fmt.Errorf("core: Normalize requires Monomorphize (§4.2)")
+	}
+	if c.Optimize && !c.Normalize {
+		return fmt.Errorf("core: Optimize requires Normalize")
+	}
+	return nil
+}
+
+// Timings records wall-clock duration of each stage (E7).
+type Timings struct {
+	Parse     time.Duration
+	Check     time.Duration
+	Lower     time.Duration
+	Mono      time.Duration
+	Norm      time.Duration
+	Opt       time.Duration
+	Total     time.Duration
+	SourceLen int
+}
+
+// Compilation is the result of running the pipeline.
+type Compilation struct {
+	Config  Config
+	Program *typecheck.Program
+	Module  *ir.Module
+	// MonoStats is set when monomorphization ran.
+	MonoStats *mono.Stats
+	// NormStats is set when normalization ran.
+	NormStats *norm.Stats
+	// OptStats is set when optimization ran.
+	OptStats *opt.Stats
+	Timings  Timings
+}
+
+// File is one named source file.
+type File struct {
+	Name   string
+	Source string
+}
+
+// Compile runs the pipeline on one source string.
+func Compile(name, source string, cfg Config) (*Compilation, error) {
+	return CompileFiles([]File{{Name: name, Source: source}}, cfg)
+}
+
+// CompileFiles runs the pipeline on several files as one program.
+func CompileFiles(files []File, cfg Config) (*Compilation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	comp := &Compilation{Config: cfg}
+	start := time.Now()
+
+	t0 := time.Now()
+	errs := &src.ErrorList{}
+	var parsed []*ast.File
+	for _, f := range files {
+		parsed = append(parsed, parser.Parse(f.Name, f.Source, errs))
+		comp.Timings.SourceLen += len(f.Source)
+	}
+	comp.Timings.Parse = time.Since(t0)
+	if !errs.Empty() {
+		errs.Sort()
+		return nil, errs
+	}
+
+	t0 = time.Now()
+	prog := typecheck.Check(parsed, errs)
+	comp.Timings.Check = time.Since(t0)
+	if !errs.Empty() {
+		errs.Sort()
+		return nil, errs
+	}
+	comp.Program = prog
+
+	t0 = time.Now()
+	mod := lower.Lower(prog)
+	comp.Timings.Lower = time.Since(t0)
+
+	if cfg.Monomorphize {
+		t0 = time.Now()
+		monoMod, stats, err := mono.Monomorphize(mod, mono.Config{})
+		comp.Timings.Mono = time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		comp.MonoStats = stats
+		mod = monoMod
+	}
+	if cfg.Normalize {
+		t0 = time.Now()
+		normMod, stats, err := norm.Normalize(mod)
+		comp.Timings.Norm = time.Since(t0)
+		if err != nil {
+			return nil, err
+		}
+		comp.NormStats = stats
+		mod = normMod
+	}
+	if cfg.Optimize {
+		t0 = time.Now()
+		comp.OptStats = opt.Optimize(mod, opt.Config{})
+		comp.Timings.Opt = time.Since(t0)
+	}
+	if err := mod.Validate(); err != nil {
+		return nil, fmt.Errorf("core: internal error: invalid IR after %s: %w", cfg.Name(), err)
+	}
+	comp.Module = mod
+	comp.Timings.Total = time.Since(start)
+	return comp, nil
+}
+
+// RunResult is the outcome of executing a compiled program.
+type RunResult struct {
+	Output string
+	Stats  interp.Stats
+	Err    error // the Virgil exception, if the program threw
+}
+
+// Run executes the compiled module, capturing System output.
+func (c *Compilation) Run() RunResult {
+	var out strings.Builder
+	it := interp.New(c.Module, interp.Options{Out: &out})
+	_, err := it.Run()
+	return RunResult{Output: out.String(), Stats: it.Stats(), Err: err}
+}
+
+// RunTo executes the compiled module writing System output to w.
+func (c *Compilation) RunTo(w io.Writer, maxSteps int64) (interp.Stats, error) {
+	it := interp.New(c.Module, interp.Options{Out: w, MaxSteps: maxSteps})
+	_, err := it.Run()
+	return it.Stats(), err
+}
+
+// Interp returns a fresh interpreter over the compiled module, for
+// callers that need to invoke individual functions (benchmarks).
+func (c *Compilation) Interp(w io.Writer) *interp.Interp {
+	return interp.New(c.Module, interp.Options{Out: w})
+}
+
+// Configs returns the four ablation configurations in pipeline order.
+func Configs() []Config {
+	return []Config{
+		Reference(),
+		{Monomorphize: true},
+		{Monomorphize: true, Normalize: true},
+		Compiled(),
+	}
+}

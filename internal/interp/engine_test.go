@@ -1,0 +1,157 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSystemError(t *testing.T) {
+	runRefErr(t, `
+def main() { System.error("boom"); }
+`, "!SystemError: boom")
+}
+
+func TestStepLimit(t *testing.T) {
+	mod := compileRef(t, `
+def main() { while (true) { } }
+`)
+	it := New(mod, Options{MaxSteps: 1000})
+	_, err := it.Run()
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("want step limit error, got %v", err)
+	}
+}
+
+func TestCallFunc(t *testing.T) {
+	mod := compileRef(t, `
+def double(x: int) -> int { return x * 2; }
+def main() { }
+`)
+	it := New(mod, Options{})
+	res, err := it.CallFunc("double", IntVal(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != IntVal(42) {
+		t.Fatalf("got %v", res)
+	}
+	if _, err := it.CallFunc("nope"); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestMainRequired(t *testing.T) {
+	mod := compileRef(t, `def f() { }`)
+	it := New(mod, Options{})
+	if _, err := it.Run(); err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Fatalf("want no-main error, got %v", err)
+	}
+}
+
+func TestNegativeArrayLength(t *testing.T) {
+	runRefErr(t, `
+def main() { var a = Array<int>.new(0 - 1); }
+`, "!LengthCheckException")
+}
+
+func TestAbstractMethodTraps(t *testing.T) {
+	runRefErr(t, `
+class A { def m(); }
+def main() { A.new().m(); }
+`, "!UnimplementedException")
+}
+
+func TestClosureEqualitySemantics(t *testing.T) {
+	// b-series semantics: a.m == a.m (same receiver, same method), but
+	// closures over different receivers differ.
+	got := runRef(t, `
+class A { def m() -> int { return 1; } }
+def main() {
+	var a = A.new();
+	var b = A.new();
+	System.putb(a.m == a.m);
+	System.putb(a.m == b.m);
+	System.putb(A.m == A.m);
+	System.putb(A.new == A.new);
+	System.putb(int.+ == int.+);
+	System.putb(int.+ == int.-);
+}
+`)
+	if got != "truefalsetruetruetruefalse" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGlobalInitOrder(t *testing.T) {
+	// Globals initialize in declaration order; later inits see earlier
+	// values.
+	got := runRef(t, `
+var a = 10;
+var b = a * 2;
+var c = b + a;
+def main() { System.puti(c); }
+`)
+	if got != "30" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecursionDepth(t *testing.T) {
+	got := runRef(t, `
+def sum(n: int) -> int {
+	if (n == 0) return 0;
+	return n + sum(n - 1);
+}
+def main() { System.puti(sum(1000)); }
+`)
+	if got != "500500" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestIntOverflowWraps(t *testing.T) {
+	got := runRef(t, `
+def main() {
+	var x = 2147483647;
+	System.puti(x + 1);
+}
+`)
+	if got != "-2147483648" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNullClosureCall(t *testing.T) {
+	runRefErr(t, `
+def main() {
+	var f: int -> int;
+	f(1);
+}
+`, "!NullCheckException")
+}
+
+func TestNullBoundMethod(t *testing.T) {
+	runRefErr(t, `
+class A { def m() { } }
+def main() {
+	var a: A;
+	var f = a.m;
+}
+`, "!NullCheckException")
+}
+
+func TestCastNullIntoRef(t *testing.T) {
+	got := runRef(t, `
+class A { }
+class B extends A { }
+def main() {
+	var a: A;
+	var b = B.!(a);   // casting null to a reference type succeeds
+	System.putb(b == null);
+	System.putb(B.?(a)); // but a query on null is false
+}
+`)
+	if got != "truefalse" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,850 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// VirgilError is a runtime exception thrown by the executed program
+// (e.g. !NullCheckException, !TypeCheckException).
+type VirgilError struct {
+	Name string
+	Msg  string
+}
+
+func (e *VirgilError) Error() string {
+	if e.Msg == "" {
+		return e.Name
+	}
+	return e.Name + ": " + e.Msg
+}
+
+// Stats reports the dynamic costs the paper's implementation section
+// discusses.
+type Stats struct {
+	// Steps is the number of IR instructions executed (also the virtual
+	// clock for clock.ticks).
+	Steps int64
+	// AdaptChecks counts dynamic arity-adaptation checks at virtual and
+	// indirect call sites (§4.1); zero in fully normalized code.
+	AdaptChecks int64
+	// AdaptPacks counts adaptations that had to box or unbox a tuple.
+	AdaptPacks int64
+	// TypeEnvBinds counts runtime type-argument bindings performed
+	// (§4.3's "invisible arguments"); zero in monomorphized code.
+	TypeEnvBinds int64
+	// TupleAllocs counts boxed tuple values allocated; zero after
+	// normalization (§4.2's no-implicit-allocation guarantee).
+	TupleAllocs int64
+	// Calls counts function activations.
+	Calls int64
+}
+
+// Options configure an interpreter.
+type Options struct {
+	Out      io.Writer // System output; nil discards
+	MaxSteps int64     // safety bound; 0 means the default (1e9)
+}
+
+// Interp executes one module.
+type Interp struct {
+	mod  *ir.Module
+	tc   *types.Cache
+	out  io.Writer
+	opts Options
+
+	globals    []Value
+	classByDef map[*types.ClassDef]*ir.Class
+	classByTyp map[*types.Class]*ir.Class
+
+	stats    Stats
+	maxSteps int64
+}
+
+// New creates an interpreter for mod.
+func New(mod *ir.Module, opts Options) *Interp {
+	i := &Interp{
+		mod:        mod,
+		tc:         mod.Types,
+		out:        opts.Out,
+		opts:       opts,
+		globals:    make([]Value, len(mod.Globals)),
+		classByDef: map[*types.ClassDef]*ir.Class{},
+		classByTyp: map[*types.Class]*ir.Class{},
+		maxSteps:   opts.MaxSteps,
+	}
+	if i.maxSteps == 0 {
+		i.maxSteps = 1_000_000_000
+	}
+	for _, c := range mod.Classes {
+		if mod.Monomorphic {
+			i.classByTyp[c.Type] = c
+		} else {
+			i.classByDef[c.Def] = c
+		}
+	}
+	for gi, g := range mod.Globals {
+		i.globals[gi] = defaultValue(i.tc, g.Type)
+	}
+	return i
+}
+
+// Stats returns execution statistics so far.
+func (i *Interp) Stats() Stats { return i.stats }
+
+// Run executes global initializers then main, returning main's result
+// values.
+func (i *Interp) Run() ([]Value, error) {
+	if i.mod.Init != nil {
+		if _, err := i.call(i.mod.Init, nil, nil); err != nil {
+			return nil, err
+		}
+	}
+	if i.mod.Main == nil {
+		return nil, fmt.Errorf("interp: module has no main function")
+	}
+	if len(i.mod.Main.Params) != 0 {
+		return nil, fmt.Errorf("interp: main must take no parameters")
+	}
+	return i.call(i.mod.Main, nil, nil)
+}
+
+// CallFunc invokes a named function with the given values (used by
+// tests and benchmarks).
+func (i *Interp) CallFunc(name string, args ...Value) ([]Value, error) {
+	for _, f := range i.mod.Funcs {
+		if f.Name == name {
+			return i.call(f, args, nil)
+		}
+	}
+	return nil, fmt.Errorf("interp: no function %q", name)
+}
+
+// env is a runtime type-argument environment.
+type env = map[*types.TypeParamDef]types.Type
+
+// subst substitutes the frame's type environment into t.
+func (i *Interp) subst(t types.Type, e env) types.Type {
+	if t == nil || len(e) == 0 {
+		return t
+	}
+	return i.tc.Subst(t, e)
+}
+
+func (i *Interp) substAll(ts []types.Type, e env) []types.Type {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]types.Type, len(ts))
+	for k, t := range ts {
+		out[k] = i.subst(t, e)
+	}
+	return out
+}
+
+// bindEnv builds the callee's type environment from its type parameters
+// and closed type arguments.
+func (i *Interp) bindEnv(f *ir.Func, targs []types.Type) env {
+	if len(f.TypeParams) == 0 {
+		return nil
+	}
+	i.stats.TypeEnvBinds++
+	e := make(env, len(f.TypeParams))
+	for k, p := range f.TypeParams {
+		if k < len(targs) {
+			e[p] = targs[k]
+		}
+	}
+	return e
+}
+
+// classArgsFromRecv computes the type arguments of the class declaring
+// fn, as seen from the dynamic receiver (pre-monomorphization virtual
+// dispatch; §4.3).
+func (i *Interp) classArgsFromRecv(fn *ir.Func, recv *ObjVal) []types.Type {
+	if fn.NumClassParams == 0 {
+		return nil
+	}
+	w := i.tc.ClassOf(recv.Class.Def, recv.Args)
+	for w != nil && w.Def != fn.Class.Def {
+		w = i.tc.ParentOf(w)
+	}
+	if w == nil {
+		return nil
+	}
+	return w.Args
+}
+
+// adapt performs the paper's dynamic calling-convention check (§4.1):
+// the callee may declare n scalar parameters or one tuple parameter for
+// the same function type, so provided values are packed or unpacked to
+// match. In normalized code the shapes always agree.
+func (i *Interp) adapt(provided []Value, params []*ir.Reg) ([]Value, error) {
+	i.stats.AdaptChecks++
+	n, m := len(provided), len(params)
+	if n == m {
+		return provided, nil
+	}
+	i.stats.AdaptPacks++
+	switch {
+	case m == 1:
+		if n == 0 {
+			return []Value{VoidVal{}}, nil
+		}
+		i.stats.TupleAllocs++
+		return []Value{TupleVal(provided)}, nil
+	case n == 1:
+		if m == 0 {
+			return nil, nil
+		}
+		tv, ok := provided[0].(TupleVal)
+		if !ok || len(tv) != m {
+			return nil, &VirgilError{Name: "!CallArityException", Msg: fmt.Sprintf("cannot adapt %d value(s) to %d parameter(s)", n, m)}
+		}
+		return tv, nil
+	case n == 0 && m == 0:
+		return nil, nil
+	}
+	return nil, &VirgilError{Name: "!CallArityException", Msg: fmt.Sprintf("cannot adapt %d value(s) to %d parameter(s)", n, m)}
+}
+
+// call executes f with the given argument values and type arguments.
+func (i *Interp) call(f *ir.Func, args []Value, targs []types.Type) ([]Value, error) {
+	i.stats.Calls++
+	e := i.bindEnv(f, targs)
+	regs := make([]Value, f.NumRegs())
+	if len(args) != len(f.Params) {
+		return nil, &VirgilError{Name: "!CallArityException", Msg: fmt.Sprintf("%s: got %d args, want %d", f.Name, len(args), len(f.Params))}
+	}
+	for k, p := range f.Params {
+		regs[p.ID] = args[k]
+	}
+	blk := f.Blocks[0]
+	pc := 0
+	get := func(r *ir.Reg) Value { return regs[r.ID] }
+	for {
+		if pc >= len(blk.Instrs) {
+			return nil, fmt.Errorf("interp: %s: fell off block b%d", f.Name, blk.ID)
+		}
+		in := blk.Instrs[pc]
+		i.stats.Steps++
+		if i.stats.Steps > i.maxSteps {
+			return nil, fmt.Errorf("interp: step limit exceeded in %s", f.Name)
+		}
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpConstInt:
+			regs[in.Dst[0].ID] = IntVal(int32(in.IVal))
+		case ir.OpConstByte:
+			regs[in.Dst[0].ID] = ByteVal(byte(in.IVal))
+		case ir.OpConstBool:
+			regs[in.Dst[0].ID] = BoolVal(in.IVal != 0)
+		case ir.OpConstVoid:
+			regs[in.Dst[0].ID] = VoidVal{}
+		case ir.OpConstNull:
+			// The "null" of a type: the default value. Lowering emits
+			// this for locals of (possibly open) type-parameter type, so
+			// the runtime type environment decides the representation.
+			regs[in.Dst[0].ID] = defaultValue(i.tc, i.subst(in.Type, e))
+		case ir.OpConstString:
+			elems := make([]Value, len(in.SVal))
+			for k := 0; k < len(in.SVal); k++ {
+				elems[k] = ByteVal(in.SVal[k])
+			}
+			regs[in.Dst[0].ID] = &ArrVal{Elem: i.tc.Byte(), Elems: elems}
+		case ir.OpMove:
+			regs[in.Dst[0].ID] = get(in.Args[0])
+
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod,
+			ir.OpShl, ir.OpShr, ir.OpAnd, ir.OpOr, ir.OpXor:
+			a, ok1 := get(in.Args[0]).(IntVal)
+			b, ok2 := get(in.Args[1]).(IntVal)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("interp: %s: non-int operands to %s", f.Name, in.Op)
+			}
+			v, err := intArith(in.Op, int32(a), int32(b))
+			if err != nil {
+				return nil, err
+			}
+			regs[in.Dst[0].ID] = IntVal(v)
+		case ir.OpNeg:
+			a := get(in.Args[0]).(IntVal)
+			regs[in.Dst[0].ID] = IntVal(-int32(a))
+		case ir.OpNot:
+			a := get(in.Args[0]).(BoolVal)
+			regs[in.Dst[0].ID] = BoolVal(!a)
+		case ir.OpBoolAnd:
+			a := get(in.Args[0]).(BoolVal)
+			b := get(in.Args[1]).(BoolVal)
+			regs[in.Dst[0].ID] = a && b
+		case ir.OpBoolOr:
+			a := get(in.Args[0]).(BoolVal)
+			b := get(in.Args[1]).(BoolVal)
+			regs[in.Dst[0].ID] = a || b
+		case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+			regs[in.Dst[0].ID] = BoolVal(compare(in.Op, get(in.Args[0]), get(in.Args[1])))
+		case ir.OpEq:
+			regs[in.Dst[0].ID] = BoolVal(valueEq(get(in.Args[0]), get(in.Args[1])))
+		case ir.OpNe:
+			regs[in.Dst[0].ID] = BoolVal(!valueEq(get(in.Args[0]), get(in.Args[1])))
+
+		case ir.OpMakeTuple:
+			vs := make(TupleVal, len(in.Args))
+			for k, a := range in.Args {
+				vs[k] = get(a)
+			}
+			i.stats.TupleAllocs++
+			regs[in.Dst[0].ID] = vs
+		case ir.OpTupleGet:
+			tv, ok := get(in.Args[0]).(TupleVal)
+			if !ok {
+				return nil, fmt.Errorf("interp: %s: tuple.get of non-tuple", f.Name)
+			}
+			regs[in.Dst[0].ID] = tv[in.FieldSlot]
+
+		case ir.OpNewObject:
+			ct := i.subst(in.Type, e).(*types.Class)
+			cls, err := i.classFor(ct)
+			if err != nil {
+				return nil, err
+			}
+			fields := make([]Value, len(cls.Fields))
+			cenv := types.BindParams(cls.Def.TypeParams, ct.Args)
+			for k, fd := range cls.Fields {
+				fields[k] = defaultValue(i.tc, i.tc.Subst(fd.Type, cenv))
+			}
+			regs[in.Dst[0].ID] = &ObjVal{Class: cls, Args: ct.Args, Fields: fields}
+		case ir.OpFieldLoad:
+			obj, err := i.objArg(f, in, get(in.Args[0]))
+			if err != nil {
+				return nil, err
+			}
+			regs[in.Dst[0].ID] = obj.Fields[in.FieldSlot]
+		case ir.OpFieldStore:
+			obj, err := i.objArg(f, in, get(in.Args[0]))
+			if err != nil {
+				return nil, err
+			}
+			obj.Fields[in.FieldSlot] = get(in.Args[1])
+		case ir.OpNullCheck:
+			if _, isNull := get(in.Args[0]).(NullVal); isNull {
+				return nil, &VirgilError{Name: "!NullCheckException"}
+			}
+
+		case ir.OpArrayNew:
+			at := i.subst(in.Type, e).(*types.Array)
+			n := int(get(in.Args[0]).(IntVal))
+			if n < 0 {
+				return nil, &VirgilError{Name: "!LengthCheckException"}
+			}
+			av := &ArrVal{Elem: at.Elem, Len: n}
+			if at.Elem != i.tc.Void() {
+				av.Elems = make([]Value, n)
+				d := defaultValue(i.tc, at.Elem)
+				for k := range av.Elems {
+					av.Elems[k] = d
+				}
+			}
+			regs[in.Dst[0].ID] = av
+		case ir.OpArrayLoad:
+			av, idx, err := i.arrayArgs(get(in.Args[0]), get(in.Args[1]))
+			if err != nil {
+				return nil, err
+			}
+			if len(in.Dst) > 0 { // void-array accesses are check-only
+				if av.Elems == nil {
+					regs[in.Dst[0].ID] = VoidVal{}
+				} else {
+					regs[in.Dst[0].ID] = av.Elems[idx]
+				}
+			}
+		case ir.OpArrayStore:
+			av, idx, err := i.arrayArgs(get(in.Args[0]), get(in.Args[1]))
+			if err != nil {
+				return nil, err
+			}
+			if av.Elems != nil {
+				av.Elems[idx] = get(in.Args[2])
+			}
+		case ir.OpArrayLen:
+			av, ok := get(in.Args[0]).(*ArrVal)
+			if !ok {
+				return nil, &VirgilError{Name: "!NullCheckException"}
+			}
+			regs[in.Dst[0].ID] = IntVal(int32(av.Length()))
+
+		case ir.OpGlobalLoad:
+			regs[in.Dst[0].ID] = i.globals[in.Global.Index]
+		case ir.OpGlobalStore:
+			i.globals[in.Global.Index] = get(in.Args[0])
+
+		case ir.OpCallStatic:
+			args := make([]Value, len(in.Args))
+			for k, a := range in.Args {
+				args[k] = get(a)
+			}
+			res, err := i.call(in.Fn, args, i.substAll(in.TypeArgs, e))
+			if err != nil {
+				return nil, err
+			}
+			storeResults(regs, in.Dst, res)
+		case ir.OpCallVirtual:
+			recv, ok := get(in.Args[0]).(*ObjVal)
+			if !ok {
+				return nil, &VirgilError{Name: "!NullCheckException"}
+			}
+			slot := in.FieldSlot
+			if slot >= len(recv.Class.Vtable) || recv.Class.Vtable[slot] == nil {
+				return nil, fmt.Errorf("interp: %s: bad vtable slot %d on %s", f.Name, slot, recv.Class.Name)
+			}
+			target := recv.Class.Vtable[slot]
+			provided := make([]Value, len(in.Args)-1)
+			for k := 1; k < len(in.Args); k++ {
+				provided[k-1] = get(in.Args[k])
+			}
+			adapted, err := i.adapt(provided, target.Params[1:])
+			if err != nil {
+				return nil, err
+			}
+			targsAll := i.virtualTypeArgs(target, recv, i.substAll(in.TypeArgs, e))
+			res, err := i.call(target, append([]Value{recv}, adapted...), targsAll)
+			if err != nil {
+				return nil, err
+			}
+			storeResults(regs, in.Dst, res)
+		case ir.OpCallIndirect:
+			fv, ok := get(in.Args[0]).(*FuncVal)
+			if !ok {
+				return nil, &VirgilError{Name: "!NullCheckException"}
+			}
+			provided := make([]Value, len(in.Args)-1)
+			for k := 1; k < len(in.Args); k++ {
+				provided[k-1] = get(in.Args[k])
+			}
+			res, err := i.invokeClosure(fv, provided)
+			if err != nil {
+				return nil, err
+			}
+			storeResults(regs, in.Dst, res)
+		case ir.OpCallBuiltin:
+			args := make([]Value, len(in.Args))
+			for k, a := range in.Args {
+				args[k] = get(a)
+			}
+			res, err := i.callBuiltin(in.SVal, args)
+			if err != nil {
+				return nil, err
+			}
+			if len(in.Dst) > 0 {
+				regs[in.Dst[0].ID] = res
+			}
+
+		case ir.OpMakeClosure:
+			targsClosed := i.substAll(in.TypeArgs, e)
+			fv := &FuncVal{Fn: in.Fn, TypeArgs: targsClosed}
+			if ft, ok := i.subst(in.Type2, e).(*types.Func); ok {
+				fv.Type = ft // the recorded source-level closure type
+			} else {
+				fv.Type = i.closureType(in.Fn, nil, targsClosed)
+			}
+			regs[in.Dst[0].ID] = fv
+		case ir.OpMakeBound:
+			recv, ok := get(in.Args[0]).(*ObjVal)
+			if !ok {
+				return nil, &VirgilError{Name: "!NullCheckException"}
+			}
+			target := recv.Class.Vtable[in.FieldSlot]
+			targsClosed := i.substAll(in.TypeArgs, e)
+			fv := &FuncVal{Fn: target, Recv: recv, HasRecv: true, TypeArgs: targsClosed}
+			if ft, ok := i.subst(in.Type2, e).(*types.Func); ok {
+				fv.Type = ft
+			} else {
+				fv.Type = i.closureType(target, recv, targsClosed)
+			}
+			regs[in.Dst[0].ID] = fv
+
+		case ir.OpConstEnum:
+			et := i.subst(in.Type, e).(*types.Enum)
+			regs[in.Dst[0].ID] = EnumVal{Def: et.Def, Tag: int(in.IVal)}
+		case ir.OpEnumTag:
+			ev, ok := get(in.Args[0]).(EnumVal)
+			if !ok {
+				return nil, fmt.Errorf("interp: %s: enum.tag of non-enum", f.Name)
+			}
+			regs[in.Dst[0].ID] = IntVal(int32(ev.Tag))
+		case ir.OpEnumName:
+			ev, ok := get(in.Args[0]).(EnumVal)
+			if !ok {
+				return nil, fmt.Errorf("interp: %s: enum.name of non-enum", f.Name)
+			}
+			name := "?"
+			if ev.Tag >= 0 && ev.Tag < len(ev.Def.Cases) {
+				name = ev.Def.Cases[ev.Tag]
+			}
+			elems := make([]Value, len(name))
+			for k := 0; k < len(name); k++ {
+				elems[k] = ByteVal(name[k])
+			}
+			regs[in.Dst[0].ID] = &ArrVal{Elem: i.tc.Byte(), Elems: elems}
+
+		case ir.OpTypeCast:
+			to := i.subst(in.Type, e)
+			v, err := i.evalCast(get(in.Args[0]), to)
+			if err != nil {
+				return nil, err
+			}
+			regs[in.Dst[0].ID] = v
+		case ir.OpTypeQuery:
+			to := i.subst(in.Type, e)
+			regs[in.Dst[0].ID] = BoolVal(i.evalQuery(get(in.Args[0]), to))
+
+		case ir.OpRet:
+			out := make([]Value, len(in.Args))
+			for k, a := range in.Args {
+				out[k] = get(a)
+			}
+			return out, nil
+		case ir.OpJump:
+			blk = in.Blocks[0]
+			pc = 0
+			continue
+		case ir.OpBranch:
+			c, ok := get(in.Args[0]).(BoolVal)
+			if !ok {
+				return nil, fmt.Errorf("interp: %s: branch on non-bool", f.Name)
+			}
+			if c {
+				blk = in.Blocks[0]
+			} else {
+				blk = in.Blocks[1]
+			}
+			pc = 0
+			continue
+		case ir.OpThrow:
+			return nil, &VirgilError{Name: in.SVal}
+		default:
+			return nil, fmt.Errorf("interp: %s: unhandled op %s", f.Name, in.Op)
+		}
+		pc++
+	}
+}
+
+// storeResults writes call results into destination registers. A callee
+// may return one void value for a caller expecting none and vice versa.
+func storeResults(regs []Value, dst []*ir.Reg, res []Value) {
+	for k, d := range dst {
+		if k < len(res) {
+			regs[d.ID] = res[k]
+		} else {
+			regs[d.ID] = VoidVal{}
+		}
+	}
+}
+
+// invokeClosure calls a closure value with dynamically adapted
+// arguments (§4.1).
+func (i *Interp) invokeClosure(fv *FuncVal, provided []Value) ([]Value, error) {
+	params := fv.Fn.Params
+	var callArgs []Value
+	if fv.HasRecv {
+		adapted, err := i.adapt(provided, params[1:])
+		if err != nil {
+			return nil, err
+		}
+		callArgs = append([]Value{fv.Recv}, adapted...)
+	} else {
+		adapted, err := i.adapt(provided, params)
+		if err != nil {
+			return nil, err
+		}
+		callArgs = adapted
+	}
+	targs := fv.TypeArgs
+	if fv.HasRecv && fv.Fn.NumClassParams > 0 {
+		recv := fv.Recv.(*ObjVal)
+		targs = append(i.classArgsFromRecv(fv.Fn, recv), fv.TypeArgs...)
+	}
+	return i.call(fv.Fn, callArgs, targs)
+}
+
+// virtualTypeArgs combines receiver-derived class arguments with
+// call-site method arguments for a virtual call target.
+func (i *Interp) virtualTypeArgs(target *ir.Func, recv *ObjVal, margs []types.Type) []types.Type {
+	if len(target.TypeParams) == 0 {
+		return nil
+	}
+	cargs := i.classArgsFromRecv(target, recv)
+	return append(cargs, margs...)
+}
+
+// closureType computes the closed dynamic function type of a closure.
+func (i *Interp) closureType(fn *ir.Func, recv *ObjVal, targs []types.Type) *types.Func {
+	tc := i.tc
+	var env map[*types.TypeParamDef]types.Type
+	if len(fn.TypeParams) > 0 {
+		env = map[*types.TypeParamDef]types.Type{}
+		all := targs
+		if recv != nil && fn.NumClassParams > 0 {
+			all = append(i.classArgsFromRecv(fn, recv), targs...)
+		}
+		for k, p := range fn.TypeParams {
+			if k < len(all) {
+				env[p] = all[k]
+			}
+		}
+	}
+	start := 0
+	if recv != nil {
+		start = 1
+	}
+	elems := make([]types.Type, 0, len(fn.Params)-start)
+	for _, p := range fn.Params[start:] {
+		elems = append(elems, tc.Subst(p.Type, env))
+	}
+	var ret types.Type = tc.Void()
+	if len(fn.Results) == 1 {
+		ret = tc.Subst(fn.Results[0], env)
+	} else if len(fn.Results) > 1 {
+		rs := make([]types.Type, len(fn.Results))
+		for k, r := range fn.Results {
+			rs[k] = tc.Subst(r, env)
+		}
+		ret = tc.TupleOf(rs)
+	}
+	return tc.FuncOf(tc.TupleOf(elems), ret)
+}
+
+// classFor resolves a closed class type to its IR class.
+func (i *Interp) classFor(ct *types.Class) (*ir.Class, error) {
+	if i.mod.Monomorphic {
+		if c, ok := i.classByTyp[ct]; ok {
+			return c, nil
+		}
+		return nil, fmt.Errorf("interp: no specialized class for %s", ct)
+	}
+	if c, ok := i.classByDef[ct.Def]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("interp: unknown class %s", ct)
+}
+
+func (i *Interp) objArg(f *ir.Func, in *ir.Instr, v Value) (*ObjVal, error) {
+	obj, ok := v.(*ObjVal)
+	if !ok {
+		return nil, &VirgilError{Name: "!NullCheckException"}
+	}
+	return obj, nil
+}
+
+func (i *Interp) arrayArgs(av, iv Value) (*ArrVal, int, error) {
+	arr, ok := av.(*ArrVal)
+	if !ok {
+		return nil, 0, &VirgilError{Name: "!NullCheckException"}
+	}
+	idx, ok := iv.(IntVal)
+	if !ok {
+		return nil, 0, fmt.Errorf("interp: non-int array index")
+	}
+	if int(idx) < 0 || int(idx) >= arr.Length() {
+		return nil, 0, &VirgilError{Name: "!BoundsCheckException"}
+	}
+	return arr, int(idx), nil
+}
+
+// intArith implements 32-bit wrapping arithmetic with Virgil shift
+// semantics (out-of-range shift counts produce 0).
+func intArith(op ir.Op, a, b int32) (int32, error) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, nil
+	case ir.OpSub:
+		return a - b, nil
+	case ir.OpMul:
+		return a * b, nil
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, &VirgilError{Name: "!DivideByZeroException"}
+		}
+		return a / b, nil
+	case ir.OpMod:
+		if b == 0 {
+			return 0, &VirgilError{Name: "!DivideByZeroException"}
+		}
+		return a % b, nil
+	case ir.OpShl:
+		if b < 0 || b > 31 {
+			return 0, nil
+		}
+		return a << uint(b), nil
+	case ir.OpShr:
+		if b < 0 || b > 31 {
+			return 0, nil
+		}
+		return int32(uint32(a) >> uint(b)), nil
+	case ir.OpAnd:
+		return a & b, nil
+	case ir.OpOr:
+		return a | b, nil
+	case ir.OpXor:
+		return a ^ b, nil
+	}
+	return 0, fmt.Errorf("interp: bad arithmetic op %s", op)
+}
+
+// compare implements < <= > >= on int and byte values.
+func compare(op ir.Op, a, b Value) bool {
+	var x, y int64
+	switch av := a.(type) {
+	case IntVal:
+		x, y = int64(av), int64(b.(IntVal))
+	case ByteVal:
+		x, y = int64(av), int64(b.(ByteVal))
+	}
+	switch op {
+	case ir.OpLt:
+		return x < y
+	case ir.OpLe:
+		return x <= y
+	case ir.OpGt:
+		return x > y
+	case ir.OpGe:
+		return x >= y
+	}
+	return false
+}
+
+// evalQuery implements the universal ? operator on dynamic values.
+func (i *Interp) evalQuery(v Value, to types.Type) bool {
+	if _, isNull := v.(NullVal); isNull {
+		return false
+	}
+	return i.tc.IsSubtype(dynTypeOf(i.tc, v), to)
+}
+
+// evalCast implements the universal ! operator: numeric conversions,
+// checked downcasts, recursive tuple casts (§2.3), and null
+// propagation into reference types.
+func (i *Interp) evalCast(v Value, to types.Type) (Value, error) {
+	tc := i.tc
+	if _, isNull := v.(NullVal); isNull {
+		if types.IsRefType(to) {
+			return v, nil
+		}
+		return nil, &VirgilError{Name: "!TypeCheckException", Msg: "null cast to " + to.String()}
+	}
+	if p, ok := to.(*types.Prim); ok {
+		switch p.Kind {
+		case types.KindInt:
+			switch av := v.(type) {
+			case IntVal:
+				return av, nil
+			case ByteVal:
+				return IntVal(int32(av)), nil
+			}
+		case types.KindByte:
+			switch av := v.(type) {
+			case ByteVal:
+				return av, nil
+			case IntVal:
+				if av < 0 || av > 255 {
+					return nil, &VirgilError{Name: "!TypeCheckException", Msg: fmt.Sprintf("%d does not fit in byte", int32(av))}
+				}
+				return ByteVal(byte(av)), nil
+			}
+		case types.KindBool:
+			if av, ok := v.(BoolVal); ok {
+				return av, nil
+			}
+		case types.KindVoid:
+			if av, ok := v.(VoidVal); ok {
+				return av, nil
+			}
+		}
+		return nil, &VirgilError{Name: "!TypeCheckException", Msg: "cannot cast to " + to.String()}
+	}
+	if tt, ok := to.(*types.Tuple); ok {
+		tv, isTuple := v.(TupleVal)
+		if !isTuple || len(tv) != len(tt.Elems) {
+			return nil, &VirgilError{Name: "!TypeCheckException", Msg: "cannot cast to " + to.String()}
+		}
+		out := make(TupleVal, len(tv))
+		for k := range tv {
+			cv, err := i.evalCast(tv[k], tt.Elems[k])
+			if err != nil {
+				return nil, err
+			}
+			out[k] = cv
+		}
+		return out, nil
+	}
+	if i.evalQuery(v, to) {
+		return v, nil
+	}
+	return nil, &VirgilError{Name: "!TypeCheckException", Msg: fmt.Sprintf("%s is not a %s", dynTypeOf(tc, v), to)}
+}
+
+// callBuiltin executes a component builtin.
+func (i *Interp) callBuiltin(name string, args []Value) (Value, error) {
+	switch name {
+	case "System.puts":
+		arr, ok := first(args).(*ArrVal)
+		if !ok {
+			return nil, &VirgilError{Name: "!NullCheckException"}
+		}
+		if i.out != nil {
+			buf := make([]byte, len(arr.Elems))
+			for k, e := range arr.Elems {
+				if b, ok := e.(ByteVal); ok {
+					buf[k] = byte(b)
+				}
+			}
+			fmt.Fprintf(i.out, "%s", buf)
+		}
+		return VoidVal{}, nil
+	case "System.puti":
+		if i.out != nil {
+			fmt.Fprintf(i.out, "%d", int32(first(args).(IntVal)))
+		}
+		return VoidVal{}, nil
+	case "System.putc":
+		if i.out != nil {
+			fmt.Fprintf(i.out, "%c", byte(first(args).(ByteVal)))
+		}
+		return VoidVal{}, nil
+	case "System.putb":
+		if i.out != nil {
+			fmt.Fprintf(i.out, "%v", bool(first(args).(BoolVal)))
+		}
+		return VoidVal{}, nil
+	case "System.ln":
+		if i.out != nil {
+			fmt.Fprintln(i.out)
+		}
+		return VoidVal{}, nil
+	case "System.error":
+		msg := ""
+		if arr, ok := first(args).(*ArrVal); ok {
+			buf := make([]byte, len(arr.Elems))
+			for k, e := range arr.Elems {
+				if b, ok := e.(ByteVal); ok {
+					buf[k] = byte(b)
+				}
+			}
+			msg = string(buf)
+		}
+		return nil, &VirgilError{Name: "!SystemError", Msg: msg}
+	case "clock.ticks":
+		return IntVal(int32(i.stats.Steps)), nil
+	}
+	return nil, fmt.Errorf("interp: unknown builtin %q", name)
+}
+
+func first(args []Value) Value {
+	if len(args) == 0 {
+		return VoidVal{}
+	}
+	return args[0]
+}

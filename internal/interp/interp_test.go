@@ -1,0 +1,575 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/src"
+	"repro/internal/typecheck"
+)
+
+// compileRef compiles source to polymorphic (reference-mode) IR.
+func compileRef(t *testing.T, source string) *ir.Module {
+	t.Helper()
+	errs := &src.ErrorList{}
+	f := parser.Parse("test.v", source, errs)
+	if !errs.Empty() {
+		t.Fatalf("parse errors:\n%s", errs.Error())
+	}
+	prog := typecheck.Check([]*ast.File{f}, errs)
+	if !errs.Empty() {
+		t.Fatalf("check errors:\n%s", errs.Error())
+	}
+	return lower.Lower(prog)
+}
+
+// runRef runs source in reference mode and returns its System output.
+func runRef(t *testing.T, source string) string {
+	t.Helper()
+	mod := compileRef(t, source)
+	var out strings.Builder
+	it := New(mod, Options{Out: &out})
+	if _, err := it.Run(); err != nil {
+		t.Fatalf("run error: %v\noutput so far:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// runRefErr runs source expecting a Virgil exception.
+func runRefErr(t *testing.T, source, wantErr string) {
+	t.Helper()
+	mod := compileRef(t, source)
+	it := New(mod, Options{})
+	_, err := it.Run()
+	if err == nil {
+		t.Fatalf("expected error %q, got none", wantErr)
+	}
+	if !strings.Contains(err.Error(), wantErr) {
+		t.Fatalf("expected error containing %q, got %v", wantErr, err)
+	}
+}
+
+func TestHello(t *testing.T) {
+	got := runRef(t, `
+def main() {
+	System.puts("hello, world");
+	System.ln();
+}
+`)
+	if got != "hello, world\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestArithmeticAndControl(t *testing.T) {
+	got := runRef(t, `
+def fib(n: int) -> int {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+def main() {
+	var i = 0;
+	while (i < 10) {
+		System.puti(fib(i));
+		System.putc(' ');
+		i++;
+	}
+}
+`)
+	if got != "0 1 1 2 3 5 8 13 21 34 " {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPaperExampleB(t *testing.T) {
+	// (b1)-(b7): object methods, class methods, constructors as
+	// functions.
+	got := runRef(t, `
+class A {
+	var f: int;
+	def g: int;
+	new(f, g) { }
+	def m(a: byte) -> int { return f + g + int.!(a); }
+}
+def main() {
+	var a = A.new(10, 20);
+	var m1 = a.m;
+	var m2 = A.m;
+	var x = a.m('\x05');
+	var y = m1('\x04');
+	var z = m2(a, '\x06');
+	var w = A.new;
+	var b = w(1, 2);
+	System.puti(x); System.putc(' ');
+	System.puti(y); System.putc(' ');
+	System.puti(z); System.putc(' ');
+	System.puti(b.f + b.g);
+}
+`)
+	if got != "35 34 36 3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTuplesBasics(t *testing.T) {
+	// (c1)-(c6).
+	got := runRef(t, `
+def swap(p: (int, int)) -> (int, int) {
+	return (p.1, p.0);
+}
+def main() {
+	var x: (int, int) = (0, 1);
+	var y: (byte, bool) = ('a', true);
+	var z: ((int, int), (byte, bool)) = (x, y);
+	var w: (int) = x.0;
+	var u: byte = (z.1.0);
+	var v: () = ();
+	var s = swap(3, 4);
+	System.puti(s.0); System.puti(s.1);
+	System.puti(w);
+	System.putc(u);
+	System.putb(x == (0, 1));
+	System.putb((1, (2, 3)) == (1, (2, 3)));
+}
+`)
+	if got != "430atruetrue" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGenericListApply(t *testing.T) {
+	// (d1)-(d12').
+	got := runRef(t, `
+class List<T> {
+	var head: T;
+	var tail: List<T>;
+	new(head, tail) { }
+}
+def apply<A>(list: List<A>, f: A -> void) {
+	for (l = list; l != null; l = l.tail) f(l.head);
+}
+def print(i: int) { System.puti(i); System.putc(' '); }
+def main() {
+	var a = List.new(1, List.new(2, List.new(3, null)));
+	apply(a, print);
+	var b = List.new((3, 4), null);
+	System.putb(List<int>.?(a));
+	System.putb(List<bool>.?(a));
+	System.putb(List<(int, int)>.?(b));
+}
+`)
+	if got != "1 2 3 truefalsetrue" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTimePattern(t *testing.T) {
+	// (e1)-(e5): time returns (B, int); ticks are virtual instruction
+	// counts, so elapsed is positive.
+	got := runRef(t, `
+def time<A, B>(func: A -> B, a: A) -> (B, int) {
+	var start = clock.ticks();
+	return (func(a), clock.ticks() - start);
+}
+def square(x: int) -> int { return x * x; }
+def main() {
+	var r = time(square, 6);
+	System.puti(r.0);
+	System.putb(r.1 > 0);
+}
+`)
+	if got != "36true" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestVirtualDispatchAndOverride(t *testing.T) {
+	got := runRef(t, `
+class A {
+	def m() -> int { return 1; }
+}
+class B extends A {
+	def m() -> int { return 2; }
+}
+def main() {
+	var a: A = A.new();
+	var b: A = B.new();
+	System.puti(a.m());
+	System.puti(b.m());
+}
+`)
+	if got != "12" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTupleOverrideAmbiguity(t *testing.T) {
+	// (p10)-(p17): a method with two scalar params overridden by one
+	// with a single tuple param; dynamic adaptation resolves the call.
+	got := runRef(t, `
+class A {
+	def m(a: int, b: int) -> int { return a + b; }
+}
+class B extends A {
+	def m(a: (int, int)) -> int { return a.0 * a.1; }
+}
+def pick(z: bool) -> A {
+	if (z) return A.new();
+	return B.new();
+}
+def main() {
+	var a = pick(true);
+	var b = pick(false);
+	System.puti(a.m(3, 4));
+	System.putc(' ');
+	System.puti(b.m(3, 4));
+	var t = (3, 4);
+	System.putc(' ');
+	System.puti(a.m(t));
+	System.putc(' ');
+	System.puti(b.m(t));
+}
+`)
+	if got != "7 12 7 12" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFirstClassFunctionAmbiguity(t *testing.T) {
+	// (p1)-(p5): f and g have the same type but different arities.
+	got := runRef(t, `
+def f(a: int, b: int) -> int { return a - b; }
+def g(a: (int, int)) -> int { return a.0 * a.1; }
+def pick(z: bool) -> (int, int) -> int {
+	if (z) return f;
+	return g;
+}
+def main() {
+	var x = pick(true);
+	var y = pick(false);
+	var t = (10, 3);
+	System.puti(x(10, 3)); System.putc(' ');
+	System.puti(y(10, 3)); System.putc(' ');
+	System.puti(x(t)); System.putc(' ');
+	System.puti(y(t));
+}
+`)
+	if got != "7 30 7 30" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInterfaceAdapterPattern(t *testing.T) {
+	// (f1)-(g9): interface emulation via a class of function fields.
+	got := runRef(t, `
+class Store(
+	create: () -> int,
+	load: int -> int,
+	store: int -> ()) {
+}
+class Impl {
+	var next: int;
+	def create() -> int { next++; return next; }
+	def load(k: int) -> int { return k * 10; }
+	def store(r: int) { System.puti(r); }
+	def adapt() -> Store {
+		return Store.new(create, load, store);
+	}
+}
+def main() {
+	var s = Impl.new().adapt();
+	System.puti(s.create());
+	System.puti(s.create());
+	System.puti(s.load(7));
+	s.store(99);
+}
+`)
+	if got != "127099" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestADTNumberInterface(t *testing.T) {
+	// (h1)-(h9).
+	got := runRef(t, `
+class NumberInterface<T>(
+	add: (T, T) -> T,
+	sub: (T, T) -> T,
+	lt: (T, T) -> bool,
+	one: T,
+	zero: T) {
+}
+def sum3<T>(n: NumberInterface<T>, a: T, b: T, c: T) -> T {
+	return n.add(n.add(a, b), c);
+}
+var IntInterface = NumberInterface.new(int.+, int.-, int.<, 1, 0);
+def main() {
+	System.puti(sum3(IntInterface, 10, 20, 30));
+	System.putb(IntInterface.lt(IntInterface.zero, IntInterface.one));
+}
+`)
+	if got != "60true" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestExceptions(t *testing.T) {
+	runRefErr(t, `
+class A { var f: int; }
+def main() {
+	var a: A;
+	System.puti(a.f);
+}
+`, "!NullCheckException")
+	runRefErr(t, `
+def main() {
+	var a = Array<int>.new(3);
+	System.puti(a[3]);
+}
+`, "!BoundsCheckException")
+	runRefErr(t, `
+def main() { var x = 1 / 0; }
+`, "!DivideByZeroException")
+	runRefErr(t, `
+def main() { var b = byte.!(300); }
+`, "!TypeCheckException")
+	runRefErr(t, `
+class P { }
+class Q extends P { }
+def main() {
+	var p: P = P.new();
+	var q = Q.!(p);
+}
+`, "!TypeCheckException")
+}
+
+func TestArrays(t *testing.T) {
+	got := runRef(t, `
+def main() {
+	var a = Array<int>.new(5);
+	for (i = 0; i < a.length; i++) a[i] = i * i;
+	var sum = 0;
+	for (i = 0; i < a.length; i++) sum += a[i];
+	System.puti(sum);
+	var v = Array<void>.new(4);
+	System.puti(v.length);
+	v[1];
+	var s = "abc";
+	System.puti(s.length);
+	System.putc(s[1]);
+}
+`)
+	if got != "3043b" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestAdHocPrintPattern(t *testing.T) {
+	// (j1)-(j9): print1 via type queries and casts.
+	got := runRef(t, `
+def printInt(i: int) { System.puti(i); }
+def printBool(b: bool) { System.putb(b); }
+def printByte(b: byte) { System.putc(b); }
+def print1<T>(a: T) {
+	if (int.?(a)) printInt(int.!(a));
+	if (bool.?(a)) printBool(bool.!(a));
+	if (byte.?(a)) printByte(byte.!(a));
+}
+def main() {
+	print1(42);
+	print1(false);
+	print1('x');
+}
+`)
+	if got != "42falsex" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPolymorphicMatcherPattern(t *testing.T) {
+	// (k1)-(m8): Box/Any + reified type queries drive dispatch.
+	got := runRef(t, `
+class Any { }
+class Box<T> extends Any {
+	def val: T;
+	new(val) { }
+	def unbox() -> T { return val; }
+}
+class List<T> {
+	var head: T;
+	var tail: List<T>;
+	new(head, tail) { }
+}
+class Matcher {
+	var matches: List<Any>;
+	def add<T>(f: T -> void) {
+		matches = List.new(Box.new(f), matches);
+	}
+	def dispatch<T>(v: T) {
+		for (l = matches; l != null; l = l.tail) {
+			var f = l.head;
+			if (Box<T -> void>.?(f)) {
+				Box<T -> void>.!(f).unbox()(v);
+				return;
+			}
+		}
+	}
+}
+def printInt(i: int) { System.puti(i); }
+def printBool(b: bool) { System.putb(b); }
+def printPair(p: (int, int)) {
+	System.puti(p.0); System.putc(','); System.puti(p.1);
+}
+def main() {
+	var m = Matcher.new();
+	m.add(printInt);
+	m.add(printBool);
+	m.add(printPair);
+	m.dispatch(1);
+	m.dispatch(true);
+	m.dispatch(7, 9);
+}
+`)
+	if got != "1true7,9" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestVariantInstrPattern(t *testing.T) {
+	// (n1)-(n20): variant machine instructions from two classes.
+	got := runRef(t, `
+class Buffer {
+	var count: int;
+	def put(b: byte) { System.putc(b); count++; }
+}
+class Instr {
+	def emit(buf: Buffer);
+}
+class InstrOf<T> extends Instr {
+	var emitFunc: (Buffer, T) -> void;
+	var val: T;
+	new(emitFunc, val) { }
+	def emit(buf: Buffer) {
+		emitFunc(buf, val);
+	}
+}
+def emitAdd(buf: Buffer, ops: (byte, byte)) {
+	buf.put('+'); buf.put(ops.0); buf.put(ops.1);
+}
+def emitAddi(buf: Buffer, ops: (byte, int)) {
+	buf.put('#'); buf.put(ops.0);
+}
+def emitNeg(buf: Buffer, r: byte) {
+	buf.put('-'); buf.put(r);
+}
+def main() {
+	var buf = Buffer.new();
+	var i: Instr = InstrOf.new(emitAdd, ('a', 'b'));
+	var j: Instr = InstrOf.new(emitAddi, ('a', -11));
+	var k: Instr = InstrOf.new(emitNeg, 'a');
+	i.emit(buf);
+	j.emit(buf);
+	k.emit(buf);
+	System.putb(InstrOf<byte>.?(k));
+	System.putb(InstrOf<(byte, byte)>.?(i));
+	System.putb(InstrOf<(byte, byte)>.?(j));
+}
+`)
+	if got != "+ab#a-atruetruefalse" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestHashMapADT(t *testing.T) {
+	// (i1)-(i18): HashMap parameterized by hash and equality functions.
+	got := runRef(t, `
+class HashMap<K, V> {
+	def hash: K -> int;
+	def equals: (K, K) -> bool;
+	var keys: Array<K>;
+	var vals: Array<V>;
+	var used: Array<bool>;
+	new(hash, equals) {
+		keys = Array<K>.new(16);
+		vals = Array<V>.new(16);
+		used = Array<bool>.new(16);
+	}
+	def slot(key: K) -> int {
+		var h = hash(key) % 16;
+		if (h < 0) h = 0 - h;
+		while (used[h] && !equals(keys[h], key)) h = (h + 1) % 16;
+		return h;
+	}
+	def set(key: K, val: V) {
+		var h = slot(key);
+		keys[h] = key; vals[h] = val; used[h] = true;
+	}
+	def get(key: K) -> V {
+		return vals[slot(key)];
+	}
+	def has(key: K) -> bool {
+		return used[slot(key)];
+	}
+}
+def idHash(x: int) -> int { return x; }
+def pairHash(p: (int, int)) -> int { return p.0 * 31 + p.1; }
+def main() {
+	var m = HashMap<int, int>.new(idHash, int.==);
+	m.set(1, 100);
+	m.set(17, 200);
+	System.puti(m.get(1));
+	System.puti(m.get(17));
+	var p = HashMap<(int, int), bool>.new(pairHash, (int, int).==);
+	p.set((1, 2), true);
+	System.putb(p.get(1, 2));
+	System.putb(p.has(2, 1));
+}
+`)
+	if got != "100200truefalse" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGlobalsAndTernary(t *testing.T) {
+	got := runRef(t, `
+var counter: int;
+def bump() -> int { counter++; return counter; }
+var limit = 3;
+def main() {
+	while (bump() < limit) { }
+	System.puti(counter);
+	var s = counter == limit ? "eq" : "ne";
+	System.puts(s);
+}
+`)
+	if got != "3eq" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStatsCollected(t *testing.T) {
+	mod := compileRef(t, `
+def f(a: (int, int)) -> int { return a.0 + a.1; }
+def main() {
+	var g = f;
+	var x = g(1, 2); // indirect: adaptation packs a tuple
+	System.puti(x);
+}
+`)
+	var out strings.Builder
+	it := New(mod, Options{Out: &out})
+	if _, err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := it.Stats()
+	if st.AdaptChecks == 0 {
+		t.Error("expected adaptation checks in reference mode")
+	}
+	if st.TupleAllocs == 0 {
+		t.Error("expected boxed tuple allocations in reference mode")
+	}
+}

@@ -1,0 +1,110 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func testFunc(tc *types.Cache) *Func {
+	f := &Func{Name: "f", Results: []types.Type{tc.Int()}}
+	a := f.NewReg(tc.Int(), "a")
+	f.Params = []*Reg{a}
+	r := f.NewReg(tc.Int(), "")
+	b0 := f.NewBlock()
+	b0.Instrs = []*Instr{
+		{Op: OpConstInt, Dst: []*Reg{r}, IVal: 1},
+		{Op: OpAdd, Dst: []*Reg{r}, Args: []*Reg{a, r}},
+		{Op: OpRet, Args: []*Reg{r}},
+	}
+	return f
+}
+
+func TestValidateOK(t *testing.T) {
+	tc := types.NewCache()
+	mod := &Module{Types: tc, Funcs: []*Func{testFunc(tc)}}
+	if err := mod.Validate(); err != nil {
+		t.Fatalf("valid module rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesMisplacedTerminator(t *testing.T) {
+	tc := types.NewCache()
+	f := testFunc(tc)
+	// Append an instruction after the terminator.
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, &Instr{Op: OpConstInt, Dst: []*Reg{f.NewReg(tc.Int(), "")}})
+	mod := &Module{Types: tc, Funcs: []*Func{f}}
+	if err := mod.Validate(); err == nil {
+		t.Fatal("misplaced terminator accepted")
+	}
+}
+
+func TestValidateCatchesForeignBlock(t *testing.T) {
+	tc := types.NewCache()
+	f := testFunc(tc)
+	other := &Block{ID: 99, Instrs: []*Instr{{Op: OpRet}}}
+	f.Blocks[0].Instrs[2] = &Instr{Op: OpJump, Blocks: []*Block{other}}
+	mod := &Module{Types: tc, Funcs: []*Func{f}}
+	if err := mod.Validate(); err == nil {
+		t.Fatal("foreign block target accepted")
+	}
+}
+
+func TestValidateCatchesBadArity(t *testing.T) {
+	tc := types.NewCache()
+	f := testFunc(tc)
+	f.Blocks[0].Instrs[1] = &Instr{Op: OpAdd, Dst: []*Reg{f.Params[0]}, Args: []*Reg{f.Params[0]}}
+	mod := &Module{Types: tc, Funcs: []*Func{f}}
+	if err := mod.Validate(); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}
+
+func TestValidateNormalizedRejectsTuples(t *testing.T) {
+	tc := types.NewCache()
+	f := testFunc(tc)
+	tt := tc.TupleOf([]types.Type{tc.Int(), tc.Int()})
+	tr := f.NewReg(tt, "")
+	f.Blocks[0].Instrs[1] = &Instr{Op: OpMakeTuple, Dst: []*Reg{tr}, Args: []*Reg{f.Params[0], f.Params[0]}, Type: tt}
+	mod := &Module{Types: tc, Funcs: []*Func{f}, Monomorphic: true, Normalized: true}
+	if err := mod.Validate(); err == nil {
+		t.Fatal("tuple instruction accepted in normalized module")
+	}
+}
+
+func TestPrinter(t *testing.T) {
+	tc := types.NewCache()
+	f := testFunc(tc)
+	mod := &Module{Types: tc, Funcs: []*Func{f}}
+	s := mod.String()
+	for _, want := range []string{"func f(", "const.int 1", "add", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printer output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNumInstrs(t *testing.T) {
+	tc := types.NewCache()
+	f := testFunc(tc)
+	if f.NumInstrs() != 3 {
+		t.Errorf("NumInstrs = %d, want 3", f.NumInstrs())
+	}
+	mod := &Module{Types: tc, Funcs: []*Func{f, testFunc(tc)}}
+	if mod.NumInstrs() != 6 {
+		t.Errorf("module NumInstrs = %d, want 6", mod.NumInstrs())
+	}
+}
+
+func TestIsSubclassOf(t *testing.T) {
+	parent := &Class{Name: "P"}
+	child := &Class{Name: "C", Parent: parent}
+	other := &Class{Name: "O"}
+	if !child.IsSubclassOf(parent) || !child.IsSubclassOf(child) {
+		t.Error("subclass chain broken")
+	}
+	if child.IsSubclassOf(other) || parent.IsSubclassOf(child) {
+		t.Error("unrelated classes report subclassing")
+	}
+}

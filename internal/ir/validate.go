@@ -1,0 +1,150 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Validate checks structural invariants of a module: every block ends
+// in exactly one terminator, branch targets belong to the function,
+// instruction operand counts match their opcodes, and — for normalized
+// modules — no tuple instructions or tuple-typed registers remain.
+func (m *Module) Validate() error {
+	for _, f := range m.Funcs {
+		if err := m.validateFunc(f); err != nil {
+			return fmt.Errorf("func %s: %w", f.Name, err)
+		}
+	}
+	for _, c := range m.Classes {
+		for i, fn := range c.Vtable {
+			if fn == nil {
+				continue
+			}
+			found := false
+			for _, g := range m.Funcs {
+				if g == fn {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("class %s: vtable slot %d points outside the module", c.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Module) validateFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	inFunc := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		inFunc[b] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block b%d is empty", b.ID)
+		}
+		for i, in := range b.Instrs {
+			last := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != last {
+				return fmt.Errorf("block b%d: instruction %d (%s): terminator placement", b.ID, i, in.Op)
+			}
+			if err := m.validateInstr(f, in); err != nil {
+				return fmt.Errorf("block b%d: %s: %w", b.ID, in, err)
+			}
+			for _, t := range in.Blocks {
+				if !inFunc[t] {
+					return fmt.Errorf("block b%d: %s targets a foreign block", b.ID, in.Op)
+				}
+			}
+		}
+	}
+	if m.Normalized {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == OpMakeTuple || in.Op == OpTupleGet {
+					return fmt.Errorf("tuple instruction %s in normalized module", in.Op)
+				}
+				for _, d := range in.Dst {
+					if _, isTuple := d.Type.(*types.Tuple); isTuple {
+						return fmt.Errorf("tuple-typed register %s in normalized module", d)
+					}
+				}
+			}
+		}
+	}
+	if m.Monomorphic && len(f.TypeParams) > 0 {
+		return fmt.Errorf("type parameters in monomorphic module")
+	}
+	return nil
+}
+
+// argCounts lists fixed operand arities; -1 means variable.
+var argCounts = map[Op]struct{ dst, args int }{
+	OpConstInt: {1, 0}, OpConstByte: {1, 0}, OpConstBool: {1, 0},
+	OpConstNull: {1, 0}, OpConstVoid: {1, 0}, OpConstString: {1, 0},
+	OpMove: {1, 1},
+	OpAdd:  {1, 2}, OpSub: {1, 2}, OpMul: {1, 2}, OpDiv: {1, 2},
+	OpMod: {1, 2}, OpShl: {1, 2}, OpShr: {1, 2}, OpAnd: {1, 2},
+	OpOr: {1, 2}, OpXor: {1, 2}, OpNeg: {1, 1}, OpNot: {1, 1},
+	OpBoolAnd: {1, 2}, OpBoolOr: {1, 2},
+	OpLt: {1, 2}, OpLe: {1, 2}, OpGt: {1, 2}, OpGe: {1, 2},
+	OpEq: {1, 2}, OpNe: {1, 2},
+	OpTupleGet: {1, 1}, OpNewObject: {1, 0},
+	OpFieldLoad: {1, 1}, OpFieldStore: {0, 2}, OpNullCheck: {0, 1},
+	OpArrayNew: {1, 1}, OpArrayStore: {0, 3}, OpArrayLen: {1, 1},
+	OpGlobalLoad: {1, 0}, OpGlobalStore: {0, 1},
+	OpMakeClosure: {1, 0}, OpMakeBound: {1, 1},
+	OpTypeCast: {1, 1}, OpTypeQuery: {1, 1},
+	OpConstEnum: {1, 0}, OpEnumTag: {1, 1}, OpEnumName: {1, 1},
+	OpJump: {0, 0}, OpBranch: {0, 1}, OpThrow: {0, 0},
+}
+
+func (m *Module) validateInstr(f *Func, in *Instr) error {
+	if c, ok := argCounts[in.Op]; ok {
+		if len(in.Dst) != c.dst {
+			return fmt.Errorf("want %d dst, got %d", c.dst, len(in.Dst))
+		}
+		if len(in.Args) != c.args {
+			return fmt.Errorf("want %d args, got %d", c.args, len(in.Args))
+		}
+	}
+	switch in.Op {
+	case OpCallStatic, OpMakeClosure:
+		if in.Fn == nil {
+			return fmt.Errorf("nil callee")
+		}
+	case OpCallVirtual:
+		if len(in.Args) == 0 {
+			return fmt.Errorf("virtual call without receiver")
+		}
+		if in.FieldSlot < 0 {
+			return fmt.Errorf("negative vtable slot")
+		}
+	case OpCallIndirect:
+		if len(in.Args) == 0 {
+			return fmt.Errorf("indirect call without callee value")
+		}
+	case OpGlobalLoad, OpGlobalStore:
+		if in.Global == nil {
+			return fmt.Errorf("nil global")
+		}
+	case OpJump:
+		if len(in.Blocks) != 1 {
+			return fmt.Errorf("jump needs 1 target")
+		}
+	case OpBranch:
+		if len(in.Blocks) != 2 {
+			return fmt.Errorf("branch needs 2 targets")
+		}
+	case OpNewObject, OpArrayNew:
+		if in.Type == nil {
+			return fmt.Errorf("missing type")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+// Package lexer converts Virgil-core source text into tokens.
+package lexer
+
+import (
+	"repro/internal/src"
+	"repro/internal/token"
+)
+
+// Lexer scans one file. It supports Mark/Reset so the parser can
+// backtrack across ambiguous '<' (less-than vs type arguments).
+type Lexer struct {
+	file *src.File
+	errs *src.ErrorList
+	s    string
+	pos  int
+}
+
+// New returns a lexer over file, reporting errors into errs.
+func New(file *src.File, errs *src.ErrorList) *Lexer {
+	return &Lexer{file: file, errs: errs, s: file.Content}
+}
+
+// File returns the file being scanned.
+func (l *Lexer) File() *src.File { return l.file }
+
+// Mark captures the scanner state for later Reset.
+func (l *Lexer) Mark() int { return l.pos }
+
+// Reset rewinds the scanner to a state captured by Mark.
+func (l *Lexer) Reset(mark int) { l.pos = mark }
+
+// PosAt converts a byte offset to a Pos in this lexer's file.
+func (l *Lexer) PosAt(off int) src.Pos { return src.Pos{File: l.file, Off: off} }
+
+func (l *Lexer) errorf(off int, format string, args ...any) {
+	if l.errs != nil {
+		l.errs.Add(src.Pos{File: l.file, Off: off}, format, args...)
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos < len(l.s) {
+		return l.s[l.pos]
+	}
+	return 0
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.pos+n < len(l.s) {
+		return l.s[l.pos+n]
+	}
+	return 0
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// skipSpace consumes whitespace and comments (// and /* */).
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.s) {
+		c := l.s[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.pos++
+		case c == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.s) && l.s[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.pos
+			l.pos += 2
+			for l.pos < len(l.s) && !(l.s[l.pos] == '*' && l.peekAt(1) == '/') {
+				l.pos++
+			}
+			if l.pos >= len(l.s) {
+				l.errorf(start, "unterminated block comment")
+				return
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.s) {
+		return token.Token{Kind: token.EOF, Off: start}
+	}
+	c := l.s[l.pos]
+	switch {
+	case isLetter(c):
+		for l.pos < len(l.s) && (isLetter(l.s[l.pos]) || isDigit(l.s[l.pos])) {
+			l.pos++
+		}
+		lit := l.s[start:l.pos]
+		if kw, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: kw, Lit: lit, Off: start}
+		}
+		return token.Token{Kind: token.IDENT, Lit: lit, Off: start}
+	case isDigit(c):
+		return l.scanNumber(start)
+	case c == '\'':
+		return l.scanChar(start)
+	case c == '"':
+		return l.scanString(start)
+	}
+	l.pos++
+	two := func(second byte, both, one token.Kind) token.Token {
+		if l.peek() == second {
+			l.pos++
+			return token.Token{Kind: both, Off: start}
+		}
+		return token.Token{Kind: one, Off: start}
+	}
+	switch c {
+	case '(':
+		return token.Token{Kind: token.LParen, Off: start}
+	case ')':
+		return token.Token{Kind: token.RParen, Off: start}
+	case '{':
+		return token.Token{Kind: token.LBrace, Off: start}
+	case '}':
+		return token.Token{Kind: token.RBrace, Off: start}
+	case '[':
+		return token.Token{Kind: token.LBracket, Off: start}
+	case ']':
+		return token.Token{Kind: token.RBracket, Off: start}
+	case ',':
+		return token.Token{Kind: token.Comma, Off: start}
+	case ';':
+		return token.Token{Kind: token.Semi, Off: start}
+	case ':':
+		return token.Token{Kind: token.Colon, Off: start}
+	case '.':
+		return token.Token{Kind: token.Dot, Off: start}
+	case '?':
+		return token.Token{Kind: token.Question, Off: start}
+	case '~':
+		return token.Token{Kind: token.Tilde, Off: start}
+	case '=':
+		return two('=', token.Eq, token.Assign)
+	case '!':
+		return two('=', token.Neq, token.Not)
+	case '<':
+		if l.peek() == '=' {
+			l.pos++
+			return token.Token{Kind: token.Le, Off: start}
+		}
+		if l.peek() == '<' {
+			l.pos++
+			return token.Token{Kind: token.Shl, Off: start}
+		}
+		return token.Token{Kind: token.Lt, Off: start}
+	case '>':
+		if l.peek() == '=' {
+			l.pos++
+			return token.Token{Kind: token.Ge, Off: start}
+		}
+		if l.peek() == '>' {
+			l.pos++
+			return token.Token{Kind: token.Shr, Off: start}
+		}
+		return token.Token{Kind: token.Gt, Off: start}
+	case '+':
+		if l.peek() == '+' {
+			l.pos++
+			return token.Token{Kind: token.Inc, Off: start}
+		}
+		return two('=', token.AddEq, token.Add)
+	case '-':
+		if l.peek() == '>' {
+			l.pos++
+			return token.Token{Kind: token.Arrow, Off: start}
+		}
+		if l.peek() == '-' {
+			l.pos++
+			return token.Token{Kind: token.Dec, Off: start}
+		}
+		return two('=', token.SubEq, token.Sub)
+	case '*':
+		return token.Token{Kind: token.Mul, Off: start}
+	case '/':
+		return token.Token{Kind: token.Div, Off: start}
+	case '%':
+		return token.Token{Kind: token.Mod, Off: start}
+	case '&':
+		return two('&', token.AndAnd, token.And)
+	case '|':
+		return two('|', token.OrOr, token.Or)
+	case '^':
+		return token.Token{Kind: token.Xor, Off: start}
+	}
+	l.errorf(start, "illegal character %q", string(c))
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Off: start}
+}
+
+func (l *Lexer) scanNumber(start int) token.Token {
+	if l.s[l.pos] == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.pos += 2
+		n := 0
+		for l.pos < len(l.s) && isHexDigit(l.s[l.pos]) {
+			l.pos++
+			n++
+		}
+		if n == 0 {
+			l.errorf(start, "malformed hexadecimal literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: l.s[start:l.pos], Off: start}
+		}
+		return token.Token{Kind: token.INT, Lit: l.s[start:l.pos], Off: start}
+	}
+	for l.pos < len(l.s) && isDigit(l.s[l.pos]) {
+		l.pos++
+	}
+	return token.Token{Kind: token.INT, Lit: l.s[start:l.pos], Off: start}
+}
+
+// scanEscape consumes one (possibly escaped) character after the opening
+// quote and returns its byte value.
+func (l *Lexer) scanEscape(start int) (byte, bool) {
+	if l.pos >= len(l.s) {
+		l.errorf(start, "unterminated literal")
+		return 0, false
+	}
+	c := l.s[l.pos]
+	l.pos++
+	if c != '\\' {
+		return c, true
+	}
+	if l.pos >= len(l.s) {
+		l.errorf(start, "unterminated escape")
+		return 0, false
+	}
+	e := l.s[l.pos]
+	l.pos++
+	switch e {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '0':
+		return 0, true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	case 'x':
+		if l.pos+1 < len(l.s) && isHexDigit(l.s[l.pos]) && isHexDigit(l.s[l.pos+1]) {
+			v := hexVal(l.s[l.pos])<<4 | hexVal(l.s[l.pos+1])
+			l.pos += 2
+			return byte(v), true
+		}
+		l.errorf(start, "malformed \\x escape")
+		return 0, false
+	}
+	l.errorf(start, "unknown escape \\%c", e)
+	return 0, false
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+func (l *Lexer) scanChar(start int) token.Token {
+	l.pos++ // consume '
+	b, ok := l.scanEscape(start)
+	if !ok {
+		return token.Token{Kind: token.ILLEGAL, Off: start}
+	}
+	if l.peek() != '\'' {
+		l.errorf(start, "unterminated character literal")
+		return token.Token{Kind: token.ILLEGAL, Off: start}
+	}
+	l.pos++
+	return token.Token{Kind: token.CHAR, Lit: string(b), Off: start}
+}
+
+func (l *Lexer) scanString(start int) token.Token {
+	l.pos++ // consume "
+	var buf []byte
+	for {
+		if l.pos >= len(l.s) || l.s[l.pos] == '\n' {
+			l.errorf(start, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Off: start}
+		}
+		if l.s[l.pos] == '"' {
+			l.pos++
+			return token.Token{Kind: token.STRING, Lit: string(buf), Off: start}
+		}
+		b, ok := l.scanEscape(start)
+		if !ok {
+			return token.Token{Kind: token.ILLEGAL, Off: start}
+		}
+		buf = append(buf, b)
+	}
+}

@@ -1,0 +1,146 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/src"
+	"repro/internal/token"
+)
+
+func lexAll(t *testing.T, source string) ([]token.Token, *src.ErrorList) {
+	t.Helper()
+	errs := &src.ErrorList{}
+	l := New(src.NewFile("test.v", source), errs)
+	var toks []token.Token
+	for {
+		tk := l.Next()
+		if tk.Kind == token.EOF {
+			break
+		}
+		toks = append(toks, tk)
+	}
+	return toks, errs
+}
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func expectKinds(t *testing.T, source string, want ...token.Kind) {
+	t.Helper()
+	toks, errs := lexAll(t, source)
+	if !errs.Empty() {
+		t.Fatalf("lex errors: %s", errs.Error())
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("lexed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v (in %q)", i, got[i], want[i], source)
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "class def var new if else while for return",
+		token.KwClass, token.KwDef, token.KwVar, token.KwNew, token.KwIf,
+		token.KwElse, token.KwWhile, token.KwFor, token.KwReturn)
+	expectKinds(t, "classy defx _x x9", token.IDENT, token.IDENT, token.IDENT, token.IDENT)
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "-> - -- -= > >> >= < << <= = == ! != & && | || ?",
+		token.Arrow, token.Sub, token.Dec, token.SubEq, token.Gt, token.Shr,
+		token.Ge, token.Lt, token.Shl, token.Le, token.Assign, token.Eq,
+		token.Not, token.Neq, token.And, token.AndAnd, token.Or, token.OrOr,
+		token.Question)
+	expectKinds(t, "+ ++ += * / % ^ ~",
+		token.Add, token.Inc, token.AddEq, token.Mul, token.Div, token.Mod,
+		token.Xor, token.Tilde)
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := lexAll(t, "0 123 0x1f 0XFF")
+	if !errs.Empty() {
+		t.Fatal(errs.Error())
+	}
+	want := []string{"0", "123", "0x1f", "0XFF"}
+	for i, w := range want {
+		if toks[i].Kind != token.INT || toks[i].Lit != w {
+			t.Errorf("token %d = %v, want INT %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestCharAndString(t *testing.T) {
+	toks, errs := lexAll(t, `'a' '\n' '\x41' "hi\tthere" "q\"q"`)
+	if !errs.Empty() {
+		t.Fatal(errs.Error())
+	}
+	if toks[0].Lit != "a" || toks[1].Lit != "\n" || toks[2].Lit != "A" {
+		t.Errorf("char literals: %v", toks[:3])
+	}
+	if toks[3].Lit != "hi\tthere" || toks[4].Lit != `q"q` {
+		t.Errorf("string literals: %v", toks[3:])
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectKinds(t, "a // line comment\n b /* block\n comment */ c",
+		token.IDENT, token.IDENT, token.IDENT)
+}
+
+func TestErrors(t *testing.T) {
+	_, errs := lexAll(t, `"unterminated`)
+	if errs.Empty() {
+		t.Error("unterminated string should error")
+	}
+	_, errs = lexAll(t, "@")
+	if errs.Empty() {
+		t.Error("illegal character should error")
+	}
+	_, errs = lexAll(t, "/* open")
+	if errs.Empty() {
+		t.Error("unterminated block comment should error")
+	}
+	_, errs = lexAll(t, `'\q'`)
+	if errs.Empty() {
+		t.Error("bad escape should error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	f := src.NewFile("test.v", "ab\ncd ef")
+	errs := &src.ErrorList{}
+	l := New(f, errs)
+	l.Next() // ab
+	tk := l.Next()
+	pos := src.Pos{File: f, Off: tk.Off}
+	if pos.Line() != 2 || pos.Col() != 1 {
+		t.Errorf("cd at %d:%d, want 2:1", pos.Line(), pos.Col())
+	}
+	tk = l.Next()
+	pos = src.Pos{File: f, Off: tk.Off}
+	if pos.Line() != 2 || pos.Col() != 4 {
+		t.Errorf("ef at %d:%d, want 2:4", pos.Line(), pos.Col())
+	}
+}
+
+func TestMarkReset(t *testing.T) {
+	errs := &src.ErrorList{}
+	l := New(src.NewFile("t.v", "a b c"), errs)
+	l.Next()
+	m := l.Mark()
+	b1 := l.Next()
+	l.Reset(m)
+	b2 := l.Next()
+	if b1.Lit != "b" || b2.Lit != "b" {
+		t.Errorf("mark/reset broken: %v %v", b1, b2)
+	}
+}

@@ -1,0 +1,382 @@
+package lower
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/token"
+	"repro/internal/typecheck"
+	"repro/internal/types"
+)
+
+// lowerExpr lowers one expression and returns the register holding its
+// value (a void-typed register for void expressions).
+func (b *builder) lowerExpr(e ast.Expr) *ir.Reg {
+	tc := b.tc()
+	switch e := e.(type) {
+	case *ast.IntLit:
+		r := b.f.NewReg(tc.Int(), "")
+		b.emit(&ir.Instr{Op: ir.OpConstInt, Dst: []*ir.Reg{r}, IVal: e.Value})
+		return r
+	case *ast.ByteLit:
+		r := b.f.NewReg(tc.Byte(), "")
+		b.emit(&ir.Instr{Op: ir.OpConstByte, Dst: []*ir.Reg{r}, IVal: int64(e.Value)})
+		return r
+	case *ast.BoolLit:
+		r := b.f.NewReg(tc.Bool(), "")
+		v := int64(0)
+		if e.Value {
+			v = 1
+		}
+		b.emit(&ir.Instr{Op: ir.OpConstBool, Dst: []*ir.Reg{r}, IVal: v})
+		return r
+	case *ast.StrLit:
+		r := b.f.NewReg(tc.String(), "")
+		b.emit(&ir.Instr{Op: ir.OpConstString, Dst: []*ir.Reg{r}, SVal: e.Value})
+		return r
+	case *ast.NullLit:
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpConstNull, Dst: []*ir.Reg{r}, Type: e.Type()})
+		return r
+	case *ast.ThisExpr:
+		return b.this
+	case *ast.TupleExpr:
+		if len(e.Elems) == 0 {
+			return b.constVoid()
+		}
+		elems := make([]*ir.Reg, len(e.Elems))
+		for i, el := range e.Elems {
+			elems[i] = b.lowerExpr(el)
+		}
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpMakeTuple, Dst: []*ir.Reg{r}, Args: elems, Type: e.Type()})
+		return r
+	case *ast.VarRef:
+		return b.lowerVarRef(e)
+	case *ast.MemberExpr:
+		return b.lowerMember(e)
+	case *ast.CallExpr:
+		return b.lowerCall(e)
+	case *ast.IndexExpr:
+		arr := b.lowerExpr(e.Arr)
+		idx := b.lowerExpr(e.Idx)
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpArrayLoad, Dst: []*ir.Reg{r}, Args: []*ir.Reg{arr, idx}})
+		return r
+	case *ast.BinaryExpr:
+		return b.lowerBinary(e)
+	case *ast.UnaryExpr:
+		v := b.lowerExpr(e.E)
+		r := b.f.NewReg(e.Type(), "")
+		op := ir.OpNeg
+		if e.Op == token.Not {
+			op = ir.OpNot
+		}
+		b.emitOp(op, r, v)
+		return r
+	case *ast.TernaryExpr:
+		r := b.f.NewReg(e.Type(), "")
+		then := b.f.NewBlock()
+		els := b.f.NewBlock()
+		merge := b.f.NewBlock()
+		b.lowerCondBranch(e.Cond, then, els)
+		b.cur = then
+		tv := b.lowerExpr(e.Then)
+		b.emitOp(ir.OpMove, r, tv)
+		b.jump(merge)
+		b.cur = els
+		ev := b.lowerExpr(e.Els)
+		b.emitOp(ir.OpMove, r, ev)
+		b.jump(merge)
+		b.cur = merge
+		return r
+	case *ast.AssignExpr:
+		b.lowerAssign(e)
+		return b.constVoid()
+	case *ast.IncDecExpr:
+		delta := int64(1)
+		if !e.Inc {
+			delta = -1
+		}
+		b.lowerReadModifyWrite(e.Target, func(old *ir.Reg) *ir.Reg {
+			d := b.constInt(delta)
+			r := b.f.NewReg(b.tc().Int(), "")
+			b.emitOp(ir.OpAdd, r, old, d)
+			return r
+		})
+		return b.constVoid()
+	}
+	panic(fmt.Sprintf("lower: unhandled expression %T", e))
+}
+
+// lowerVarRef lowers an identifier in value position.
+func (b *builder) lowerVarRef(e *ast.VarRef) *ir.Reg {
+	switch bind := e.Binding.(type) {
+	case *typecheck.LocalSym:
+		return b.locals[bind.Decl]
+	case *typecheck.GlobalSym:
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpGlobalLoad, Dst: []*ir.Reg{r}, Global: b.lw.globalOf[bind]})
+		return r
+	case *typecheck.FieldSym:
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpFieldLoad, Dst: []*ir.Reg{r}, Args: []*ir.Reg{b.this}, FieldSlot: bind.Slot})
+		return r
+	case *typecheck.FuncSym:
+		if bind.Owner == nil {
+			r := b.f.NewReg(e.Type(), "")
+			b.emit(&ir.Instr{Op: ir.OpMakeClosure, Dst: []*ir.Reg{r}, Fn: b.lw.funcOf[bind], TypeArgs: e.TypeArgsOf, Type2: e.Type()})
+			return r
+		}
+		// Bare method name: a closure bound to this (g6-g7).
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpMakeBound, Dst: []*ir.Reg{r}, Args: []*ir.Reg{b.this}, FieldSlot: bind.VtSlot, Type: b.this.Type, TypeArgs: e.TypeArgsOf, Type2: e.Type()})
+		return r
+	}
+	// Type names and components have no value of their own.
+	return b.constVoid()
+}
+
+// classArgsOf extracts the instantiation arguments of a type-qualified
+// member's receiver class type.
+func classArgsOf(t types.Type) []types.Type {
+	if c, ok := t.(*types.Class); ok {
+		return c.Args
+	}
+	return nil
+}
+
+// lowerMember lowers recv.name in value position.
+func (b *builder) lowerMember(e *ast.MemberExpr) *ir.Reg {
+	tc := b.tc()
+	switch e.Kind {
+	case ast.MTupleIndex:
+		recv := b.lowerExpr(e.Recv)
+		if _, ok := recv.Type.(*types.Tuple); !ok {
+			// (T) == T: .0 of a single value is the value itself.
+			return recv
+		}
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpTupleGet, Dst: []*ir.Reg{r}, Args: []*ir.Reg{recv}, FieldSlot: e.TupleIdx, Type: recv.Type})
+		return r
+	case ast.MField:
+		recv := b.lowerExpr(e.Recv)
+		f := e.Binding.(*typecheck.FieldSym)
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpFieldLoad, Dst: []*ir.Reg{r}, Args: []*ir.Reg{recv}, FieldSlot: f.Slot})
+		return r
+	case ast.MArrayLength:
+		recv := b.lowerExpr(e.Recv)
+		r := b.f.NewReg(tc.Int(), "")
+		b.emit(&ir.Instr{Op: ir.OpArrayLen, Dst: []*ir.Reg{r}, Args: []*ir.Reg{recv}})
+		return r
+	case ast.MBoundMethod:
+		recv := b.lowerExpr(e.Recv)
+		m := e.Binding.(*typecheck.FuncSym)
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpMakeBound, Dst: []*ir.Reg{r}, Args: []*ir.Reg{recv}, FieldSlot: m.VtSlot, Type: recv.Type, TypeArgs: e.TypeArgsOf, Type2: e.Type()})
+		return r
+	case ast.MClassMethod:
+		m := e.Binding.(*typecheck.FuncSym)
+		wrap := b.lw.unboundWrapper(m)
+		targs := append(append([]types.Type{}, classArgsOf(e.RecvType)...), methodArgsOf(m, e)...)
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpMakeClosure, Dst: []*ir.Reg{r}, Fn: wrap, TypeArgs: targs, Type2: e.Type()})
+		return r
+	case ast.MNew:
+		r := b.f.NewReg(e.Type(), "")
+		switch bind := e.Binding.(type) {
+		case *typecheck.CtorSym:
+			alloc := b.lw.allocOf[bind.Owner]
+			b.emit(&ir.Instr{Op: ir.OpMakeClosure, Dst: []*ir.Reg{r}, Fn: alloc, TypeArgs: classArgsOf(e.RecvType), Type2: e.Type()})
+		case *types.Array:
+			b.emit(&ir.Instr{Op: ir.OpMakeClosure, Dst: []*ir.Reg{r}, Fn: b.lw.arrayNewWrapper(), TypeArgs: []types.Type{bind.Elem}, Type2: e.Type()})
+		}
+		return r
+	case ast.MOperator:
+		sym := e.Binding.(*typecheck.OperatorSym)
+		r := b.f.NewReg(e.Type(), "")
+		fn, targs := b.lw.operatorWrapper(sym)
+		b.emit(&ir.Instr{Op: ir.OpMakeClosure, Dst: []*ir.Reg{r}, Fn: fn, TypeArgs: targs, Type2: e.Type()})
+		return r
+	case ast.MComponentMember:
+		bf := e.Binding.(*typecheck.BuiltinFunc)
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpMakeClosure, Dst: []*ir.Reg{r}, Fn: b.lw.builtinWrapper(bf), Type2: e.Type()})
+		return r
+	case ast.MEnumCase:
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpConstEnum, Dst: []*ir.Reg{r}, IVal: int64(e.TupleIdx), Type: e.Type()})
+		return r
+	case ast.MEnumTag:
+		recv := b.lowerExpr(e.Recv)
+		r := b.f.NewReg(tc.Int(), "")
+		b.emit(&ir.Instr{Op: ir.OpEnumTag, Dst: []*ir.Reg{r}, Args: []*ir.Reg{recv}})
+		return r
+	case ast.MEnumName:
+		recv := b.lowerExpr(e.Recv)
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpEnumName, Dst: []*ir.Reg{r}, Args: []*ir.Reg{recv}})
+		return r
+	case ast.MGlobal:
+		g := e.Binding.(*typecheck.GlobalSym)
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpGlobalLoad, Dst: []*ir.Reg{r}, Global: b.lw.globalOf[g]})
+		return r
+	case ast.MTopFunc:
+		fn := e.Binding.(*typecheck.FuncSym)
+		r := b.f.NewReg(e.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpMakeClosure, Dst: []*ir.Reg{r}, Fn: b.lw.funcOf[fn], TypeArgs: e.TypeArgsOf, Type2: e.Type()})
+		return r
+	}
+	panic(fmt.Sprintf("lower: unhandled member kind %d for %s", e.Kind, e.Name.Name))
+}
+
+// binOpFor maps source operators to IR opcodes.
+var binOpFor = map[token.Kind]ir.Op{
+	token.Add: ir.OpAdd, token.Sub: ir.OpSub, token.Mul: ir.OpMul,
+	token.Div: ir.OpDiv, token.Mod: ir.OpMod, token.Shl: ir.OpShl,
+	token.Shr: ir.OpShr, token.And: ir.OpAnd, token.Or: ir.OpOr,
+	token.Xor: ir.OpXor, token.Lt: ir.OpLt, token.Le: ir.OpLe,
+	token.Gt: ir.OpGt, token.Ge: ir.OpGe, token.Eq: ir.OpEq,
+	token.Neq: ir.OpNe,
+}
+
+func (b *builder) lowerBinary(e *ast.BinaryExpr) *ir.Reg {
+	tc := b.tc()
+	switch e.Op {
+	case token.AndAnd, token.OrOr:
+		r := b.f.NewReg(tc.Bool(), "")
+		yes := b.f.NewBlock()
+		no := b.f.NewBlock()
+		merge := b.f.NewBlock()
+		b.lowerCondBranch(e, yes, no)
+		b.cur = yes
+		b.emit(&ir.Instr{Op: ir.OpConstBool, Dst: []*ir.Reg{r}, IVal: 1})
+		b.jump(merge)
+		b.cur = no
+		b.emit(&ir.Instr{Op: ir.OpConstBool, Dst: []*ir.Reg{r}, IVal: 0})
+		b.jump(merge)
+		b.cur = merge
+		return r
+	}
+	l := b.lowerExpr(e.L)
+	rr := b.lowerExpr(e.R)
+	r := b.f.NewReg(e.Type(), "")
+	op, ok := binOpFor[e.Op]
+	if !ok {
+		panic(fmt.Sprintf("lower: unhandled binary operator %s", e.Op))
+	}
+	b.emit(&ir.Instr{Op: op, Dst: []*ir.Reg{r}, Args: []*ir.Reg{l, rr}, Type: l.Type})
+	return r
+}
+
+// lowerAssign lowers target = value and target +=/-= value.
+func (b *builder) lowerAssign(e *ast.AssignExpr) {
+	if e.Op == token.Assign {
+		b.storeTo(e.Target, func() *ir.Reg { return b.lowerExpr(e.Value) })
+		return
+	}
+	op := ir.OpAdd
+	if e.Op == token.SubEq {
+		op = ir.OpSub
+	}
+	b.lowerReadModifyWrite(e.Target, func(old *ir.Reg) *ir.Reg {
+		v := b.lowerExpr(e.Value)
+		r := b.f.NewReg(b.tc().Int(), "")
+		b.emitOp(op, r, old, v)
+		return r
+	})
+}
+
+// storeTo evaluates the target's address parts, then the value, then
+// stores.
+func (b *builder) storeTo(target ast.Expr, value func() *ir.Reg) {
+	switch t := target.(type) {
+	case *ast.VarRef:
+		switch bind := t.Binding.(type) {
+		case *typecheck.LocalSym:
+			v := value()
+			b.emitOp(ir.OpMove, b.locals[bind.Decl], v)
+		case *typecheck.GlobalSym:
+			v := value()
+			b.emit(&ir.Instr{Op: ir.OpGlobalStore, Global: b.lw.globalOf[bind], Args: []*ir.Reg{v}})
+		case *typecheck.FieldSym:
+			v := value()
+			b.emit(&ir.Instr{Op: ir.OpFieldStore, Args: []*ir.Reg{b.this, v}, FieldSlot: bind.Slot})
+		default:
+			panic("lower: invalid assignment target binding")
+		}
+	case *ast.MemberExpr:
+		if t.Kind == ast.MGlobal {
+			g := t.Binding.(*typecheck.GlobalSym)
+			v := value()
+			b.emit(&ir.Instr{Op: ir.OpGlobalStore, Global: b.lw.globalOf[g], Args: []*ir.Reg{v}})
+			return
+		}
+		f := t.Binding.(*typecheck.FieldSym)
+		recv := b.lowerExpr(t.Recv)
+		v := value()
+		b.emit(&ir.Instr{Op: ir.OpFieldStore, Args: []*ir.Reg{recv, v}, FieldSlot: f.Slot})
+	case *ast.IndexExpr:
+		arr := b.lowerExpr(t.Arr)
+		idx := b.lowerExpr(t.Idx)
+		v := value()
+		b.emit(&ir.Instr{Op: ir.OpArrayStore, Args: []*ir.Reg{arr, idx, v}})
+	default:
+		panic("lower: invalid assignment target")
+	}
+}
+
+// lowerReadModifyWrite handles += -= ++ --, evaluating address parts
+// once.
+func (b *builder) lowerReadModifyWrite(target ast.Expr, modify func(old *ir.Reg) *ir.Reg) {
+	switch t := target.(type) {
+	case *ast.VarRef:
+		switch bind := t.Binding.(type) {
+		case *typecheck.LocalSym:
+			reg := b.locals[bind.Decl]
+			v := modify(reg)
+			b.emitOp(ir.OpMove, reg, v)
+		case *typecheck.GlobalSym:
+			old := b.f.NewReg(bind.Type, "")
+			g := b.lw.globalOf[bind]
+			b.emit(&ir.Instr{Op: ir.OpGlobalLoad, Dst: []*ir.Reg{old}, Global: g})
+			v := modify(old)
+			b.emit(&ir.Instr{Op: ir.OpGlobalStore, Global: g, Args: []*ir.Reg{v}})
+		case *typecheck.FieldSym:
+			old := b.f.NewReg(bind.Type, "")
+			b.emit(&ir.Instr{Op: ir.OpFieldLoad, Dst: []*ir.Reg{old}, Args: []*ir.Reg{b.this}, FieldSlot: bind.Slot})
+			v := modify(old)
+			b.emit(&ir.Instr{Op: ir.OpFieldStore, Args: []*ir.Reg{b.this, v}, FieldSlot: bind.Slot})
+		default:
+			panic("lower: invalid assignment target binding")
+		}
+	case *ast.MemberExpr:
+		if t.Kind == ast.MGlobal {
+			g := t.Binding.(*typecheck.GlobalSym)
+			ig := b.lw.globalOf[g]
+			old := b.f.NewReg(t.Type(), "")
+			b.emit(&ir.Instr{Op: ir.OpGlobalLoad, Dst: []*ir.Reg{old}, Global: ig})
+			v := modify(old)
+			b.emit(&ir.Instr{Op: ir.OpGlobalStore, Global: ig, Args: []*ir.Reg{v}})
+			return
+		}
+		f := t.Binding.(*typecheck.FieldSym)
+		recv := b.lowerExpr(t.Recv)
+		old := b.f.NewReg(t.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpFieldLoad, Dst: []*ir.Reg{old}, Args: []*ir.Reg{recv}, FieldSlot: f.Slot})
+		v := modify(old)
+		b.emit(&ir.Instr{Op: ir.OpFieldStore, Args: []*ir.Reg{recv, v}, FieldSlot: f.Slot})
+	case *ast.IndexExpr:
+		arr := b.lowerExpr(t.Arr)
+		idx := b.lowerExpr(t.Idx)
+		old := b.f.NewReg(t.Type(), "")
+		b.emit(&ir.Instr{Op: ir.OpArrayLoad, Dst: []*ir.Reg{old}, Args: []*ir.Reg{arr, idx}})
+		v := modify(old)
+		b.emit(&ir.Instr{Op: ir.OpArrayStore, Args: []*ir.Reg{arr, idx, v}})
+	default:
+		panic("lower: invalid read-modify-write target")
+	}
+}

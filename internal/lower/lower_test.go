@@ -1,0 +1,205 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/src"
+	"repro/internal/typecheck"
+)
+
+func lowerSrc(t *testing.T, source string) *ir.Module {
+	t.Helper()
+	errs := &src.ErrorList{}
+	f := parser.Parse("test.v", source, errs)
+	if !errs.Empty() {
+		t.Fatalf("parse errors:\n%s", errs.Error())
+	}
+	prog := typecheck.Check([]*ast.File{f}, errs)
+	if !errs.Empty() {
+		t.Fatalf("check errors:\n%s", errs.Error())
+	}
+	mod := Lower(prog)
+	if err := mod.Validate(); err != nil {
+		t.Fatalf("invalid IR: %v\n%s", err, mod.String())
+	}
+	return mod
+}
+
+func findFunc(t *testing.T, mod *ir.Module, name string) *ir.Func {
+	t.Helper()
+	for _, f := range mod.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	t.Fatalf("function %q not in module", name)
+	return nil
+}
+
+func countOps(f *ir.Func, op ir.Op) int {
+	n := 0
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestMethodsLowerToVirtualCalls(t *testing.T) {
+	mod := lowerSrc(t, `
+class A { def m() -> int { return 1; } }
+def main() {
+	var a = A.new();
+	a.m();
+}
+`)
+	main := findFunc(t, mod, "main")
+	if countOps(main, ir.OpCallVirtual) != 1 {
+		t.Errorf("a.m() should lower to one virtual call:\n%s", main)
+	}
+	if countOps(main, ir.OpCallStatic) != 1 {
+		t.Errorf("A.new() should lower to one static allocator call:\n%s", main)
+	}
+}
+
+func TestAllocatorShape(t *testing.T) {
+	mod := lowerSrc(t, `class A { var f: int; new(f) { } } def main() { }`)
+	alloc := findFunc(t, mod, "A.$alloc")
+	if countOps(alloc, ir.OpNewObject) != 1 {
+		t.Errorf("allocator must contain exactly one new:\n%s", alloc)
+	}
+	if countOps(alloc, ir.OpCallStatic) != 1 {
+		t.Errorf("allocator must call the constructor:\n%s", alloc)
+	}
+	ctor := findFunc(t, mod, "A.new")
+	if countOps(ctor, ir.OpFieldStore) != 1 {
+		t.Errorf("shorthand ctor param must store the field:\n%s", ctor)
+	}
+}
+
+func TestOperatorValueUsesWrapper(t *testing.T) {
+	mod := lowerSrc(t, `
+def main() {
+	var p = int.+;
+	var q = byte.==;
+	var c = int.!<byte>;
+}
+`)
+	names := map[string]bool{}
+	for _, f := range mod.Funcs {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"$int.+", "$eq", "$cast"} {
+		if !names[want] {
+			t.Errorf("wrapper %s not synthesized; have %v", want, names)
+		}
+	}
+}
+
+func TestOperatorCallInlines(t *testing.T) {
+	// int.+(1, 2) called directly must NOT go through a wrapper.
+	mod := lowerSrc(t, `
+def main() {
+	var x = int.+(1, 2);
+	var q = int.?(x);
+	var c = byte.!(x);
+}
+`)
+	main := findFunc(t, mod, "main")
+	if countOps(main, ir.OpAdd) != 1 {
+		t.Errorf("direct operator call should inline an add:\n%s", main)
+	}
+	if countOps(main, ir.OpTypeQuery) != 1 || countOps(main, ir.OpTypeCast) != 1 {
+		t.Errorf("direct cast/query calls should inline:\n%s", main)
+	}
+	if countOps(main, ir.OpCallStatic)+countOps(main, ir.OpCallIndirect) != 0 {
+		t.Errorf("no calls expected:\n%s", main)
+	}
+}
+
+func TestUnboundMethodWrapperDispatchesVirtually(t *testing.T) {
+	mod := lowerSrc(t, `
+class A { def m(x: int) -> int { return x; } }
+def main() { var f = A.m; }
+`)
+	wrap := findFunc(t, mod, "A.m.$unbound")
+	if countOps(wrap, ir.OpCallVirtual) != 1 {
+		t.Errorf("unbound wrapper must dispatch virtually (b3):\n%s", wrap)
+	}
+}
+
+func TestArgumentAdaptationShapes(t *testing.T) {
+	mod := lowerSrc(t, `
+def two(a: int, b: int) -> int { return a + b; }
+def one(p: (int, int)) -> int { return p.0; }
+def main() {
+	var t = (1, 2);
+	two(t);        // unpack: TupleGets
+	one(1, 2);     // pack: MakeTuple
+}
+`)
+	main := findFunc(t, mod, "main")
+	if countOps(main, ir.OpTupleGet) < 2 {
+		t.Errorf("two(t) should unpack the tuple:\n%s", main)
+	}
+	if countOps(main, ir.OpMakeTuple) < 2 { // the literal + the packed arg
+		t.Errorf("one(1, 2) should pack a tuple:\n%s", main)
+	}
+}
+
+func TestShortCircuitLowering(t *testing.T) {
+	mod := lowerSrc(t, `
+def f() -> bool { return true; }
+def main() {
+	if (f() && f()) { System.puts("y"); }
+}
+`)
+	main := findFunc(t, mod, "main")
+	// Short-circuit: two branches, each guarding one call.
+	if countOps(main, ir.OpBranch) < 2 {
+		t.Errorf("&& should lower to chained branches:\n%s", main)
+	}
+}
+
+func TestGlobalInitFunction(t *testing.T) {
+	mod := lowerSrc(t, `
+var x = 41;
+def main() { }
+`)
+	if mod.Init == nil {
+		t.Fatal("module must have an $init function")
+	}
+	if countOps(mod.Init, ir.OpGlobalStore) != 1 {
+		t.Errorf("$init must store the initializer:\n%s", mod.Init)
+	}
+}
+
+func TestAbstractMethodThrows(t *testing.T) {
+	mod := lowerSrc(t, `
+class A { def m(); }
+def main() { }
+`)
+	m := findFunc(t, mod, "A.m")
+	if countOps(m, ir.OpThrow) != 1 {
+		t.Errorf("abstract method body must throw:\n%s", m)
+	}
+}
+
+func TestModulePrinterIsStable(t *testing.T) {
+	src := `class A { def m() -> int { return 1; } } def main() { A.new().m(); }`
+	a := lowerSrc(t, src).String()
+	b := lowerSrc(t, src).String()
+	if a != b {
+		t.Error("lowering is not deterministic")
+	}
+	if !strings.Contains(a, "func main(") || !strings.Contains(a, "vtable 0 -> A.m") {
+		t.Errorf("printer output unexpected:\n%s", a)
+	}
+}

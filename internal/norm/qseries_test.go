@@ -1,0 +1,110 @@
+package norm
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// TestQSeriesSignatures checks the §4.2 source-to-source example
+// (q1-q8) at the signature level: after normalization,
+//
+//	def m(a: (string, int))  becomes  m(a0: string, a1: int)   (q2')
+//	def f(v: void)           becomes  f()                      (q6')
+//	def swap() -> (int,int)  returns two scalar results
+func TestQSeriesSignatures(t *testing.T) {
+	monoMod := compileMono(t, `
+def m(a: (string, int)) { }
+def f(v: void) { }
+def swap(p: (int, int)) -> (int, int) { return (p.1, p.0); }
+def main() {
+	var b = ("hello", 15);
+	m(b);
+	m("goodbye", b.1);
+	f();
+	var s = swap(1, 2);
+	System.puti(s.0);
+}
+`)
+	normMod, _, err := Normalize(monoMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) *ir.Func {
+		for _, fn := range normMod.Funcs {
+			if fn.Name == name {
+				return fn
+			}
+		}
+		t.Fatalf("function %s missing", name)
+		return nil
+	}
+	m := find("m")
+	if len(m.Params) != 2 {
+		t.Errorf("m should have 2 scalar params (q2'), got %d", len(m.Params))
+	} else {
+		if _, ok := m.Params[0].Type.(*types.Array); !ok {
+			t.Errorf("m param 0 should be string, got %s", m.Params[0].Type)
+		}
+		if m.Params[1].Type.String() != "int" {
+			t.Errorf("m param 1 should be int, got %s", m.Params[1].Type)
+		}
+	}
+	f := find("f")
+	if len(f.Params) != 0 {
+		t.Errorf("f's void param should vanish (q6'), got %d params", len(f.Params))
+	}
+	sw := find("swap")
+	if len(sw.Params) != 2 || len(sw.Results) != 2 {
+		t.Errorf("swap should be (int, int) -> 2 results, got %d params, %d results",
+			len(sw.Params), len(sw.Results))
+	}
+	// Calls in main pass scalars only (q3'-q5').
+	main := find("main")
+	for _, blk := range main.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpCallStatic {
+				for _, a := range in.Args {
+					if _, isTuple := a.Type.(*types.Tuple); isTuple {
+						t.Errorf("call in main passes a tuple register: %s", in)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiResultReconstruction mirrors the §4.2 JVM discussion in
+// reverse: the normalized IR returns multiple scalars natively, while
+// the boxed (pre-norm) form returns one tuple; both observable
+// behaviours agree (covered broadly by the corpus; this pins the
+// signature shape).
+func TestMultiResultReconstruction(t *testing.T) {
+	monoMod := compileMono(t, `
+def pair() -> (int, bool) { return (7, true); }
+def main() {
+	var p = pair();
+	System.puti(p.0);
+	System.putb(p.1);
+}
+`)
+	for _, fn := range monoMod.Funcs {
+		if fn.Name == "pair" && len(fn.Results) != 1 {
+			t.Errorf("pre-norm pair returns one (tuple) value, got %d", len(fn.Results))
+		}
+	}
+	normMod, _, err := Normalize(monoMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range normMod.Funcs {
+		if fn.Name == "pair" && len(fn.Results) != 2 {
+			t.Errorf("normalized pair returns two scalars, got %d", len(fn.Results))
+		}
+	}
+	got, _ := run(t, normMod)
+	if got != "7true" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,94 @@
+package opt
+
+import (
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// devirtualize replaces virtual calls that have exactly one possible
+// target with direct calls (class-hierarchy analysis over the closed,
+// monomorphized world — §5 mentions the Virgil compiler's whole-program
+// optimizations; a direct call is then eligible for inlining).
+//
+// A virtual call on static receiver class C at slot s can be bound
+// statically when every class in the module that is C or a subclass of
+// C implements slot s with the same function. The receiver must still
+// be null-checked, since the virtual dispatch would have trapped.
+func (o *optimizer) devirtualize() bool {
+	if !o.mod.Monomorphic {
+		return false
+	}
+	byType := map[*types.Class]*ir.Class{}
+	for _, c := range o.mod.Classes {
+		byType[c.Type] = c
+	}
+	// uniqueTarget[class][slot] computed lazily.
+	targetCache := map[*ir.Class]map[int]*ir.Func{}
+	uniqueTarget := func(c *ir.Class, slot int) *ir.Func {
+		if m, ok := targetCache[c]; ok {
+			if fn, ok := m[slot]; ok {
+				return fn
+			}
+		} else {
+			targetCache[c] = map[int]*ir.Func{}
+		}
+		var target *ir.Func
+		unique := true
+		for _, d := range o.mod.Classes {
+			if !d.IsSubclassOf(c) || slot >= len(d.Vtable) || d.Vtable[slot] == nil {
+				continue
+			}
+			switch {
+			case target == nil:
+				target = d.Vtable[slot]
+			case target != d.Vtable[slot]:
+				unique = false
+			}
+		}
+		if !unique {
+			target = nil
+		}
+		targetCache[c][slot] = target
+		return target
+	}
+
+	changed := false
+	for _, f := range o.mod.Funcs {
+		for _, blk := range f.Blocks {
+			var out []*ir.Instr
+			for _, in := range blk.Instrs {
+				if in.Op != ir.OpCallVirtual {
+					out = append(out, in)
+					continue
+				}
+				ct, ok := in.Type.(*types.Class)
+				if !ok {
+					out = append(out, in)
+					continue
+				}
+				cls := byType[ct]
+				if cls == nil {
+					out = append(out, in)
+					continue
+				}
+				target := uniqueTarget(cls, in.FieldSlot)
+				// The target's parameter count must match the provided
+				// values: tuple-equivalent overrides can differ in arity
+				// before normalization.
+				if target == nil || len(target.Params) != len(in.Args) {
+					out = append(out, in)
+					continue
+				}
+				out = append(out, &ir.Instr{Op: ir.OpNullCheck, Args: []*ir.Reg{in.Args[0]}, Pos: in.Pos})
+				out = append(out, &ir.Instr{
+					Op: ir.OpCallStatic, Dst: in.Dst, Fn: target,
+					Args: in.Args, Pos: in.Pos,
+				})
+				o.st.Devirtualized++
+				changed = true
+			}
+			blk.Instrs = out
+		}
+	}
+	return changed
+}

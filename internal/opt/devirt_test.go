@@ -1,0 +1,130 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/testprogs"
+)
+
+// TestDevirtualizeUniqueTarget: a method with no overriding subclass
+// becomes a direct call (and can then inline).
+func TestDevirtualizeUniqueTarget(t *testing.T) {
+	mod := compileNorm(t, `
+class A {
+	def m() -> int { return 7; }
+}
+def main() {
+	var a = A.new();
+	System.puti(a.m());
+}
+`)
+	st := Optimize(mod, Config{})
+	if st.Devirtualized == 0 {
+		t.Error("expected the unique-target call to devirtualize")
+	}
+	if got := run(t, mod); got != "7" {
+		t.Fatalf("got %q", got)
+	}
+	for _, f := range mod.Funcs {
+		if f.Name != "main" {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Op == ir.OpCallVirtual {
+					t.Error("virtual call survived devirtualization")
+				}
+			}
+		}
+	}
+}
+
+// TestNoDevirtualizeWithOverride: overridden methods keep dynamic
+// dispatch and behave correctly.
+func TestNoDevirtualizeWithOverride(t *testing.T) {
+	mod := compileNorm(t, `
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 2; } }
+def pick(z: bool) -> A {
+	if (z) return A.new();
+	return B.new();
+}
+def main() {
+	System.puti(pick(true).m());
+	System.puti(pick(false).m());
+}
+`)
+	Optimize(mod, Config{})
+	if got := run(t, mod); got != "12" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestDevirtualizedNullCheck: the null check of virtual dispatch is
+// preserved when the call goes direct.
+func TestDevirtualizedNullCheck(t *testing.T) {
+	mod := compileNorm(t, `
+class A { def m() -> int { return 1; } }
+def main() {
+	var a: A;
+	System.puti(a.m());
+}
+`)
+	st := Optimize(mod, Config{})
+	if st.Devirtualized == 0 {
+		t.Fatal("expected devirtualization")
+	}
+	var out []byte
+	_ = out
+	// Run and expect the null check to fire.
+	if err := runErr(mod); err == nil || !contains(err.Error(), "!NullCheckException") {
+		t.Fatalf("want !NullCheckException, got %v", err)
+	}
+}
+
+// TestDevirtSubclassUniqueInherited: a call through the subclass type
+// where only the parent implements is also unique.
+func TestDevirtSubclassUniqueInherited(t *testing.T) {
+	mod := compileNorm(t, `
+class A { def m() -> int { return 3; } }
+class B extends A { }
+def main() {
+	var b = B.new();
+	System.puti(b.m());
+}
+`)
+	st := Optimize(mod, Config{})
+	if st.Devirtualized == 0 {
+		t.Error("inherited unique method should devirtualize")
+	}
+	if got := run(t, mod); got != "3" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestCorpusPreservedWithDevirt re-runs the corpus (devirt is in the
+// default pass list, but make the intent explicit here).
+func TestCorpusPreservedWithDevirt(t *testing.T) {
+	for _, name := range []string{"variants_n", "override_ambiguity_p", "matcher_km", "components"} {
+		p := testprogs.Get(name)
+		mod := compileNorm(t, p.Source)
+		Optimize(mod, Config{})
+		if err := mod.Validate(); err != nil {
+			t.Fatalf("%s: invalid IR: %v", name, err)
+		}
+		if got := run(t, mod); got != p.Want {
+			t.Fatalf("%s: got %q, want %q", name, got, p.Want)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }
+
+func runErr(mod *ir.Module) error {
+	it := interp.New(mod, interp.Options{})
+	_, err := it.Run()
+	return err
+}

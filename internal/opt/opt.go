@@ -1,0 +1,598 @@
+// Package opt implements the classical optimizations the paper relies
+// on to make its emulation patterns free (§3.3): after
+// monomorphization, type queries and casts between closed types are
+// decided statically, the if-chains guarding them fold away, and the
+// remaining direct call is inlined — "resulting in code just as
+// efficient as if the caller had called the appropriate print* method
+// directly".
+//
+// Passes: constant folding, copy propagation, type-query/cast folding,
+// branch folding, unreachable-code elimination, dead-code elimination,
+// and a conservative inliner. All passes run to a bounded fixpoint.
+package opt
+
+import (
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// Stats reports what the optimizer did.
+type Stats struct {
+	InstrsBefore   int
+	InstrsAfter    int
+	QueriesFolded  int
+	CastsElided    int
+	BranchesFolded int
+	InstrsRemoved  int
+	Inlined        int
+	Devirtualized  int
+}
+
+// Config controls optimization.
+type Config struct {
+	// InlineLimit is the maximum callee size (in instructions) for
+	// inlining; 0 means the default of 16.
+	InlineLimit int
+	// Rounds bounds the fold/inline fixpoint; 0 means the default of 4.
+	Rounds int
+}
+
+// Optimize runs all passes over the module in place.
+func Optimize(mod *ir.Module, cfg Config) *Stats {
+	if cfg.InlineLimit == 0 {
+		cfg.InlineLimit = 16
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 4
+	}
+	st := &Stats{InstrsBefore: mod.NumInstrs()}
+	o := &optimizer{mod: mod, tc: mod.Types, cfg: cfg, st: st}
+	o.devirtualize()
+	for r := 0; r < cfg.Rounds; r++ {
+		changed := false
+		for _, f := range mod.Funcs {
+			changed = o.foldFunc(f) || changed
+		}
+		for _, f := range mod.Funcs {
+			changed = o.inlineCalls(f) || changed
+		}
+		if !changed {
+			break
+		}
+	}
+	st.InstrsAfter = mod.NumInstrs()
+	return st
+}
+
+type optimizer struct {
+	mod *ir.Module
+	tc  *types.Cache
+	cfg Config
+	st  *Stats
+}
+
+// constVal is a known compile-time constant.
+type constVal struct {
+	op   ir.Op // OpConstInt, OpConstByte, OpConstBool, OpConstVoid, OpConstNull
+	ival int64
+}
+
+// foldFunc runs constant folding, copy propagation, branch folding,
+// unreachable-code removal and DCE on one function; reports change.
+func (o *optimizer) foldFunc(f *ir.Func) bool {
+	changed := false
+	for pass := 0; pass < 4; pass++ {
+		defCount := map[*ir.Reg]int{}
+		defInstr := map[*ir.Reg]*ir.Instr{}
+		for _, p := range f.Params {
+			defCount[p] = 1
+		}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				for _, d := range in.Dst {
+					defCount[d]++
+					defInstr[d] = in
+				}
+			}
+		}
+		consts := map[*ir.Reg]constVal{}
+		copies := map[*ir.Reg]*ir.Reg{}
+		for r, in := range defInstr {
+			if defCount[r] != 1 {
+				continue
+			}
+			switch in.Op {
+			case ir.OpConstInt, ir.OpConstByte, ir.OpConstBool:
+				consts[r] = constVal{op: in.Op, ival: in.IVal}
+			case ir.OpConstVoid:
+				consts[r] = constVal{op: ir.OpConstVoid}
+			case ir.OpMove:
+				src := in.Args[0]
+				if defCount[src] == 1 {
+					copies[r] = src
+				}
+			}
+		}
+		// Resolve copy chains.
+		resolve := func(r *ir.Reg) *ir.Reg {
+			for i := 0; i < 16; i++ {
+				if s, ok := copies[r]; ok {
+					r = s
+				} else {
+					break
+				}
+			}
+			return r
+		}
+		localChanged := false
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				for k, a := range in.Args {
+					if s := resolve(a); s != a {
+						in.Args[k] = s
+						localChanged = true
+					}
+				}
+			}
+		}
+		for _, blk := range f.Blocks {
+			for idx, in := range blk.Instrs {
+				if o.foldInstr(f, blk, idx, in, consts) {
+					localChanged = true
+				}
+			}
+		}
+		if o.removeUnreachable(f) {
+			localChanged = true
+		}
+		if o.threadJumps(f) {
+			localChanged = true
+		}
+		if o.mergeBlocks(f) {
+			localChanged = true
+		}
+		if o.dce(f) {
+			localChanged = true
+		}
+		if !localChanged {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+func constOf(consts map[*ir.Reg]constVal, r *ir.Reg) (constVal, bool) {
+	c, ok := consts[r]
+	return c, ok
+}
+
+// foldInstr rewrites one instruction in place when its result is known
+// statically; reports change.
+func (o *optimizer) foldInstr(f *ir.Func, blk *ir.Block, idx int, in *ir.Instr, consts map[*ir.Reg]constVal) bool {
+	mkConst := func(op ir.Op, v int64) {
+		in.Op = op
+		in.IVal = v
+		in.Args = nil
+		in.Type = nil
+		in.Type2 = nil
+		in.Fn = nil
+	}
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpShl, ir.OpShr, ir.OpAnd, ir.OpOr, ir.OpXor:
+		a, ok1 := constOf(consts, in.Args[0])
+		b, ok2 := constOf(consts, in.Args[1])
+		if !ok1 || !ok2 || a.op != ir.OpConstInt || b.op != ir.OpConstInt {
+			return false
+		}
+		x, y := int32(a.ival), int32(b.ival)
+		var v int32
+		switch in.Op {
+		case ir.OpAdd:
+			v = x + y
+		case ir.OpSub:
+			v = x - y
+		case ir.OpMul:
+			v = x * y
+		case ir.OpShl:
+			if y >= 0 && y <= 31 {
+				v = x << uint(y)
+			}
+		case ir.OpShr:
+			if y >= 0 && y <= 31 {
+				v = int32(uint32(x) >> uint(y))
+			}
+		case ir.OpAnd:
+			v = x & y
+		case ir.OpOr:
+			v = x | y
+		case ir.OpXor:
+			v = x ^ y
+		}
+		mkConst(ir.OpConstInt, int64(v))
+		return true
+	case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		a, ok1 := constOf(consts, in.Args[0])
+		b, ok2 := constOf(consts, in.Args[1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		var v bool
+		switch in.Op {
+		case ir.OpLt:
+			v = a.ival < b.ival
+		case ir.OpLe:
+			v = a.ival <= b.ival
+		case ir.OpGt:
+			v = a.ival > b.ival
+		case ir.OpGe:
+			v = a.ival >= b.ival
+		}
+		mkConst(ir.OpConstBool, boolToInt(v))
+		return true
+	case ir.OpEq, ir.OpNe:
+		a, ok1 := constOf(consts, in.Args[0])
+		b, ok2 := constOf(consts, in.Args[1])
+		if !ok1 || !ok2 || a.op != b.op {
+			return false
+		}
+		eq := a.ival == b.ival
+		if in.Op == ir.OpNe {
+			eq = !eq
+		}
+		mkConst(ir.OpConstBool, boolToInt(eq))
+		return true
+	case ir.OpNot:
+		a, ok := constOf(consts, in.Args[0])
+		if !ok || a.op != ir.OpConstBool {
+			return false
+		}
+		mkConst(ir.OpConstBool, boolToInt(a.ival == 0))
+		return true
+	case ir.OpBoolAnd, ir.OpBoolOr:
+		a, ok1 := constOf(consts, in.Args[0])
+		b, ok2 := constOf(consts, in.Args[1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		var v bool
+		if in.Op == ir.OpBoolAnd {
+			v = a.ival != 0 && b.ival != 0
+		} else {
+			v = a.ival != 0 || b.ival != 0
+		}
+		mkConst(ir.OpConstBool, boolToInt(v))
+		return true
+
+	case ir.OpTypeQuery:
+		return o.foldQuery(in)
+	case ir.OpTypeCast:
+		return o.foldCast(in)
+
+	case ir.OpBranch:
+		c, ok := constOf(consts, in.Args[0])
+		if !ok || c.op != ir.OpConstBool {
+			return false
+		}
+		target := in.Blocks[1]
+		if c.ival != 0 {
+			target = in.Blocks[0]
+		}
+		in.Op = ir.OpJump
+		in.Args = nil
+		in.Blocks = []*ir.Block{target}
+		o.st.BranchesFolded++
+		return true
+	}
+	return false
+}
+
+// foldQuery decides a type query statically when possible (§4.3: "The
+// type queries and casts in each version can be decided statically").
+// Queries against reference types stay dynamic because null fails them.
+func (o *optimizer) foldQuery(in *ir.Instr) bool {
+	from, to := in.Type2, in.Type
+	if from == nil || to == nil || types.HasTypeParams(from) || types.HasTypeParams(to) {
+		return false
+	}
+	fold := func(v bool) bool {
+		in.Op = ir.OpConstBool
+		in.IVal = boolToInt(v)
+		in.Args = nil
+		in.Type = nil
+		in.Type2 = nil
+		o.st.QueriesFolded++
+		return true
+	}
+	fp, fprim := from.(*types.Prim)
+	tp, tprim := to.(*types.Prim)
+	if fprim && tprim {
+		return fold(fp.Kind == tp.Kind)
+	}
+	if fprim != tprim {
+		return fold(false)
+	}
+	if o.tc.Castable(from, to) == types.CastFalse {
+		// Provably unrelated types can never satisfy the query.
+		return fold(false)
+	}
+	return false
+}
+
+// foldCast elides casts that are statically guaranteed: identity casts
+// and reference upcasts become moves.
+func (o *optimizer) foldCast(in *ir.Instr) bool {
+	from, to := in.Type2, in.Type
+	if from == nil || to == nil || types.HasTypeParams(from) || types.HasTypeParams(to) {
+		return false
+	}
+	if from == to || (types.IsRefType(to) && o.tc.IsSubtype(from, to)) {
+		in.Op = ir.OpMove
+		in.Type = nil
+		in.Type2 = nil
+		o.st.CastsElided++
+		return true
+	}
+	return false
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// removeUnreachable drops blocks not reachable from the entry, and
+// truncates instructions after a terminator.
+func (o *optimizer) removeUnreachable(f *ir.Func) bool {
+	if len(f.Blocks) == 0 {
+		return false
+	}
+	changed := false
+	for _, blk := range f.Blocks {
+		for i, in := range blk.Instrs {
+			if in.Op.IsTerminator() && i != len(blk.Instrs)-1 {
+				blk.Instrs = blk.Instrs[:i+1]
+				changed = true
+				break
+			}
+		}
+	}
+	seen := map[*ir.Block]bool{f.Blocks[0]: true}
+	work := []*ir.Block{f.Blocks[0]}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		if t := blk.Terminator(); t != nil {
+			for _, nb := range t.Blocks {
+				if !seen[nb] {
+					seen[nb] = true
+					work = append(work, nb)
+				}
+			}
+		}
+	}
+	var kept []*ir.Block
+	for _, blk := range f.Blocks {
+		if seen[blk] {
+			kept = append(kept, blk)
+		} else {
+			changed = true
+		}
+	}
+	f.Blocks = kept
+	return changed
+}
+
+// threadJumps retargets terminators that point at blocks containing
+// only a jump.
+func (o *optimizer) threadJumps(f *ir.Func) bool {
+	changed := false
+	for _, blk := range f.Blocks {
+		t := blk.Terminator()
+		if t == nil {
+			continue
+		}
+		for k, target := range t.Blocks {
+			for hops := 0; hops < 8; hops++ {
+				if len(target.Instrs) != 1 || target.Instrs[0].Op != ir.OpJump {
+					break
+				}
+				next := target.Instrs[0].Blocks[0]
+				if next == target {
+					break
+				}
+				target = next
+				t.Blocks[k] = next
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// mergeBlocks splices a block into its unique jumping predecessor, so
+// that folded branch chains collapse into straight-line code (and
+// become inlinable).
+func (o *optimizer) mergeBlocks(f *ir.Func) bool {
+	changed := false
+	for {
+		preds := map[*ir.Block]int{}
+		for _, b := range f.Blocks {
+			if t := b.Terminator(); t != nil {
+				for _, nb := range t.Blocks {
+					preds[nb]++
+				}
+			}
+		}
+		merged := false
+		for _, b := range f.Blocks {
+			t := b.Terminator()
+			if t == nil || t.Op != ir.OpJump {
+				continue
+			}
+			nb := t.Blocks[0]
+			if nb == b || preds[nb] != 1 || nb == f.Blocks[0] {
+				continue
+			}
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], nb.Instrs...)
+			nb.Instrs = nil
+			merged = true
+			changed = true
+			break
+		}
+		if !merged {
+			break
+		}
+		var kept []*ir.Block
+		for _, b := range f.Blocks {
+			if len(b.Instrs) > 0 {
+				kept = append(kept, b)
+			}
+		}
+		f.Blocks = kept
+	}
+	return changed
+}
+
+// pureOp reports whether an instruction can be removed when its results
+// are unused.
+func pureOp(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpConstInt, ir.OpConstByte, ir.OpConstBool, ir.OpConstVoid,
+		ir.OpConstNull, ir.OpConstString, ir.OpMove,
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpShl, ir.OpShr, ir.OpAnd,
+		ir.OpOr, ir.OpXor, ir.OpNeg, ir.OpNot, ir.OpBoolAnd, ir.OpBoolOr,
+		ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpEq, ir.OpNe,
+		ir.OpMakeTuple, ir.OpTupleGet, ir.OpMakeClosure, ir.OpTypeQuery,
+		ir.OpGlobalLoad, ir.OpConstEnum, ir.OpEnumTag, ir.OpEnumName:
+		return true
+	}
+	return false
+}
+
+// dce removes pure instructions whose destinations are never used.
+func (o *optimizer) dce(f *ir.Func) bool {
+	changed := false
+	for {
+		used := map[*ir.Reg]bool{}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				for _, a := range in.Args {
+					used[a] = true
+				}
+			}
+		}
+		removed := false
+		for _, blk := range f.Blocks {
+			var kept []*ir.Instr
+			for _, in := range blk.Instrs {
+				dead := pureOp(in) && len(in.Dst) > 0
+				if dead {
+					for _, d := range in.Dst {
+						if used[d] {
+							dead = false
+							break
+						}
+					}
+				}
+				if dead {
+					removed = true
+					o.st.InstrsRemoved++
+					continue
+				}
+				kept = append(kept, in)
+			}
+			blk.Instrs = kept
+		}
+		if !removed {
+			break
+		}
+		changed = true
+	}
+	return changed
+}
+
+// inlineCalls splices small single-block callees into their callers
+// (§3.3: "which the compiler may then inline").
+func (o *optimizer) inlineCalls(f *ir.Func) bool {
+	changed := false
+	for _, blk := range f.Blocks {
+		var out []*ir.Instr
+		for _, in := range blk.Instrs {
+			if in.Op != ir.OpCallStatic || !o.inlinable(in.Fn, f) {
+				out = append(out, in)
+				continue
+			}
+			callee := in.Fn
+			regMap := map[*ir.Reg]*ir.Reg{}
+			for k, p := range callee.Params {
+				regMap[p] = in.Args[k]
+			}
+			mapReg := func(r *ir.Reg) *ir.Reg {
+				if nr, ok := regMap[r]; ok {
+					return nr
+				}
+				nr := f.NewReg(r.Type, r.Name)
+				regMap[r] = nr
+				return nr
+			}
+			body := callee.Blocks[0].Instrs
+			for _, ci := range body[:len(body)-1] {
+				ni := &ir.Instr{
+					Op: ci.Op, FieldSlot: ci.FieldSlot, IVal: ci.IVal,
+					SVal: ci.SVal, Global: ci.Global, Fn: ci.Fn,
+					Type: ci.Type, Type2: ci.Type2, TypeArgs: ci.TypeArgs,
+					Pos: ci.Pos,
+				}
+				for _, d := range ci.Dst {
+					ni.Dst = append(ni.Dst, mapReg(d))
+				}
+				for _, a := range ci.Args {
+					ni.Args = append(ni.Args, mapReg(a))
+				}
+				out = append(out, ni)
+			}
+			ret := body[len(body)-1]
+			for k, d := range in.Dst {
+				if k < len(ret.Args) {
+					out = append(out, &ir.Instr{Op: ir.OpMove, Dst: []*ir.Reg{d}, Args: []*ir.Reg{mapReg(ret.Args[k])}})
+				}
+			}
+			o.st.Inlined++
+			changed = true
+		}
+		blk.Instrs = out
+	}
+	return changed
+}
+
+// inlinable reports whether callee is a small single-block function
+// ending in a return, and is not the caller itself.
+func (o *optimizer) inlinable(callee, caller *ir.Func) bool {
+	if callee == nil || callee == caller || len(callee.Blocks) != 1 {
+		return false
+	}
+	body := callee.Blocks[0].Instrs
+	if len(body) == 0 || len(body) > o.cfg.InlineLimit {
+		return false
+	}
+	if body[len(body)-1].Op != ir.OpRet {
+		return false
+	}
+	// A callee that writes to its own parameters cannot be spliced over
+	// the caller's argument registers.
+	params := map[*ir.Reg]bool{}
+	for _, p := range callee.Params {
+		params[p] = true
+	}
+	for _, in := range body {
+		for _, d := range in.Dst {
+			if params[d] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Random generates a deterministic, well-typed, terminating Virgil-core
+// program from a seed, for differential testing of the pipeline: the
+// same program must print the same output in every configuration.
+//
+// Programs use ints, bools, bytes and (nested) tuples; arithmetic
+// avoids division (no traps) and all casts are statically safe, so a
+// generated program never throws.
+func Random(seed int64) string {
+	g := &randGen{r: rand.New(rand.NewSource(seed))}
+	return g.program()
+}
+
+// rtype is a generated-program type.
+type rtype int
+
+const (
+	rInt rtype = iota
+	rBool
+	rByte
+	rPair   // (int, int)
+	rNested // ((int, bool), int)
+)
+
+var rtypeSyntax = map[rtype]string{
+	rInt:    "int",
+	rBool:   "bool",
+	rByte:   "byte",
+	rPair:   "(int, int)",
+	rNested: "((int, bool), int)",
+}
+
+type rfunc struct {
+	name   string
+	params []rtype
+	ret    rtype
+}
+
+type randGen struct {
+	r     *rand.Rand
+	funcs []rfunc
+	b     strings.Builder
+}
+
+func (g *randGen) pickType() rtype { return rtype(g.r.Intn(5)) }
+
+func (g *randGen) program() string {
+	nfuncs := 4 + g.r.Intn(4)
+	for i := 0; i < nfuncs; i++ {
+		f := rfunc{name: fmt.Sprintf("f%d", i), ret: g.pickType()}
+		np := 1 + g.r.Intn(3)
+		for p := 0; p < np; p++ {
+			f.params = append(f.params, g.pickType())
+		}
+		g.emitFunc(f)
+		g.funcs = append(g.funcs, f)
+	}
+	g.emitMain()
+	return g.b.String()
+}
+
+func (g *randGen) emitFunc(f rfunc) {
+	var ps []string
+	env := map[rtype][]string{}
+	for i, pt := range f.params {
+		name := fmt.Sprintf("p%d", i)
+		ps = append(ps, fmt.Sprintf("%s: %s", name, rtypeSyntax[pt]))
+		env[pt] = append(env[pt], name)
+	}
+	fmt.Fprintf(&g.b, "def %s(%s) -> %s {\n", f.name, strings.Join(ps, ", "), rtypeSyntax[f.ret])
+	fmt.Fprintf(&g.b, "\treturn %s;\n", g.expr(3, f.ret, env, len(g.funcs)))
+	fmt.Fprintf(&g.b, "}\n")
+}
+
+// expr generates an expression of type t with the given variables in
+// scope; calls are allowed only to functions with index < maxFunc so
+// the call graph is acyclic and every program terminates.
+func (g *randGen) expr(depth int, t rtype, env map[rtype][]string, maxFunc int) string {
+	// Use a variable of the right type sometimes.
+	if vars := env[t]; len(vars) > 0 && g.r.Intn(3) == 0 {
+		return vars[g.r.Intn(len(vars))]
+	}
+	if depth <= 0 {
+		return g.literal(t)
+	}
+	// Call a previously defined function of the right return type.
+	if maxFunc > 0 && g.r.Intn(4) == 0 {
+		var candidates []rfunc
+		for _, f := range g.funcs[:maxFunc] {
+			if f.ret == t {
+				candidates = append(candidates, f)
+			}
+		}
+		if len(candidates) > 0 {
+			f := candidates[g.r.Intn(len(candidates))]
+			var args []string
+			for _, pt := range f.params {
+				args = append(args, g.expr(depth-1, pt, env, maxFunc))
+			}
+			return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+		}
+	}
+	switch t {
+	case rInt:
+		switch g.r.Intn(6) {
+		case 0:
+			return g.literal(t)
+		case 1:
+			op := []string{"+", "-", "*", "&", "|", "^"}[g.r.Intn(6)]
+			return fmt.Sprintf("(%s %s %s)", g.expr(depth-1, rInt, env, maxFunc), op, g.expr(depth-1, rInt, env, maxFunc))
+		case 2:
+			return fmt.Sprintf("(%s ? %s : %s)", g.expr(depth-1, rBool, env, maxFunc), g.expr(depth-1, rInt, env, maxFunc), g.expr(depth-1, rInt, env, maxFunc))
+		case 3:
+			return fmt.Sprintf("%s.%d", g.expr(depth-1, rPair, env, maxFunc), g.r.Intn(2))
+		case 4:
+			return fmt.Sprintf("%s.1", g.expr(depth-1, rNested, env, maxFunc))
+		default:
+			return fmt.Sprintf("int.!(%s)", g.expr(depth-1, rByte, env, maxFunc))
+		}
+	case rBool:
+		switch g.r.Intn(5) {
+		case 0:
+			return g.literal(t)
+		case 1:
+			op := []string{"<", "<=", ">", ">=", "==", "!="}[g.r.Intn(6)]
+			return fmt.Sprintf("(%s %s %s)", g.expr(depth-1, rInt, env, maxFunc), op, g.expr(depth-1, rInt, env, maxFunc))
+		case 2:
+			op := []string{"&&", "||"}[g.r.Intn(2)]
+			return fmt.Sprintf("(%s %s %s)", g.expr(depth-1, rBool, env, maxFunc), op, g.expr(depth-1, rBool, env, maxFunc))
+		case 3:
+			return fmt.Sprintf("!%s", g.expr(depth-1, rBool, env, maxFunc))
+		default:
+			// Universal tuple equality (§2.3).
+			return fmt.Sprintf("(%s == %s)", g.expr(depth-1, rPair, env, maxFunc), g.expr(depth-1, rPair, env, maxFunc))
+		}
+	case rByte:
+		if g.r.Intn(2) == 0 {
+			return g.literal(t)
+		}
+		// Safe checked narrowing: the operand is masked to 0..255.
+		return fmt.Sprintf("byte.!(%s & 255)", g.expr(depth-1, rInt, env, maxFunc))
+	case rPair:
+		switch g.r.Intn(3) {
+		case 0:
+			return g.literal(t)
+		case 1:
+			return fmt.Sprintf("(%s, %s)", g.expr(depth-1, rInt, env, maxFunc), g.expr(depth-1, rInt, env, maxFunc))
+		default:
+			return fmt.Sprintf("(%s ? %s : %s)", g.expr(depth-1, rBool, env, maxFunc), g.expr(depth-1, rPair, env, maxFunc), g.expr(depth-1, rPair, env, maxFunc))
+		}
+	case rNested:
+		if g.r.Intn(2) == 0 {
+			return g.literal(t)
+		}
+		return fmt.Sprintf("((%s, %s), %s)",
+			g.expr(depth-1, rInt, env, maxFunc),
+			g.expr(depth-1, rBool, env, maxFunc),
+			g.expr(depth-1, rInt, env, maxFunc))
+	}
+	return g.literal(t)
+}
+
+func (g *randGen) literal(t rtype) string {
+	switch t {
+	case rInt:
+		return fmt.Sprintf("%d", g.r.Intn(2001)-1000)
+	case rBool:
+		return []string{"true", "false"}[g.r.Intn(2)]
+	case rByte:
+		return fmt.Sprintf("'%c'", byte('a'+g.r.Intn(26)))
+	case rPair:
+		return fmt.Sprintf("(%d, %d)", g.r.Intn(100), g.r.Intn(100))
+	case rNested:
+		return fmt.Sprintf("((%d, %s), %d)", g.r.Intn(100), []string{"true", "false"}[g.r.Intn(2)], g.r.Intn(100))
+	}
+	return "0"
+}
+
+// emitMain calls every generated function with constant arguments and
+// prints the results.
+func (g *randGen) emitMain() {
+	fmt.Fprintf(&g.b, "def main() {\n")
+	for i, f := range g.funcs {
+		var args []string
+		for _, pt := range f.params {
+			args = append(args, g.literal(pt))
+		}
+		fmt.Fprintf(&g.b, "\tvar r%d = %s(%s);\n", i, f.name, strings.Join(args, ", "))
+		switch f.ret {
+		case rInt:
+			fmt.Fprintf(&g.b, "\tSystem.puti(r%d);\n", i)
+		case rBool:
+			fmt.Fprintf(&g.b, "\tSystem.putb(r%d);\n", i)
+		case rByte:
+			fmt.Fprintf(&g.b, "\tSystem.puti(int.!(r%d));\n", i)
+		case rPair:
+			fmt.Fprintf(&g.b, "\tSystem.puti(r%d.0); System.puti(r%d.1);\n", i, i)
+		case rNested:
+			fmt.Fprintf(&g.b, "\tSystem.puti(r%d.0.0); System.putb(r%d.0.1); System.puti(r%d.1);\n", i, i, i)
+		}
+		fmt.Fprintf(&g.b, "\tSystem.putc(' ');\n")
+	}
+	fmt.Fprintf(&g.b, "}\n")
+}

@@ -1,0 +1,136 @@
+// Package src provides source-file bookkeeping and positioned diagnostics
+// shared by every phase of the Virgil-core compiler.
+package src
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A File is an immutable source file with precomputed line offsets.
+type File struct {
+	Name    string
+	Content string
+	lines   []int // byte offset of the start of each line
+}
+
+// NewFile builds a File and indexes its line starts.
+func NewFile(name, content string) *File {
+	f := &File{Name: name, Content: content}
+	f.lines = append(f.lines, 0)
+	for i := 0; i < len(content); i++ {
+		if content[i] == '\n' {
+			f.lines = append(f.lines, i+1)
+		}
+	}
+	return f
+}
+
+// Pos is a byte offset into a file, paired with the file itself so that
+// diagnostics can be rendered without threading a file table around.
+type Pos struct {
+	File *File
+	Off  int
+}
+
+// NoPos is the zero Pos, used for synthesized nodes.
+var NoPos = Pos{}
+
+// IsValid reports whether p refers to a real location.
+func (p Pos) IsValid() bool { return p.File != nil }
+
+// Line returns the 1-based line number of p.
+func (p Pos) Line() int {
+	if p.File == nil {
+		return 0
+	}
+	i := sort.SearchInts(p.File.lines, p.Off+1) - 1
+	return i + 1
+}
+
+// Col returns the 1-based column number of p.
+func (p Pos) Col() int {
+	if p.File == nil {
+		return 0
+	}
+	i := sort.SearchInts(p.File.lines, p.Off+1) - 1
+	return p.Off - p.File.lines[i] + 1
+}
+
+// String renders p as "file:line:col".
+func (p Pos) String() string {
+	if p.File == nil {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File.Name, p.Line(), p.Col())
+}
+
+// An Error is a diagnostic anchored at a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if !e.Pos.IsValid() {
+		return e.Msg
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// ErrorList accumulates diagnostics across a phase.
+type ErrorList struct {
+	Errors []*Error
+}
+
+// Add appends a formatted diagnostic at pos.
+func (l *ErrorList) Add(pos Pos, format string, args ...any) {
+	l.Errors = append(l.Errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of accumulated diagnostics.
+func (l *ErrorList) Len() int { return len(l.Errors) }
+
+// Empty reports whether no diagnostics were recorded.
+func (l *ErrorList) Empty() bool { return len(l.Errors) == 0 }
+
+// Err returns l as an error, or nil when the list is empty.
+func (l *ErrorList) Err() error {
+	if l.Empty() {
+		return nil
+	}
+	return l
+}
+
+func (l *ErrorList) Error() string {
+	if l.Empty() {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range l.Errors {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}
+
+// Sort orders diagnostics by file name then offset, for stable output.
+func (l *ErrorList) Sort() {
+	sort.SliceStable(l.Errors, func(i, j int) bool {
+		a, b := l.Errors[i], l.Errors[j]
+		an, bn := "", ""
+		if a.Pos.File != nil {
+			an = a.Pos.File.Name
+		}
+		if b.Pos.File != nil {
+			bn = b.Pos.File.Name
+		}
+		if an != bn {
+			return an < bn
+		}
+		return a.Pos.Off < b.Pos.Off
+	})
+}

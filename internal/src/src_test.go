@@ -1,0 +1,77 @@
+package src
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosLineCol(t *testing.T) {
+	f := NewFile("a.v", "one\ntwo\n\nfour")
+	cases := []struct {
+		off, line, col int
+	}{
+		{0, 1, 1},
+		{3, 1, 4},
+		{4, 2, 1},
+		{6, 2, 3},
+		{8, 3, 1},
+		{9, 4, 1},
+		{12, 4, 4},
+	}
+	for _, c := range cases {
+		p := Pos{File: f, Off: c.off}
+		if p.Line() != c.line || p.Col() != c.col {
+			t.Errorf("off %d: got %d:%d, want %d:%d", c.off, p.Line(), p.Col(), c.line, c.col)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	f := NewFile("x.v", "abc")
+	p := Pos{File: f, Off: 1}
+	if p.String() != "x.v:1:2" {
+		t.Errorf("got %q", p.String())
+	}
+	if NoPos.String() != "<unknown>" {
+		t.Errorf("NoPos = %q", NoPos.String())
+	}
+	if NoPos.IsValid() {
+		t.Error("NoPos should be invalid")
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	f := NewFile("x.v", "ab\ncd")
+	l := &ErrorList{}
+	if !l.Empty() || l.Err() != nil {
+		t.Error("fresh list should be empty")
+	}
+	l.Add(Pos{File: f, Off: 3}, "second %d", 2)
+	l.Add(Pos{File: f, Off: 0}, "first")
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	l.Sort()
+	s := l.Error()
+	if !strings.Contains(s, "x.v:1:1: first") || !strings.Contains(s, "x.v:2:1: second 2") {
+		t.Errorf("rendered: %q", s)
+	}
+	if strings.Index(s, "first") > strings.Index(s, "second") {
+		t.Error("sort should order by offset")
+	}
+	if l.Err() == nil {
+		t.Error("non-empty list should be an error")
+	}
+}
+
+func TestErrorListSortAcrossFiles(t *testing.T) {
+	a := NewFile("a.v", "x")
+	b := NewFile("b.v", "y")
+	l := &ErrorList{}
+	l.Add(Pos{File: b, Off: 0}, "in b")
+	l.Add(Pos{File: a, Off: 0}, "in a")
+	l.Sort()
+	if !strings.HasPrefix(l.Error(), "a.v") {
+		t.Errorf("files should sort by name: %q", l.Error())
+	}
+}

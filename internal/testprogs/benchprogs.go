@@ -1,0 +1,285 @@
+package testprogs
+
+import "fmt"
+
+// Bench workloads for the experiment harness (E1-E6). Each takes an
+// iteration count and prints a final checksum so results can be
+// cross-checked between pipeline configurations.
+
+// BenchTupleSmall passes a small (int, int) tuple through a first-class
+// function in a hot loop: the §4.1 dynamic-check and §4.2 boxing costs
+// dominate in reference mode (E1, E2-small).
+func BenchTupleSmall(n int) Prog {
+	return Prog{
+		Name:  "bench_tuple_small",
+		Paper: "§4.1/§4.2",
+		Source: fmt.Sprintf(`
+def combine(p: (int, int)) -> int { return p.0 + p.1; }
+def swap(p: (int, int)) -> (int, int) { return (p.1, p.0); }
+def main() -> int {
+	var f = combine;
+	var acc = 0;
+	for (i = 0; i < %d; i++) {
+		var t = swap(i, acc & 0xFF);
+		acc = acc + f(t);
+	}
+	System.puti(acc);
+	return acc;
+}
+`, n),
+	}
+}
+
+// BenchTupleLarge passes a 16-element tuple by value through calls: the
+// §4.2 tradeoff case where flattening moves many scalars and boxing may
+// narrow the gap ("large tuples might actually perform better if
+// allocated on the heap").
+func BenchTupleLarge(n int) Prog {
+	return Prog{
+		Name:  "bench_tuple_large",
+		Paper: "§4.2 tradeoffs",
+		Source: fmt.Sprintf(`
+def sum16(t: (int, int, int, int, int, int, int, int, int, int, int, int, int, int, int, int)) -> int {
+	return t.0 + t.1 + t.2 + t.3 + t.4 + t.5 + t.6 + t.7
+	     + t.8 + t.9 + t.10 + t.11 + t.12 + t.13 + t.14 + t.15;
+}
+def make16(x: int) -> (int, int, int, int, int, int, int, int, int, int, int, int, int, int, int, int) {
+	return (x, x+1, x+2, x+3, x+4, x+5, x+6, x+7, x+8, x+9, x+10, x+11, x+12, x+13, x+14, x+15);
+}
+def main() -> int {
+	var f = sum16;
+	var acc = 0;
+	for (i = 0; i < %d; i++) {
+		acc = acc + f(make16(i & 0xFF));
+	}
+	System.puti(acc);
+	return acc;
+}
+`, n),
+	}
+}
+
+// BenchGenericList builds and folds a polymorphic list: runtime
+// type-argument passing dominates reference mode (E3).
+func BenchGenericList(n int) Prog {
+	return Prog{
+		Name:  "bench_generic_list",
+		Paper: "§4.3",
+		Source: fmt.Sprintf(`
+class List<T> {
+	var head: T;
+	var tail: List<T>;
+	new(head, tail) { }
+}
+def fold<T>(list: List<T>, f: (int, T) -> int, init: int) -> int {
+	var acc = init;
+	for (l = list; l != null; l = l.tail) acc = f(acc, l.head);
+	return acc;
+}
+def addInt(acc: int, x: int) -> int { return acc + x; }
+def addPair(acc: int, p: (int, int)) -> int { return acc + p.0 * p.1; }
+def main() -> int {
+	var ints: List<int>;
+	var pairs: List<(int, int)>;
+	for (i = 0; i < %d; i++) {
+		ints = List.new(i, ints);
+		pairs = List.new((i, 2), pairs);
+	}
+	var acc = fold(ints, addInt, 0) + fold(pairs, addPair, 0);
+	System.puti(acc);
+	return acc;
+}
+`, n),
+	}
+}
+
+// BenchHashMap exercises the §3.2 ADT HashMap with function-valued
+// hash/equality parameters (E3).
+func BenchHashMap(n int) Prog {
+	return Prog{
+		Name:  "bench_hashmap",
+		Paper: "§3.2",
+		Source: fmt.Sprintf(`
+class HashMap<K, V> {
+	def hash: K -> int;
+	def equals: (K, K) -> bool;
+	var keys: Array<K>;
+	var vals: Array<V>;
+	var used: Array<bool>;
+	var mask: int;
+	new(hash, equals, size: int) {
+		keys = Array<K>.new(size);
+		vals = Array<V>.new(size);
+		used = Array<bool>.new(size);
+		mask = size - 1;
+	}
+	def slot(key: K) -> int {
+		var h = hash(key) & mask;
+		while (used[h] && !equals(keys[h], key)) h = (h + 1) & mask;
+		return h;
+	}
+	def set(key: K, val: V) {
+		var h = slot(key);
+		keys[h] = key; vals[h] = val; used[h] = true;
+	}
+	def get(key: K) -> V { return vals[slot(key)]; }
+}
+def idHash(x: int) -> int { return x * 40503; }
+def main() -> int {
+	var m = HashMap<int, int>.new(idHash, int.==, 4096);
+	for (i = 0; i < %d; i++) m.set(i & 2047, i);
+	var acc = 0;
+	for (i = 0; i < %d; i++) acc = acc + m.get(i & 2047);
+	System.puti(acc);
+	return acc;
+}
+`, n, n),
+	}
+}
+
+// BenchPrint1 runs the §3.3 ad-hoc dispatch pattern in a hot loop; in
+// compiled mode the query chain folds to a direct call (E5).
+func BenchPrint1(n int) Prog {
+	return Prog{
+		Name:  "bench_print1",
+		Paper: "§3.3",
+		Source: fmt.Sprintf(`
+var acc: int;
+def handleInt(i: int) { acc = acc + i; }
+def handleBool(b: bool) { if (b) acc = acc + 1; }
+def handleByte(b: byte) { acc = acc + int.!(b); }
+def handle1<T>(a: T) {
+	if (int.?(a)) handleInt(int.!(a));
+	if (bool.?(a)) handleBool(bool.!(a));
+	if (byte.?(a)) handleByte(byte.!(a));
+}
+def main() -> int {
+	for (i = 0; i < %d; i++) {
+		handle1(i);
+		handle1((i & 1) == 0);
+		handle1(byte.!(i & 0xFF));
+	}
+	System.puti(acc);
+	return acc;
+}
+`, n),
+	}
+}
+
+// BenchDirect is the baseline for E5: the same work with direct calls
+// and no type dispatch.
+func BenchDirect(n int) Prog {
+	return Prog{
+		Name:  "bench_direct",
+		Paper: "§3.3 baseline",
+		Source: fmt.Sprintf(`
+var acc: int;
+def handleInt(i: int) { acc = acc + i; }
+def handleBool(b: bool) { if (b) acc = acc + 1; }
+def handleByte(b: byte) { acc = acc + int.!(b); }
+def main() -> int {
+	for (i = 0; i < %d; i++) {
+		handleInt(i);
+		handleBool((i & 1) == 0);
+		handleByte(byte.!(i & 0xFF));
+	}
+	System.puti(acc);
+	return acc;
+}
+`, n),
+	}
+}
+
+// BenchMatcher runs the §3.4 polymorphic matcher in a hot loop (E6):
+// reified type queries search a list of boxed handlers.
+func BenchMatcher(n int) Prog {
+	return Prog{
+		Name:  "bench_matcher",
+		Paper: "§3.4",
+		Source: fmt.Sprintf(`
+class Any { }
+class Box<T> extends Any {
+	def val: T;
+	new(val) { }
+	def unbox() -> T { return val; }
+}
+class List<T> {
+	var head: T;
+	var tail: List<T>;
+	new(head, tail) { }
+}
+class Matcher {
+	var matches: List<Any>;
+	def add<T>(f: T -> void) {
+		matches = List.new(Box.new(f), matches);
+	}
+	def dispatch<T>(v: T) {
+		for (l = matches; l != null; l = l.tail) {
+			var f = l.head;
+			if (Box<T -> void>.?(f)) {
+				Box<T -> void>.!(f).unbox()(v);
+				return;
+			}
+		}
+	}
+}
+var acc: int;
+def handleInt(i: int) { acc = acc + i; }
+def handleBool(b: bool) { if (b) acc = acc + 1; }
+def handlePair(p: (int, int)) { acc = acc + p.0 - p.1; }
+def main() -> int {
+	var m = Matcher.new();
+	m.add(handleInt);
+	m.add(handleBool);
+	m.add(handlePair);
+	for (i = 0; i < %d; i++) {
+		m.dispatch(i);
+		m.dispatch((i & 1) == 0);
+		m.dispatch(i, i >> 1);
+	}
+	System.puti(acc);
+	return acc;
+}
+`, n),
+	}
+}
+
+// BenchVariants runs the §3.5 variant-instruction pattern in a loop: a
+// mixed worklist of InstrOf<T> variants is emitted repeatedly.
+func BenchVariants(n int) Prog {
+	return Prog{
+		Name:  "bench_variants",
+		Paper: "§3.5",
+		Source: fmt.Sprintf(`
+class Buffer {
+	var count: int;
+	def put(b: byte) { count = count + int.!(b); }
+}
+class Instr {
+	def emit(buf: Buffer);
+}
+class InstrOf<T> extends Instr {
+	var emitFunc: (Buffer, T) -> void;
+	var val: T;
+	new(emitFunc, val) { }
+	def emit(buf: Buffer) { emitFunc(buf, val); }
+}
+def emitRR(buf: Buffer, ops: (byte, byte)) { buf.put(ops.0); buf.put(ops.1); }
+def emitRI(buf: Buffer, ops: (byte, int)) { buf.put(ops.0); }
+def emitR(buf: Buffer, r: byte) { buf.put(r); }
+def main() -> int {
+	var is = Array<Instr>.new(3);
+	is[0] = InstrOf.new(emitRR, ('a', 'b'));
+	is[1] = InstrOf.new(emitRI, ('c', -11));
+	is[2] = InstrOf.new(emitR, 'd');
+	var buf = Buffer.new();
+	for (i = 0; i < %d; i++) {
+		buf.put('x');
+		is[i %% 3].emit(buf);
+	}
+	System.puti(buf.count);
+	return buf.count;
+}
+`, n),
+	}
+}

@@ -1,0 +1,205 @@
+// Package token defines the lexical token kinds of Virgil-core.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Operator kinds are grouped so precedence tables in the
+// parser can test ranges.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT  // apply
+	INT    // 123, 0x1f
+	CHAR   // 'a' (a byte literal)
+	STRING // "hello"
+
+	// Keywords.
+	KwClass
+	KwExtends
+	KwDef
+	KwVar
+	KwNew
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+	KwTrue
+	KwFalse
+	KwNull
+	KwThis
+	KwPrivate
+	KwSuper
+	KwComponent
+	KwEnum
+
+	// Punctuation.
+	LParen    // (
+	RParen    // )
+	LBrace    // {
+	RBrace    // }
+	LBracket  // [
+	RBracket  // ]
+	Comma     // ,
+	Semi      // ;
+	Colon     // :
+	Dot       // .
+	Arrow     // ->
+	Question  // ?
+	TernColon // reserved (Colon reused)
+
+	// Operators.
+	Assign  // =
+	Eq      // ==
+	Neq     // !=
+	Lt      // <
+	Gt      // >
+	Le      // <=
+	Ge      // >=
+	Add     // +
+	Sub     // -
+	Mul     // *
+	Div     // /
+	Mod     // %
+	AndAnd  // &&
+	OrOr    // ||
+	Not     // !
+	And     // &
+	Or      // |
+	Xor     // ^
+	Shl     // <<
+	Shr     // >>
+	AddEq   // +=
+	SubEq   // -=
+	Inc     // ++
+	Dec     // --
+	Tilde   // ~ (reserved)
+	AtQuery // the '?' used as a type operator member; scanner emits Question
+)
+
+var names = map[Kind]string{
+	EOF:     "EOF",
+	ILLEGAL: "ILLEGAL",
+	IDENT:   "identifier",
+	INT:     "integer literal",
+	CHAR:    "character literal",
+	STRING:  "string literal",
+
+	KwClass:     "class",
+	KwExtends:   "extends",
+	KwDef:       "def",
+	KwVar:       "var",
+	KwNew:       "new",
+	KwIf:        "if",
+	KwElse:      "else",
+	KwWhile:     "while",
+	KwFor:       "for",
+	KwReturn:    "return",
+	KwBreak:     "break",
+	KwContinue:  "continue",
+	KwTrue:      "true",
+	KwFalse:     "false",
+	KwNull:      "null",
+	KwThis:      "this",
+	KwPrivate:   "private",
+	KwSuper:     "super",
+	KwComponent: "component",
+	KwEnum:      "enum",
+
+	LParen:   "(",
+	RParen:   ")",
+	LBrace:   "{",
+	RBrace:   "}",
+	LBracket: "[",
+	RBracket: "]",
+	Comma:    ",",
+	Semi:     ";",
+	Colon:    ":",
+	Dot:      ".",
+	Arrow:    "->",
+	Question: "?",
+
+	Assign: "=",
+	Eq:     "==",
+	Neq:    "!=",
+	Lt:     "<",
+	Gt:     ">",
+	Le:     "<=",
+	Ge:     ">=",
+	Add:    "+",
+	Sub:    "-",
+	Mul:    "*",
+	Div:    "/",
+	Mod:    "%",
+	AndAnd: "&&",
+	OrOr:   "||",
+	Not:    "!",
+	And:    "&",
+	Or:     "|",
+	Xor:    "^",
+	Shl:    "<<",
+	Shr:    ">>",
+	AddEq:  "+=",
+	SubEq:  "-=",
+	Inc:    "++",
+	Dec:    "--",
+	Tilde:  "~",
+}
+
+// String returns the canonical spelling (or description) of k.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps identifier spellings to keyword kinds.
+var Keywords = map[string]Kind{
+	"class":     KwClass,
+	"extends":   KwExtends,
+	"def":       KwDef,
+	"var":       KwVar,
+	"new":       KwNew,
+	"if":        KwIf,
+	"else":      KwElse,
+	"while":     KwWhile,
+	"for":       KwFor,
+	"return":    KwReturn,
+	"break":     KwBreak,
+	"continue":  KwContinue,
+	"true":      KwTrue,
+	"false":     KwFalse,
+	"null":      KwNull,
+	"this":      KwThis,
+	"private":   KwPrivate,
+	"super":     KwSuper,
+	"component": KwComponent,
+	"enum":      KwEnum,
+}
+
+// IsKeyword reports whether k is a keyword kind.
+func (k Kind) IsKeyword() bool { return k >= KwClass && k <= KwEnum }
+
+// Token is a lexed token: its kind, literal text, and byte offset.
+type Token struct {
+	Kind Kind
+	Lit  string // raw text for IDENT/INT/CHAR/STRING
+	Off  int    // byte offset in the file
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, CHAR, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,49 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF:      "EOF",
+		IDENT:    "identifier",
+		Arrow:    "->",
+		Question: "?",
+		Shl:      "<<",
+		KwClass:  "class",
+		KwEnum:   "enum",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kinds should still render")
+	}
+}
+
+func TestKeywordsComplete(t *testing.T) {
+	// Every keyword spelling maps to a kind that reports IsKeyword and
+	// round-trips through String.
+	for spelling, k := range Keywords {
+		if !k.IsKeyword() {
+			t.Errorf("%q maps to non-keyword kind %v", spelling, k)
+		}
+		if k.String() != spelling {
+			t.Errorf("keyword %q renders as %q", spelling, k.String())
+		}
+	}
+	if IDENT.IsKeyword() || Add.IsKeyword() {
+		t.Error("non-keywords report IsKeyword")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "foo"}
+	if tok.String() != `identifier("foo")` {
+		t.Errorf("got %q", tok.String())
+	}
+	if (Token{Kind: Arrow}).String() != "->" {
+		t.Error("operator tokens render their spelling")
+	}
+}

@@ -1,0 +1,1386 @@
+package typecheck
+
+import (
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/src"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Builtins is the table of built-in component functions available to
+// every program: a minimal System I/O component and the paper's clock
+// (e1-e5).
+func Builtins(tc *types.Cache) map[string]map[string]*BuiltinFunc {
+	str := tc.String()
+	mk := func(comp, name string, param, ret types.Type) *BuiltinFunc {
+		return &BuiltinFunc{Component: comp, Name: name, Param: param, Ret: ret}
+	}
+	return map[string]map[string]*BuiltinFunc{
+		"System": {
+			"puts":  mk("System", "puts", str, tc.Void()),
+			"puti":  mk("System", "puti", tc.Int(), tc.Void()),
+			"putc":  mk("System", "putc", tc.Byte(), tc.Void()),
+			"putb":  mk("System", "putb", tc.Bool(), tc.Void()),
+			"ln":    mk("System", "ln", tc.Void(), tc.Void()),
+			"error": mk("System", "error", str, tc.Void()),
+		},
+		"clock": {
+			"ticks": mk("clock", "ticks", tc.Void(), tc.Int()),
+		},
+	}
+}
+
+// componentRef marks a VarRef that resolved to a built-in component.
+type componentRef struct{ Name string }
+
+// scope is a lexical scope of local bindings.
+type scope struct {
+	parent *scope
+	names  map[string]*LocalSym
+}
+
+func (s *scope) lookup(name string) *LocalSym {
+	for w := s; w != nil; w = w.parent {
+		if l, ok := w.names[name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(l *LocalSym) { s.names[l.Name] = l }
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: map[string]*LocalSym{}}
+}
+
+// bodyCtx carries the context while checking one body.
+type bodyCtx struct {
+	c        *Checker
+	cls      *ClassSym     // enclosing class, or nil
+	comp     *ComponentSym // enclosing component, or nil
+	fn       *FuncSym      // enclosing method/function, or nil (ctor, inits)
+	ctor     *CtorSym      // set when checking a constructor body
+	ret      types.Type
+	tsc      *typeScope
+	scope    *scope
+	loop     int
+	builtins map[string]map[string]*BuiltinFunc
+}
+
+func (b *bodyCtx) tc() *types.Cache { return b.c.tc }
+
+func (b *bodyCtx) errorf(pos src.Pos, format string, args ...any) {
+	b.c.errorf(pos, format, args...)
+}
+
+// selfType returns the type of `this` in the current context.
+func (b *bodyCtx) selfType() types.Type {
+	if b.cls == nil {
+		return nil
+	}
+	return b.tc().SelfType(b.cls.Def)
+}
+
+// checkBodies checks every method, constructor, field initializer,
+// top-level function body and global initializer.
+func (c *Checker) checkBodies() {
+	builtins := Builtins(c.tc)
+	newCtx := func(cls *ClassSym, fn *FuncSym, ctor *CtorSym, ret types.Type, tsc *typeScope) *bodyCtx {
+		return &bodyCtx{c: c, cls: cls, fn: fn, ctor: ctor, ret: ret, tsc: tsc, scope: newScope(nil), builtins: builtins}
+	}
+	// Global initializers, in declaration order.
+	for _, g := range c.prog.Globals {
+		if g.Decl.Init != nil {
+			b := newCtx(nil, nil, nil, c.tc.Void(), newTypeScope())
+			b.comp = g.Comp // component field inits see their component
+			t := b.checkExpr(g.Decl.Init, g.Type)
+			if g.Type == nil {
+				if isNullType(t) {
+					b.errorf(g.Decl.Pos(), "cannot infer the type of null; declare a type for %s", g.Name)
+					t = c.tc.Void()
+				}
+				g.Type = t
+			} else if !c.tc.IsAssignable(t, g.Type) {
+				b.errorf(g.Decl.Pos(), "cannot assign %s to %s in initializer of %s", t, g.Type, g.Name)
+			}
+		} else if g.Type == nil {
+			c.errorf(g.Decl.Pos(), "variable %s requires a type or initializer", g.Name)
+			g.Type = c.tc.Void()
+		}
+		g.Decl.TypeOf = g.Type
+	}
+	// Classes: field initializers, constructor bodies, method bodies.
+	for _, cls := range c.prog.Classes {
+		csc := newTypeScope().with(cls.Def.TypeParams)
+		for _, f := range cls.Fields {
+			if f.Init == nil {
+				continue
+			}
+			b := newCtx(cls, nil, nil, c.tc.Void(), csc)
+			t := b.checkExpr(f.Init, f.Type)
+			if !c.tc.IsAssignable(t, f.Type) {
+				b.errorf(f.Init.Pos(), "cannot assign %s to field %s of type %s", t, f.Name, f.Type)
+			}
+		}
+		c.checkCtorBody(cls, csc, builtins)
+		for _, m := range cls.Methods {
+			if m.Abstract {
+				continue
+			}
+			c.checkFuncBody(cls, m, csc, builtins)
+		}
+	}
+	for _, fn := range c.prog.Funcs {
+		c.checkFuncBody(nil, fn, newTypeScope(), builtins)
+	}
+}
+
+func (c *Checker) checkFuncBody(cls *ClassSym, fn *FuncSym, outer *typeScope, builtins map[string]map[string]*BuiltinFunc) {
+	if fn.Decl.Body == nil {
+		if fn.Comp != nil {
+			c.errorf(fn.Decl.Pos(), "component function %s requires a body", fn.Name)
+		}
+		return
+	}
+	tsc := outer.with(fn.TypeParams)
+	b := &bodyCtx{c: c, cls: cls, comp: fn.Comp, fn: fn, ret: fn.Ret, tsc: tsc, scope: newScope(nil), builtins: builtins}
+	for i, p := range fn.Params {
+		b.scope.declare(&LocalSym{Name: p.Name.Name, Mutable: true, Type: fn.ParamTypes[i], IsParam: true, Decl: p})
+	}
+	b.checkStmt(fn.Decl.Body)
+	if fn.Ret != c.tc.Void() && !terminates(fn.Decl.Body) {
+		c.errorf(fn.Decl.Pos(), "method %s: missing return of %s on some paths", fn.Name, fn.Ret)
+	}
+}
+
+func (c *Checker) checkCtorBody(cls *ClassSym, csc *typeScope, builtins map[string]map[string]*BuiltinFunc) {
+	ct := cls.Ctor
+	b := &bodyCtx{c: c, cls: cls, ctor: ct, ret: c.tc.Void(), tsc: csc, scope: newScope(nil), builtins: builtins}
+	for i, p := range ct.Params {
+		b.scope.declare(&LocalSym{Name: p.Name.Name, Mutable: true, Type: ct.ParamTypes[i], IsParam: true, Decl: p})
+	}
+	// Check the super() call against the parent's constructor.
+	parent := cls.Parent
+	if ct.Decl != nil && ct.Decl.HasSuper {
+		if parent == nil {
+			b.errorf(ct.Decl.Pos(), "class %s has no parent; super(...) is illegal", cls.Name)
+		} else {
+			ptypes := c.parentCtorParamTypes(cls)
+			args := make([]types.Type, len(ct.Decl.SuperArgs))
+			for i, a := range ct.Decl.SuperArgs {
+				var exp types.Type
+				if i < len(ptypes) {
+					exp = ptypes[i]
+				}
+				args[i] = b.checkExpr(a, exp)
+			}
+			argTuple := argTupleType(c.tc, args)
+			want := c.tc.TupleOf(ptypes)
+			if !c.tc.IsAssignable(argTuple, want) {
+				b.errorf(ct.Decl.Pos(), "super arguments %s do not match parent constructor %s", argTuple, want)
+			}
+		}
+	} else if parent != nil {
+		// No explicit super: the parent constructor must take no
+		// arguments.
+		if len(c.parentCtorParamTypes(cls)) != 0 {
+			pos := cls.Decl.Pos()
+			if ct.Decl != nil {
+				pos = ct.Decl.Pos()
+			}
+			b.errorf(pos, "class %s must call super(...): parent %s constructor takes parameters", cls.Name, parent.Name)
+		}
+	}
+	if ct.Decl != nil && ct.Decl.Body != nil {
+		b.checkStmt(ct.Decl.Body)
+	}
+}
+
+// parentCtorParamTypes returns the parent constructor's parameter types
+// substituted by cls's parent instantiation.
+func (c *Checker) parentCtorParamTypes(cls *ClassSym) []types.Type {
+	parent := cls.Parent
+	if parent == nil {
+		return nil
+	}
+	env := types.BindParams(parent.Def.TypeParams, cls.Def.ParentType.Args)
+	out := make([]types.Type, len(parent.Ctor.ParamTypes))
+	for i, t := range parent.Ctor.ParamTypes {
+		out[i] = c.tc.Subst(t, env)
+	}
+	return out
+}
+
+func isNullType(t types.Type) bool {
+	p, ok := t.(*types.Prim)
+	return ok && p.Kind == types.KindNull
+}
+
+// argTupleType combines checked argument types into the single tuple
+// argument of §2.3.
+func argTupleType(tc *types.Cache, args []types.Type) types.Type {
+	if len(args) == 1 {
+		return args[0]
+	}
+	return tc.TupleOf(args)
+}
+
+// ---------------------------------------------------------------- stmts
+
+func (b *bodyCtx) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		if s.DeclGroup {
+			// Multi-declarator statement: declarations join the
+			// enclosing scope.
+			for _, st := range s.Stmts {
+				b.checkStmt(st)
+			}
+			return
+		}
+		outer := b.scope
+		b.scope = newScope(outer)
+		for _, st := range s.Stmts {
+			b.checkStmt(st)
+		}
+		b.scope = outer
+	case *ast.EmptyStmt:
+	case *ast.LocalDecl:
+		var declared types.Type
+		if s.Type != nil {
+			declared = b.c.resolveType(s.Type, b.tsc)
+		}
+		var t types.Type
+		if s.Init != nil {
+			t = b.checkExpr(s.Init, declared)
+		}
+		switch {
+		case declared != nil && t != nil:
+			if !b.tc().IsAssignable(t, declared) {
+				b.errorf(s.Pos(), "cannot assign %s to %s in declaration of %s", t, declared, s.Name.Name)
+			}
+			t = declared
+		case declared != nil:
+			t = declared
+		case t == nil:
+			b.errorf(s.Pos(), "local %s requires a type or initializer", s.Name.Name)
+			t = b.tc().Void()
+		case isNullType(t):
+			b.errorf(s.Pos(), "cannot infer the type of null; declare a type for %s", s.Name.Name)
+			t = b.tc().Void()
+		}
+		s.TypeOf = t
+		b.scope.declare(&LocalSym{Name: s.Name.Name, Mutable: s.Mutable, Type: t, Decl: s})
+	case *ast.ExprStmt:
+		b.checkExpr(s.E, nil)
+	case *ast.IfStmt:
+		b.checkCond(s.Cond)
+		b.checkStmt(s.Then)
+		if s.Else != nil {
+			b.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		b.checkCond(s.Cond)
+		b.loop++
+		b.checkStmt(s.Body)
+		b.loop--
+	case *ast.ForStmt:
+		outer := b.scope
+		b.scope = newScope(outer)
+		if s.Var.Name != "" {
+			t := b.checkExpr(s.Init, nil)
+			if isNullType(t) {
+				b.errorf(s.Pos(), "cannot infer the type of null in for-loop binding %s", s.Var.Name)
+				t = b.tc().Void()
+			}
+			s.VarType = t
+			local := &LocalSym{Name: s.Var.Name, Mutable: true, Type: t, Decl: s}
+			b.scope.declare(local)
+		}
+		if s.Cond != nil {
+			b.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			b.checkExpr(s.Post, nil)
+		}
+		b.loop++
+		b.checkStmt(s.Body)
+		b.loop--
+		b.scope = outer
+	case *ast.ReturnStmt:
+		if s.Value == nil {
+			if b.ret != b.tc().Void() {
+				b.errorf(s.Pos(), "missing return value of type %s", b.ret)
+			}
+			return
+		}
+		t := b.checkExpr(s.Value, b.ret)
+		if !b.tc().IsAssignable(t, b.ret) {
+			b.errorf(s.Pos(), "cannot return %s from a method returning %s", t, b.ret)
+		}
+	case *ast.BreakStmt:
+		if b.loop == 0 {
+			b.errorf(s.Pos(), "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if b.loop == 0 {
+			b.errorf(s.Pos(), "continue outside loop")
+		}
+	default:
+		b.errorf(s.Pos(), "unhandled statement")
+	}
+}
+
+func (b *bodyCtx) checkCond(e ast.Expr) {
+	t := b.checkExpr(e, b.tc().Bool())
+	if t != b.tc().Bool() {
+		b.errorf(e.Pos(), "condition must be bool, found %s", t)
+	}
+}
+
+// terminates conservatively reports whether s returns on all paths.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			if terminates(st) {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Then) && terminates(s.Else)
+	case *ast.WhileStmt:
+		// `while (true)` without break is treated as terminating.
+		if c, ok := s.Cond.(*ast.BoolLit); ok && c.Value {
+			return !hasBreak(s.Body)
+		}
+		return false
+	}
+	return false
+}
+
+func hasBreak(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BreakStmt:
+		return true
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			if hasBreak(st) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if hasBreak(s.Then) {
+			return true
+		}
+		if s.Else != nil {
+			return hasBreak(s.Else)
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------- exprs
+
+// checkExpr computes and records the type of e. expected, when non-nil,
+// guides null typing and tuple element expectations; it does not relax
+// the subtyping checks done by callers.
+func (b *bodyCtx) checkExpr(e ast.Expr, expected types.Type) types.Type {
+	t := b.checkExprInner(e, expected)
+	if t == nil {
+		t = b.tc().Void()
+	}
+	e.SetType(t)
+	return t
+}
+
+func (b *bodyCtx) checkExprInner(e ast.Expr, expected types.Type) types.Type {
+	tc := b.tc()
+	switch e := e.(type) {
+	case *ast.IntLit:
+		if e.Value > 0x7fffffff || e.Value < -0x80000000 {
+			b.errorf(e.Pos(), "integer literal %d out of 32-bit range", e.Value)
+		}
+		return tc.Int()
+	case *ast.ByteLit:
+		return tc.Byte()
+	case *ast.BoolLit:
+		return tc.Bool()
+	case *ast.StrLit:
+		return tc.String()
+	case *ast.NullLit:
+		if expected != nil && types.IsRefType(expected) {
+			return expected
+		}
+		return tc.Null()
+	case *ast.ThisExpr:
+		if b.cls == nil {
+			b.errorf(e.Pos(), "this outside of a class")
+			return tc.Void()
+		}
+		return b.selfType()
+	case *ast.TupleExpr:
+		var expElems []types.Type
+		if exp, ok := expected.(*types.Tuple); ok && len(exp.Elems) == len(e.Elems) {
+			expElems = exp.Elems
+		}
+		elems := make([]types.Type, len(e.Elems))
+		for i, el := range e.Elems {
+			var exp types.Type
+			if expElems != nil {
+				exp = expElems[i]
+			}
+			elems[i] = b.checkExpr(el, exp)
+			if isNullType(elems[i]) {
+				b.errorf(el.Pos(), "cannot infer the type of null inside a tuple")
+				elems[i] = tc.Void()
+			}
+		}
+		return tc.TupleOf(elems)
+	case *ast.VarRef:
+		return b.checkVarRef(e, expected)
+	case *ast.TypeExpr:
+		b.errorf(e.Pos(), "a type is not a value")
+		return tc.Void()
+	case *ast.MemberExpr:
+		return b.checkMember(e, expected)
+	case *ast.CallExpr:
+		return b.checkCall(e, expected)
+	case *ast.IndexExpr:
+		at := b.checkExpr(e.Arr, nil)
+		arr, ok := at.(*types.Array)
+		if !ok {
+			b.errorf(e.Pos(), "cannot index non-array type %s", at)
+			return tc.Void()
+		}
+		it := b.checkExpr(e.Idx, tc.Int())
+		if it != tc.Int() {
+			b.errorf(e.Idx.Pos(), "array index must be int, found %s", it)
+		}
+		return arr.Elem
+	case *ast.BinaryExpr:
+		return b.checkBinary(e)
+	case *ast.UnaryExpr:
+		t := b.checkExpr(e.E, nil)
+		switch e.Op {
+		case token.Sub:
+			if t != tc.Int() {
+				b.errorf(e.Pos(), "unary - requires int, found %s", t)
+			}
+			return tc.Int()
+		case token.Not:
+			if t != tc.Bool() {
+				b.errorf(e.Pos(), "unary ! requires bool, found %s", t)
+			}
+			return tc.Bool()
+		}
+		b.errorf(e.Pos(), "unknown unary operator")
+		return tc.Void()
+	case *ast.TernaryExpr:
+		b.checkCond(e.Cond)
+		t1 := b.checkExpr(e.Then, expected)
+		t2 := b.checkExpr(e.Els, expected)
+		lub := tc.Lub(t1, t2)
+		if lub == nil {
+			b.errorf(e.Pos(), "incompatible branches of ?: (%s vs %s)", t1, t2)
+			return t1
+		}
+		if isNullType(lub) {
+			b.errorf(e.Pos(), "cannot infer the type of null in ?:")
+			return tc.Void()
+		}
+		return lub
+	case *ast.AssignExpr:
+		return b.checkAssign(e)
+	case *ast.IncDecExpr:
+		t := b.checkAssignTarget(e.Target)
+		if t != tc.Int() {
+			b.errorf(e.Pos(), "++/-- requires an int target, found %s", t)
+		}
+		return tc.Void()
+	}
+	b.errorf(e.Pos(), "unhandled expression")
+	return tc.Void()
+}
+
+// resolveTypeArgs resolves explicit type argument syntax.
+func (b *bodyCtx) resolveTypeArgs(refs []ast.TypeRef) []types.Type {
+	out := make([]types.Type, len(refs))
+	for i, r := range refs {
+		out[i] = b.c.resolveType(r, b.tsc)
+	}
+	return out
+}
+
+// checkVarRef resolves an identifier in value position, following the
+// order: locals, class members (implicit this), top-level functions and
+// globals, then type names and built-in components.
+func (b *bodyCtx) checkVarRef(e *ast.VarRef, expected types.Type) types.Type {
+	tc := b.tc()
+	name := e.Name.Name
+	explicit := e.TypeArgs != nil
+
+	if l := b.scope.lookup(name); l != nil {
+		if explicit {
+			b.errorf(e.Pos(), "local %s does not take type arguments", name)
+		}
+		e.Binding = l
+		return l.Type
+	}
+
+	// Members of the enclosing component, unqualified.
+	if b.comp != nil {
+		if g := b.comp.Fields[name]; g != nil {
+			if explicit {
+				b.errorf(e.Pos(), "variable %s does not take type arguments", name)
+			}
+			if g.Type == nil {
+				b.errorf(e.Pos(), "variable %s used before its type is known", name)
+				return tc.Void()
+			}
+			e.Binding = g
+			return g.Type
+		}
+		if fn := b.comp.Methods[name]; fn != nil {
+			e.Binding = fn
+			return b.topFuncValueType(e, fn, explicit)
+		}
+	}
+
+	// Implicit this: fields and methods of the enclosing class chain.
+	if b.cls != nil {
+		if f := b.cls.FieldOf(name); f != nil {
+			if explicit {
+				b.errorf(e.Pos(), "field %s does not take type arguments", name)
+			}
+			e.Binding = f
+			return b.fieldTypeIn(f, b.selfType().(*types.Class))
+		}
+		if m := b.cls.MethodOf(name); m != nil {
+			// A bare method name is the method bound to this (g6-g7).
+			e.Binding = m
+			return b.methodValueType(e, m, b.selfType().(*types.Class), explicit)
+		}
+	}
+
+	if fn := b.c.prog.funcByName[name]; fn != nil {
+		e.Binding = fn
+		return b.topFuncValueType(e, fn, explicit)
+	}
+
+	if g := b.c.prog.globByName[name]; g != nil {
+		if explicit {
+			b.errorf(e.Pos(), "variable %s does not take type arguments", name)
+		}
+		if g.Type == nil {
+			b.errorf(e.Pos(), "variable %s used before its type is known", name)
+			return tc.Void()
+		}
+		e.Binding = g
+		return g.Type
+	}
+
+	// Type names: classes, primitives, Array, string, and type params.
+	if t := b.tryTypeName(e); t != nil {
+		e.IsTypeName = true
+		e.ResolvedType = t
+		return tc.Void() // a bare type is not a value; members give values
+	}
+
+	if b.builtins[name] != nil {
+		e.Binding = &componentRef{Name: name}
+		return tc.Void()
+	}
+
+	b.errorf(e.Pos(), "unknown identifier %q", name)
+	return tc.Void()
+}
+
+// topFuncValueType types a top-level (or component) function used as a
+// value, handling explicit and free type parameters.
+func (b *bodyCtx) topFuncValueType(e *ast.VarRef, fn *FuncSym, explicit bool) types.Type {
+	tc := b.tc()
+	if len(fn.TypeParams) == 0 {
+		if explicit {
+			b.errorf(e.Pos(), "function %s does not take type arguments", fn.Name)
+		}
+		return fn.Sig(tc)
+	}
+	if explicit {
+		args := b.resolveTypeArgs(e.TypeArgs)
+		if len(args) != len(fn.TypeParams) {
+			b.errorf(e.Pos(), "function %s expects %d type argument(s), got %d", fn.Name, len(fn.TypeParams), len(args))
+			return tc.Void()
+		}
+		e.TypeArgsOf = args
+		env := types.BindParams(fn.TypeParams, args)
+		return tc.Subst(fn.Sig(tc), env)
+	}
+	e.FreeParams = fn.TypeParams
+	return fn.Sig(tc)
+}
+
+// tryTypeName resolves e as a type name, returning nil if it is not one.
+// For a generic class used without type arguments (d10'), the class's
+// own parameters are left free for inference.
+func (b *bodyCtx) tryTypeName(e *ast.VarRef) types.Type {
+	tc := b.tc()
+	name := e.Name.Name
+	if p, ok := b.tsc.params[name]; ok && e.TypeArgs == nil {
+		return tc.ParamRef(p)
+	}
+	switch name {
+	case "int", "byte", "bool", "void", "string":
+		if e.TypeArgs != nil {
+			b.errorf(e.Pos(), "%s does not take type arguments", name)
+		}
+		switch name {
+		case "int":
+			return tc.Int()
+		case "byte":
+			return tc.Byte()
+		case "bool":
+			return tc.Bool()
+		case "void":
+			return tc.Void()
+		case "string":
+			return tc.String()
+		}
+	case "Array":
+		if len(e.TypeArgs) == 1 {
+			return tc.ArrayOf(b.c.resolveType(e.TypeArgs[0], b.tsc))
+		}
+		b.errorf(e.Pos(), "Array requires exactly one type argument")
+		return tc.ArrayOf(tc.Void())
+	}
+	cls := b.c.prog.classByName[name]
+	if cls == nil {
+		if en := b.c.prog.enumByName[name]; en != nil {
+			if e.TypeArgs != nil {
+				b.errorf(e.Pos(), "enum %s takes no type arguments", name)
+			}
+			return en.Type
+		}
+		return nil
+	}
+	if e.TypeArgs != nil {
+		args := b.resolveTypeArgs(e.TypeArgs)
+		if len(args) != len(cls.Def.TypeParams) {
+			b.errorf(e.Pos(), "class %s expects %d type argument(s), got %d", name, len(cls.Def.TypeParams), len(args))
+			return tc.SelfType(cls.Def)
+		}
+		e.TypeArgsOf = args
+		return tc.ClassOf(cls.Def, args)
+	}
+	if len(cls.Def.TypeParams) > 0 {
+		// Open use: List.new(...) infers the arguments at the call.
+		e.FreeParams = cls.Def.TypeParams
+	}
+	return tc.SelfType(cls.Def)
+}
+
+// fieldTypeIn returns f's type substituted for the receiver class
+// instantiation.
+func (b *bodyCtx) fieldTypeIn(f *FieldSym, recv *types.Class) types.Type {
+	tc := b.tc()
+	// Walk from recv up to the owner, accumulating substitutions.
+	env := b.envFor(f.Owner, recv)
+	return tc.Subst(f.Type, env)
+}
+
+// envFor computes the substitution environment mapping owner's type
+// parameters to the arguments they take when viewed from recv (which is
+// owner itself or a subclass instantiation).
+func (b *bodyCtx) envFor(owner *ClassSym, recv *types.Class) map[*types.TypeParamDef]types.Type {
+	tc := b.tc()
+	w := recv
+	for w != nil && w.Def != owner.Def {
+		w = tc.ParentOf(w)
+	}
+	if w == nil {
+		return nil
+	}
+	return types.BindParams(owner.Def.TypeParams, w.Args)
+}
+
+// methodValueType computes the type of a method used as a bound value
+// on a receiver of type recv, handling explicit or free method type
+// parameters.
+func (b *bodyCtx) methodValueType(e *ast.VarRef, m *MethodSym, recv *types.Class, explicit bool) types.Type {
+	tc := b.tc()
+	env := b.envFor(m.Owner, recv)
+	sig := tc.Subst(m.Sig(tc), env).(*types.Func)
+	if len(m.TypeParams) == 0 {
+		if explicit {
+			b.errorf(e.Pos(), "method %s does not take type arguments", m.Name)
+		}
+		return sig
+	}
+	if explicit {
+		args := b.resolveTypeArgs(e.TypeArgs)
+		if len(args) != len(m.TypeParams) {
+			b.errorf(e.Pos(), "method %s expects %d type argument(s), got %d", m.Name, len(m.TypeParams), len(args))
+			return sig
+		}
+		e.TypeArgsOf = args
+		return tc.Subst(sig, types.BindParams(m.TypeParams, args)).(*types.Func)
+	}
+	e.FreeParams = m.TypeParams
+	return sig
+}
+
+// opFromName maps an operator member spelling back to its token.
+var opFromName = map[string]token.Kind{
+	"==": token.Eq, "!=": token.Neq, "!": token.Not, "?": token.Question,
+	"+": token.Add, "-": token.Sub, "*": token.Mul, "/": token.Div,
+	"%": token.Mod, "<": token.Lt, ">": token.Gt, "<=": token.Le,
+	">=": token.Ge, "<<": token.Shl, ">>": token.Shr, "&": token.And,
+	"|": token.Or, "^": token.Xor,
+}
+
+// checkMember types recv.Name for all the paper's member forms.
+func (b *bodyCtx) checkMember(e *ast.MemberExpr, expected types.Type) types.Type {
+	tc := b.tc()
+	name := e.Name.Name
+
+	// Component members: System.puts, clock.ticks.
+	if vr, ok := e.Recv.(*ast.VarRef); ok && vr.TypeArgs == nil &&
+		b.scope.lookup(vr.Name.Name) == nil && b.builtins[vr.Name.Name] != nil {
+		comp := &componentRef{Name: vr.Name.Name}
+		vr.Binding = comp
+		vr.SetType(tc.Void())
+		fns := b.builtins[comp.Name]
+		bf := fns[name]
+		if bf == nil {
+			b.errorf(e.Pos(), "component %s has no member %q", comp.Name, name)
+			return tc.Void()
+		}
+		e.Kind = ast.MComponentMember
+		e.Binding = bf
+		return tc.FuncOf(bf.Param, bf.Ret)
+	}
+
+	// User component members: Comp.x, Comp.m (qualified access).
+	if vr, ok := e.Recv.(*ast.VarRef); ok && b.scope.lookup(vr.Name.Name) == nil &&
+		!(b.cls != nil && (b.cls.FieldOf(vr.Name.Name) != nil || b.cls.MethodOf(vr.Name.Name) != nil)) {
+		if comp := b.c.prog.compByName[vr.Name.Name]; comp != nil {
+			vr.Binding = comp
+			vr.SetType(tc.Void())
+			return b.checkUserComponentMember(e, comp)
+		}
+	}
+
+	// Type-qualified members: T.new, T.m, T.==, (int, int).==, ...
+	if t, free := b.tryRecvAsType(e.Recv); t != nil {
+		e.Recv.SetType(tc.Void())
+		return b.checkTypeMember(e, t, free)
+	}
+
+	rt := b.checkExpr(e.Recv, nil)
+	return b.checkValueMember(e, rt, expected)
+}
+
+// tryRecvAsType interprets a member receiver as a type expression when
+// possible: a type name, or a tuple of type expressions ((int, int).==).
+// It returns the type plus any still-free class parameters.
+func (b *bodyCtx) tryRecvAsType(e ast.Expr) (types.Type, []*types.TypeParamDef) {
+	switch e := e.(type) {
+	case *ast.TypeExpr:
+		return b.c.resolveType(e.Ref, b.tsc), nil
+	case *ast.VarRef:
+		name := e.Name.Name
+		// Value bindings shadow type names.
+		if b.scope.lookup(name) != nil {
+			return nil, nil
+		}
+		if b.cls != nil && (b.cls.FieldOf(name) != nil || b.cls.MethodOf(name) != nil) {
+			return nil, nil
+		}
+		if b.c.prog.funcByName[name] != nil || b.c.prog.globByName[name] != nil {
+			return nil, nil
+		}
+		t := b.tryTypeName(e)
+		if t == nil {
+			return nil, nil
+		}
+		e.IsTypeName = true
+		e.ResolvedType = t
+		return t, e.FreeParams
+	case *ast.TupleExpr:
+		elems := make([]types.Type, len(e.Elems))
+		var free []*types.TypeParamDef
+		for i, el := range e.Elems {
+			t, fr := b.tryRecvAsType(el)
+			if t == nil {
+				return nil, nil
+			}
+			el.SetType(b.tc().Void())
+			elems[i] = t
+			free = append(free, fr...)
+		}
+		return b.tc().TupleOf(elems), free
+	}
+	return nil, nil
+}
+
+// checkUserComponentMember types Comp.x and Comp.m.
+func (b *bodyCtx) checkUserComponentMember(e *ast.MemberExpr, comp *ComponentSym) types.Type {
+	tc := b.tc()
+	name := e.Name.Name
+	if g := comp.Fields[name]; g != nil {
+		if e.TypeArgs != nil {
+			b.errorf(e.Pos(), "field %s does not take type arguments", name)
+		}
+		if g.Type == nil {
+			b.errorf(e.Pos(), "variable %s used before its type is known", g.Name)
+			return tc.Void()
+		}
+		e.Kind = ast.MGlobal
+		e.Binding = g
+		return g.Type
+	}
+	if fn := comp.Methods[name]; fn != nil {
+		if fn.Private && b.comp != comp {
+			b.errorf(e.Pos(), "function %s is private to component %s", name, comp.Name)
+		}
+		e.Kind = ast.MTopFunc
+		e.Binding = fn
+		if len(fn.TypeParams) == 0 {
+			if e.TypeArgs != nil {
+				b.errorf(e.Pos(), "function %s does not take type arguments", name)
+			}
+			return fn.Sig(tc)
+		}
+		if e.TypeArgs != nil {
+			args := b.resolveTypeArgs(e.TypeArgs)
+			if len(args) != len(fn.TypeParams) {
+				b.errorf(e.Pos(), "function %s expects %d type argument(s), got %d", name, len(fn.TypeParams), len(args))
+				return fn.Sig(tc)
+			}
+			e.TypeArgsOf = args
+			return tc.Subst(fn.Sig(tc), types.BindParams(fn.TypeParams, args))
+		}
+		e.FreeParams = fn.TypeParams
+		return fn.Sig(tc)
+	}
+	b.errorf(e.Pos(), "component %s has no member %q", comp.Name, name)
+	return tc.Void()
+}
+
+// checkTypeMember types T.member: constructors, unbound class methods,
+// and the universal/primitive operators (§2.2).
+func (b *bodyCtx) checkTypeMember(e *ast.MemberExpr, subject types.Type, freeFromRecv []*types.TypeParamDef) types.Type {
+	tc := b.tc()
+	name := e.Name.Name
+	e.RecvType = subject
+	e.FreeParams = freeFromRecv
+
+	if op, isOp := opFromName[name]; isOp && e.OpToken != 0 {
+		return b.checkOperatorMember(e, subject, op)
+	}
+
+	switch name {
+	case "new":
+		switch st := subject.(type) {
+		case *types.Class:
+			cls := b.c.prog.classByDef[st.Def]
+			ct := cls.Ctor
+			env := types.BindParams(st.Def.TypeParams, st.Args)
+			params := make([]types.Type, len(ct.ParamTypes))
+			for i, t := range ct.ParamTypes {
+				params[i] = tc.Subst(t, env)
+			}
+			e.Kind = ast.MNew
+			e.Binding = ct
+			return tc.FuncOf(tc.TupleOf(params), subject)
+		case *types.Array:
+			e.Kind = ast.MNew
+			e.Binding = st
+			return tc.FuncOf(tc.Int(), st)
+		}
+		b.errorf(e.Pos(), "type %s has no constructor", subject)
+		return tc.Void()
+	}
+
+	if st, ok := subject.(*types.Enum); ok {
+		for tag, cs := range st.Def.Cases {
+			if cs == name {
+				e.Kind = ast.MEnumCase
+				e.TupleIdx = tag
+				return st
+			}
+		}
+		b.errorf(e.Pos(), "enum %s has no case %q", st.Def.Name, name)
+		return tc.Void()
+	}
+
+	if st, ok := subject.(*types.Class); ok {
+		cls := b.c.prog.classByDef[st.Def]
+		if m := cls.MethodOf(name); m != nil {
+			// Unbound class method: receiver becomes the first
+			// parameter (b3).
+			env := b.envFor(m.Owner, st)
+			e.Kind = ast.MClassMethod
+			e.Binding = m
+			elems := append([]types.Type{subject}, m.ParamTypes...)
+			sig := tc.FuncOf(tc.TupleOf(elems), m.Ret)
+			sig = tc.Subst(sig, env).(*types.Func)
+			if len(m.TypeParams) > 0 {
+				if e.TypeArgs != nil {
+					args := b.resolveTypeArgs(e.TypeArgs)
+					if len(args) != len(m.TypeParams) {
+						b.errorf(e.Pos(), "method %s expects %d type argument(s), got %d", name, len(m.TypeParams), len(args))
+						return sig
+					}
+					e.TypeArgsOf = args
+					return tc.Subst(sig, types.BindParams(m.TypeParams, args))
+				}
+				e.FreeParams = append(e.FreeParams, m.TypeParams...)
+			}
+			return sig
+		}
+		b.errorf(e.Pos(), "class %s has no member %q", st.Def.Name, name)
+		return tc.Void()
+	}
+	b.errorf(e.Pos(), "type %s has no member %q", subject, name)
+	return tc.Void()
+}
+
+// checkOperatorMember types the universal operators == != ! ? plus the
+// primitive arithmetic/comparison operators used as functions (b8-b15).
+func (b *bodyCtx) checkOperatorMember(e *ast.MemberExpr, subject types.Type, op token.Kind) types.Type {
+	tc := b.tc()
+	e.Kind = ast.MOperator
+	switch op {
+	case token.Eq, token.Neq:
+		if e.TypeArgs != nil {
+			b.errorf(e.Pos(), "operator %s takes no type arguments", e.Name.Name)
+		}
+		e.Binding = &OperatorSym{Op: e.Name.Name, Subject: subject, Input: subject}
+		return tc.FuncOf(tc.TupleOf([]types.Type{subject, subject}), tc.Bool())
+	case token.Not, token.Question:
+		// Cast T.!<F>: F -> T; query T.?<F>: F -> bool. F is explicit or
+		// inferred from the argument.
+		sym := &OperatorSym{Op: e.Name.Name, Subject: subject}
+		e.Binding = sym
+		var in types.Type
+		if len(e.TypeArgs) == 1 {
+			in = b.c.resolveType(e.TypeArgs[0], b.tsc)
+			sym.Input = in
+			e.TypeArgsOf = []types.Type{in}
+		} else if len(e.TypeArgs) > 1 {
+			b.errorf(e.Pos(), "operator %s takes one type argument", e.Name.Name)
+			in = tc.Void()
+			sym.Input = in
+		} else {
+			f := tc.NewTypeParamDef("F", 0, sym)
+			sym.FreeInput = f
+			e.FreeParams = append(e.FreeParams, f)
+			in = tc.ParamRef(f)
+		}
+		if op == token.Not {
+			if sym.Input != nil && !tc.CastLegal(sym.Input, subject) {
+				b.errorf(e.Pos(), "cast from %s to %s can never succeed", sym.Input, subject)
+			}
+			return tc.FuncOf(in, subject)
+		}
+		return tc.FuncOf(in, tc.Bool())
+	}
+	// Primitive operators.
+	if e.TypeArgs != nil {
+		b.errorf(e.Pos(), "operator %s takes no type arguments", e.Name.Name)
+	}
+	isInt := subject == tc.Int()
+	isByte := subject == tc.Byte()
+	switch op {
+	case token.Lt, token.Gt, token.Le, token.Ge:
+		if !isInt && !isByte {
+			b.errorf(e.Pos(), "type %s has no operator %s", subject, e.Name.Name)
+			return tc.Void()
+		}
+		e.Binding = &OperatorSym{Op: e.Name.Name, Subject: subject, Input: subject}
+		return tc.FuncOf(tc.TupleOf([]types.Type{subject, subject}), tc.Bool())
+	case token.Add, token.Sub, token.Mul, token.Div, token.Mod,
+		token.Shl, token.Shr, token.And, token.Or, token.Xor:
+		if !isInt {
+			b.errorf(e.Pos(), "type %s has no operator %s", subject, e.Name.Name)
+			return tc.Void()
+		}
+		e.Binding = &OperatorSym{Op: e.Name.Name, Subject: subject, Input: subject}
+		return tc.FuncOf(tc.TupleOf([]types.Type{subject, subject}), subject)
+	}
+	b.errorf(e.Pos(), "type %s has no operator %s", subject, e.Name.Name)
+	return tc.Void()
+}
+
+// checkValueMember types v.member where v is a value: tuple element
+// access, array length, field access, and bound methods.
+func (b *bodyCtx) checkValueMember(e *ast.MemberExpr, rt types.Type, expected types.Type) types.Type {
+	tc := b.tc()
+	name := e.Name.Name
+
+	if idx, err := strconv.Atoi(name); err == nil {
+		// Tuple element access (c4-c5). On a single-value type, .0 is
+		// the value itself ((T) == T).
+		e.Kind = ast.MTupleIndex
+		e.TupleIdx = idx
+		if tt, ok := rt.(*types.Tuple); ok {
+			if idx < 0 || idx >= len(tt.Elems) {
+				b.errorf(e.Pos(), "tuple index %d out of range for %s", idx, rt)
+				return tc.Void()
+			}
+			return tt.Elems[idx]
+		}
+		if idx != 0 {
+			b.errorf(e.Pos(), "tuple index %d out of range for %s", idx, rt)
+		}
+		return rt
+	}
+
+	if at, ok := rt.(*types.Array); ok {
+		_ = at
+		if name == "length" {
+			e.Kind = ast.MArrayLength
+			return tc.Int()
+		}
+		b.errorf(e.Pos(), "array type has no member %q", name)
+		return tc.Void()
+	}
+
+	if _, ok := rt.(*types.Enum); ok {
+		switch name {
+		case "tag":
+			e.Kind = ast.MEnumTag
+			return tc.Int()
+		case "name":
+			e.Kind = ast.MEnumName
+			return tc.String()
+		}
+		b.errorf(e.Pos(), "enum values have only .tag and .name, not %q", name)
+		return tc.Void()
+	}
+
+	ct, ok := rt.(*types.Class)
+	if !ok {
+		b.errorf(e.Pos(), "type %s has no member %q", rt, name)
+		return tc.Void()
+	}
+	cls := b.c.prog.classByDef[ct.Def]
+	if f := cls.FieldOf(name); f != nil {
+		if e.TypeArgs != nil {
+			b.errorf(e.Pos(), "field %s does not take type arguments", name)
+		}
+		e.Kind = ast.MField
+		e.Binding = f
+		return b.fieldTypeIn(f, ct)
+	}
+	if m := cls.MethodOf(name); m != nil {
+		e.Kind = ast.MBoundMethod
+		e.Binding = m
+		if m.Private && m.Owner != b.cls {
+			b.errorf(e.Pos(), "method %s.%s is private", m.Owner.Name, name)
+		}
+		env := b.envFor(m.Owner, ct)
+		sig := tc.Subst(m.Sig(tc), env).(*types.Func)
+		if len(m.TypeParams) > 0 {
+			if e.TypeArgs != nil {
+				args := b.resolveTypeArgs(e.TypeArgs)
+				if len(args) != len(m.TypeParams) {
+					b.errorf(e.Pos(), "method %s expects %d type argument(s), got %d", name, len(m.TypeParams), len(args))
+					return sig
+				}
+				e.TypeArgsOf = args
+				return tc.Subst(sig, types.BindParams(m.TypeParams, args))
+			}
+			e.FreeParams = m.TypeParams
+		} else if e.TypeArgs != nil {
+			b.errorf(e.Pos(), "method %s does not take type arguments", name)
+		}
+		return sig
+	}
+	b.errorf(e.Pos(), "class %s has no member %q", ct.Def.Name, name)
+	return tc.Void()
+}
+
+// freeParamsOf extracts pending inference parameters from a callee node.
+func freeParamsOf(e ast.Expr) []*types.TypeParamDef {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		return e.FreeParams
+	case *ast.MemberExpr:
+		return e.FreeParams
+	}
+	return nil
+}
+
+// setInferred stores inferred type arguments back onto the callee node
+// and clears its free parameters. For type-qualified members the
+// receiver type is substituted too, so lowering sees the instantiated
+// class (List.new(0, null) records List<int>).
+func setInferred(tc *types.Cache, e ast.Expr, params []*types.TypeParamDef, env map[*types.TypeParamDef]types.Type) {
+	args := make([]types.Type, len(params))
+	for i, p := range params {
+		args[i] = env[p]
+	}
+	switch e := e.(type) {
+	case *ast.VarRef:
+		e.TypeArgsOf = args
+		e.FreeParams = nil
+	case *ast.MemberExpr:
+		e.TypeArgsOf = args
+		e.FreeParams = nil
+		if e.RecvType != nil {
+			e.RecvType = tc.Subst(e.RecvType, env)
+		}
+		if sym, ok := e.Binding.(*OperatorSym); ok && sym.FreeInput != nil {
+			sym.Input = env[sym.FreeInput]
+		}
+	}
+}
+
+// checkCall types fn(args), performing type-argument inference for open
+// callees (§2.4) and checking the single-tuple-argument rule (§2.3).
+func (b *bodyCtx) checkCall(e *ast.CallExpr, expected types.Type) types.Type {
+	tc := b.tc()
+	ft := b.checkExpr(e.Fn, nil)
+	free := freeParamsOf(e.Fn)
+
+	fn, ok := ft.(*types.Func)
+	if !ok {
+		if vr, isRef := e.Fn.(*ast.VarRef); isRef && vr.IsTypeName {
+			b.errorf(e.Pos(), "type %s is not a function; use %s.new to construct", vr.ResolvedType, vr.ResolvedType)
+		} else {
+			b.errorf(e.Pos(), "cannot call non-function type %s", ft)
+		}
+		for _, a := range e.Args {
+			b.checkExpr(a, nil)
+		}
+		return tc.Void()
+	}
+
+	// Determine per-argument expected types for closed callees.
+	var expElems []types.Type
+	if free == nil {
+		expElems = paramElems(fn.Param, len(e.Args))
+	}
+	argTypes := make([]types.Type, len(e.Args))
+	for i, a := range e.Args {
+		var exp types.Type
+		if expElems != nil {
+			exp = expElems[i]
+		}
+		argTypes[i] = b.checkExpr(a, exp)
+		if fp := freeParamsOf(a); fp != nil {
+			b.errorf(a.Pos(), "cannot infer type arguments of %s here; supply them explicitly", describeCallee(a))
+		}
+	}
+	argTuple := argTupleType(tc, argTypes)
+
+	if free != nil {
+		inf := types.NewInference(tc, free)
+		if !unifyCallArgs(inf, fn.Param, e.Args, argTypes, tc) {
+			b.errorf(e.Pos(), "cannot unify arguments %s with parameters %s", argTuple, fn.Param)
+			return fn.Ret
+		}
+		// Also use the expected result type for parameters mentioned
+		// only in the return type (e.g. Box<T -> void>-style helpers).
+		if expected != nil {
+			inf.Unify(fn.Ret, expected)
+		}
+		bindings, complete := inf.Bindings(free)
+		if !complete {
+			// Unbound params that never occur in the signature default
+			// to void; otherwise it is an error.
+			for i, bt := range bindings {
+				if bt == nil {
+					b.errorf(e.Pos(), "cannot infer type argument %s; supply it explicitly", free[i].Name)
+					bindings[i] = tc.Void()
+				}
+			}
+		}
+		env := types.BindParams(free, bindings)
+		nfn := tc.Subst(fn, env).(*types.Func)
+		setInferred(tc, e.Fn, free, env)
+		e.Fn.SetType(nfn)
+		fn = nfn
+		argTuple = argTupleType(tc, argTypes)
+	}
+
+	if !tc.IsAssignable(argTuple, fn.Param) {
+		b.errorf(e.Pos(), "argument type %s does not match parameter type %s", argTuple, fn.Param)
+	}
+
+	// Reject statically illegal casts now that the input is known.
+	if m, ok := e.Fn.(*ast.MemberExpr); ok {
+		if sym, isOp := m.Binding.(*OperatorSym); isOp && sym.Op == "!" && sym.Input != nil {
+			if !tc.CastLegal(sym.Input, sym.Subject) {
+				b.errorf(e.Pos(), "cast from %s to %s can never succeed", sym.Input, sym.Subject)
+			}
+		}
+	}
+	return fn.Ret
+}
+
+func describeCallee(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		return e.Name.Name
+	case *ast.MemberExpr:
+		return e.Name.Name
+	}
+	return "expression"
+}
+
+// paramElems splits a parameter tuple into per-argument expectations
+// when the argument count matches; otherwise nil.
+func paramElems(param types.Type, nargs int) []types.Type {
+	if nargs == 1 {
+		return []types.Type{param}
+	}
+	if t, ok := param.(*types.Tuple); ok && len(t.Elems) == nargs {
+		return t.Elems
+	}
+	if nargs == 0 {
+		return []types.Type{}
+	}
+	return nil
+}
+
+// unifyCallArgs unifies the parameter pattern against the argument
+// types, matching elementwise when the shapes line up.
+func unifyCallArgs(inf *types.Inference, param types.Type, args []ast.Expr, argTypes []types.Type, tc *types.Cache) bool {
+	if len(args) == 1 {
+		return inf.Unify(param, argTypes[0])
+	}
+	if t, ok := param.(*types.Tuple); ok && len(t.Elems) == len(args) {
+		for i := range args {
+			if !inf.Unify(t.Elems[i], argTypes[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return inf.Unify(param, tc.TupleOf(argTypes))
+}
+
+// checkAssign types target = value and friends, enforcing mutability
+// (def fields assignable only inside their class's constructor).
+func (b *bodyCtx) checkAssign(e *ast.AssignExpr) types.Type {
+	tc := b.tc()
+	tt := b.checkAssignTarget(e.Target)
+	vt := b.checkExpr(e.Value, tt)
+	switch e.Op {
+	case token.Assign:
+		if tt != nil && !tc.IsAssignable(vt, tt) {
+			b.errorf(e.Pos(), "cannot assign %s to %s", vt, tt)
+		}
+	case token.AddEq, token.SubEq:
+		if tt != tc.Int() || vt != tc.Int() {
+			b.errorf(e.Pos(), "+=/-= requires int operands")
+		}
+	}
+	return tc.Void()
+}
+
+// checkAssignTarget types an assignment target and validates mutability.
+func (b *bodyCtx) checkAssignTarget(target ast.Expr) types.Type {
+	tc := b.tc()
+	switch t := target.(type) {
+	case *ast.VarRef:
+		rt := b.checkExpr(t, nil)
+		switch bind := t.Binding.(type) {
+		case *LocalSym:
+			if !bind.Mutable {
+				b.errorf(t.Pos(), "cannot assign to immutable %s", bind.Name)
+			}
+			return bind.Type
+		case *GlobalSym:
+			if !bind.Mutable {
+				b.errorf(t.Pos(), "cannot assign to immutable %s", bind.Name)
+			}
+			return bind.Type
+		case *FieldSym:
+			b.checkFieldMutable(t.Pos(), bind)
+			return rt
+		}
+		b.errorf(t.Pos(), "cannot assign to %s", t.Name.Name)
+		return rt
+	case *ast.MemberExpr:
+		rt := b.checkExpr(t, nil)
+		if f, ok := t.Binding.(*FieldSym); ok && t.Kind == ast.MField {
+			b.checkFieldMutable(t.Pos(), f)
+			return rt
+		}
+		if g, ok := t.Binding.(*GlobalSym); ok && t.Kind == ast.MGlobal {
+			if !g.Mutable {
+				b.errorf(t.Pos(), "cannot assign to immutable %s", g.Name)
+			}
+			return rt
+		}
+		b.errorf(t.Pos(), "cannot assign to this member")
+		return rt
+	case *ast.IndexExpr:
+		return b.checkExpr(t, nil)
+	}
+	b.errorf(target.Pos(), "invalid assignment target")
+	return b.checkExpr(target, tc.Void())
+}
+
+func (b *bodyCtx) checkFieldMutable(pos src.Pos, f *FieldSym) {
+	if f.Mutable {
+		return
+	}
+	if b.ctor != nil && b.ctor.Owner == f.Owner {
+		return // def fields may be written in their constructor
+	}
+	b.errorf(pos, "cannot assign to immutable field %s outside its constructor", f.Name)
+}
+
+// checkBinary types infix operators.
+func (b *bodyCtx) checkBinary(e *ast.BinaryExpr) types.Type {
+	tc := b.tc()
+	switch e.Op {
+	case token.AndAnd, token.OrOr:
+		lt := b.checkExpr(e.L, tc.Bool())
+		rt := b.checkExpr(e.R, tc.Bool())
+		if lt != tc.Bool() || rt != tc.Bool() {
+			b.errorf(e.Pos(), "%s requires bool operands, found %s and %s", e.Op, lt, rt)
+		}
+		return tc.Bool()
+	case token.Eq, token.Neq:
+		lt := b.checkExpr(e.L, nil)
+		rt := b.checkExpr(e.R, lt)
+		if isNullType(lt) && !isNullType(rt) {
+			// Re-derive the null's type from the right side.
+			lt = b.checkExpr(e.L, rt)
+		}
+		ok := tc.IsAssignable(lt, rt) || tc.IsAssignable(rt, lt)
+		if !ok {
+			b.errorf(e.Pos(), "cannot compare %s with %s", lt, rt)
+		}
+		return tc.Bool()
+	case token.Lt, token.Gt, token.Le, token.Ge:
+		lt := b.checkExpr(e.L, nil)
+		rt := b.checkExpr(e.R, lt)
+		if !((lt == tc.Int() && rt == tc.Int()) || (lt == tc.Byte() && rt == tc.Byte())) {
+			b.errorf(e.Pos(), "%s requires int or byte operands, found %s and %s", e.Op, lt, rt)
+		}
+		return tc.Bool()
+	case token.Add, token.Sub, token.Mul, token.Div, token.Mod,
+		token.Shl, token.Shr, token.And, token.Or, token.Xor:
+		lt := b.checkExpr(e.L, tc.Int())
+		rt := b.checkExpr(e.R, tc.Int())
+		if lt != tc.Int() || rt != tc.Int() {
+			b.errorf(e.Pos(), "%s requires int operands, found %s and %s", e.Op, lt, rt)
+		}
+		return tc.Int()
+	}
+	b.errorf(e.Pos(), "unknown binary operator %s", e.Op)
+	return tc.Void()
+}

@@ -1,0 +1,607 @@
+package typecheck
+
+import (
+	"repro/internal/ast"
+	"repro/internal/src"
+	"repro/internal/types"
+)
+
+// Checker holds the state of one checking run.
+type Checker struct {
+	prog *Program
+	errs *src.ErrorList
+	tc   *types.Cache
+}
+
+// Check resolves and typechecks the given files as one program.
+// It returns the checked Program; diagnostics go to errs.
+func Check(files []*ast.File, errs *src.ErrorList) *Program {
+	tc := types.NewCache()
+	prog := &Program{
+		Types:       tc,
+		Files:       files,
+		classByDef:  map[*types.ClassDef]*ClassSym{},
+		classByName: map[string]*ClassSym{},
+		funcByName:  map[string]*FuncSym{},
+		globByName:  map[string]*GlobalSym{},
+		compByName:  map[string]*ComponentSym{},
+		enumByName:  map[string]*EnumSym{},
+	}
+	c := &Checker{prog: prog, errs: errs, tc: tc}
+	c.collectDecls()
+	if !errs.Empty() {
+		return prog
+	}
+	c.resolveClassHeaders()
+	if !errs.Empty() {
+		return prog
+	}
+	c.resolveSignatures()
+	if !errs.Empty() {
+		return prog
+	}
+	c.buildLayouts()
+	if !errs.Empty() {
+		return prog
+	}
+	c.checkBodies()
+	prog.Main = prog.funcByName["main"]
+	return prog
+}
+
+func (c *Checker) errorf(pos src.Pos, format string, args ...any) {
+	c.errs.Add(pos, format, args...)
+}
+
+// reservedNames are identifiers that denote built-in types or components
+// and cannot be redeclared.
+var reservedNames = map[string]bool{
+	"int": true, "byte": true, "bool": true, "void": true, "string": true,
+	"Array": true, "System": true, "clock": true,
+}
+
+// collectDecls registers all top-level names.
+func (c *Checker) collectDecls() {
+	for _, f := range c.prog.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.ClassDecl:
+				name := d.Name.Name
+				if reservedNames[name] {
+					c.errorf(d.Pos(), "cannot redeclare built-in name %q", name)
+					continue
+				}
+				if c.prog.classByName[name] != nil || c.prog.compByName[name] != nil || c.prog.enumByName[name] != nil {
+					c.errorf(d.Pos(), "duplicate class %q", name)
+					continue
+				}
+				params := make([]*types.TypeParamDef, len(d.TypeParams))
+				for i, tp := range d.TypeParams {
+					params[i] = c.tc.NewTypeParamDef(tp.Name.Name, i, d)
+					tp.Def = params[i]
+				}
+				def := c.tc.NewClassDef(name, params, d)
+				d.Def = def
+				sym := &ClassSym{Name: name, Decl: d, Def: def}
+				c.prog.Classes = append(c.prog.Classes, sym)
+				c.prog.classByDef[def] = sym
+				c.prog.classByName[name] = sym
+			case *ast.MethodDecl:
+				name := d.Name.Name
+				if reservedNames[name] {
+					c.errorf(d.Pos(), "cannot redeclare built-in name %q", name)
+					continue
+				}
+				if c.prog.funcByName[name] != nil || c.prog.globByName[name] != nil ||
+					c.prog.compByName[name] != nil || c.prog.enumByName[name] != nil {
+					c.errorf(d.Pos(), "duplicate declaration %q", name)
+					continue
+				}
+				sym := &FuncSym{Name: name, Decl: d, VtSlot: -1, Private: d.Private}
+				c.prog.Funcs = append(c.prog.Funcs, sym)
+				c.prog.funcByName[name] = sym
+			case *ast.VarDecl:
+				name := d.Name.Name
+				if reservedNames[name] {
+					c.errorf(d.Pos(), "cannot redeclare built-in name %q", name)
+					continue
+				}
+				if c.prog.funcByName[name] != nil || c.prog.globByName[name] != nil || c.prog.classByName[name] != nil ||
+					c.prog.compByName[name] != nil || c.prog.enumByName[name] != nil {
+					c.errorf(d.Pos(), "duplicate declaration %q", name)
+					continue
+				}
+				sym := &GlobalSym{Name: name, Mutable: d.Mutable, Decl: d, Index: len(c.prog.Globals)}
+				c.prog.Globals = append(c.prog.Globals, sym)
+				c.prog.globByName[name] = sym
+			case *ast.ComponentDecl:
+				c.collectComponent(d)
+			case *ast.EnumDecl:
+				c.collectEnum(d)
+			}
+		}
+	}
+}
+
+// collectComponent registers a component and its members. Fields become
+// qualified globals; functions become qualified top-level functions.
+func (c *Checker) collectComponent(d *ast.ComponentDecl) {
+	name := d.Name.Name
+	if reservedNames[name] {
+		c.errorf(d.Pos(), "cannot redeclare built-in name %q", name)
+		return
+	}
+	if c.prog.compByName[name] != nil || c.prog.classByName[name] != nil ||
+		c.prog.funcByName[name] != nil || c.prog.globByName[name] != nil {
+		c.errorf(d.Pos(), "duplicate declaration %q", name)
+		return
+	}
+	comp := &ComponentSym{
+		Name:    name,
+		Decl:    d,
+		Fields:  map[string]*GlobalSym{},
+		Methods: map[string]*FuncSym{},
+	}
+	c.prog.Components = append(c.prog.Components, comp)
+	c.prog.compByName[name] = comp
+	for _, m := range d.Members {
+		switch m := m.(type) {
+		case *ast.FieldDecl:
+			if comp.Fields[m.Name.Name] != nil || comp.Methods[m.Name.Name] != nil {
+				c.errorf(m.Pos(), "duplicate member %q in component %s", m.Name.Name, name)
+				continue
+			}
+			// A component field is a global with a qualified name; it is
+			// represented by a synthesized VarDecl so the global
+			// machinery (type resolution, initializer order) applies.
+			vd := &ast.VarDecl{Mutable: m.Mutable, Name: m.Name, Type: m.Type, Init: m.Init}
+			g := &GlobalSym{
+				Name: name + "." + m.Name.Name, Mutable: m.Mutable,
+				Decl: vd, Index: len(c.prog.Globals), Comp: comp,
+			}
+			comp.Fields[m.Name.Name] = g
+			c.prog.Globals = append(c.prog.Globals, g)
+		case *ast.MethodDecl:
+			if comp.Fields[m.Name.Name] != nil || comp.Methods[m.Name.Name] != nil {
+				c.errorf(m.Pos(), "duplicate member %q in component %s", m.Name.Name, name)
+				continue
+			}
+			fn := &FuncSym{Name: name + "." + m.Name.Name, Decl: m, VtSlot: -1, Private: m.Private, Comp: comp}
+			comp.Methods[m.Name.Name] = fn
+			c.prog.Funcs = append(c.prog.Funcs, fn)
+		}
+	}
+}
+
+// collectEnum registers an enumerated type declaration.
+func (c *Checker) collectEnum(d *ast.EnumDecl) {
+	name := d.Name.Name
+	if reservedNames[name] {
+		c.errorf(d.Pos(), "cannot redeclare built-in name %q", name)
+		return
+	}
+	if c.prog.enumByName[name] != nil || c.prog.classByName[name] != nil ||
+		c.prog.compByName[name] != nil || c.prog.funcByName[name] != nil || c.prog.globByName[name] != nil {
+		c.errorf(d.Pos(), "duplicate declaration %q", name)
+		return
+	}
+	if len(d.Cases) == 0 {
+		c.errorf(d.Pos(), "enum %s requires at least one case", name)
+		return
+	}
+	seen := map[string]bool{}
+	cases := make([]string, 0, len(d.Cases))
+	for _, cs := range d.Cases {
+		if seen[cs.Name] {
+			c.errorf(cs.Pos(), "duplicate enum case %q", cs.Name)
+			continue
+		}
+		seen[cs.Name] = true
+		cases = append(cases, cs.Name)
+	}
+	def := c.tc.NewEnumDef(name, cases, d)
+	d.Def = def
+	sym := &EnumSym{Name: name, Decl: d, Def: def, Type: c.tc.EnumOf(def)}
+	c.prog.Enums = append(c.prog.Enums, sym)
+	c.prog.enumByName[name] = sym
+}
+
+// typeScope resolves type names: class/method type parameters, classes,
+// primitives, Array and string.
+type typeScope struct {
+	params map[string]*types.TypeParamDef
+}
+
+func newTypeScope() *typeScope {
+	return &typeScope{params: map[string]*types.TypeParamDef{}}
+}
+
+func (s *typeScope) with(params []*types.TypeParamDef) *typeScope {
+	ns := newTypeScope()
+	for k, v := range s.params {
+		ns.params[k] = v
+	}
+	for _, p := range params {
+		ns.params[p.Name] = p
+	}
+	return ns
+}
+
+// resolveType converts a syntactic TypeRef into a semantic type.
+func (c *Checker) resolveType(ref ast.TypeRef, sc *typeScope) types.Type {
+	switch ref := ref.(type) {
+	case *ast.NamedTypeRef:
+		return c.resolveNamed(ref, sc)
+	case *ast.TupleTypeRef:
+		elems := make([]types.Type, len(ref.Elems))
+		for i, e := range ref.Elems {
+			elems[i] = c.resolveType(e, sc)
+		}
+		return c.tc.TupleOf(elems)
+	case *ast.FuncTypeRef:
+		p := c.resolveType(ref.Param, sc)
+		r := c.resolveType(ref.Ret, sc)
+		return c.tc.FuncOf(p, r)
+	}
+	c.errorf(ref.Pos(), "unresolvable type")
+	return c.tc.Void()
+}
+
+func (c *Checker) resolveNamed(ref *ast.NamedTypeRef, sc *typeScope) types.Type {
+	name := ref.Name.Name
+	if len(ref.Args) == 0 {
+		if p, ok := sc.params[name]; ok {
+			return c.tc.ParamRef(p)
+		}
+		switch name {
+		case "int":
+			return c.tc.Int()
+		case "byte":
+			return c.tc.Byte()
+		case "bool":
+			return c.tc.Bool()
+		case "void":
+			return c.tc.Void()
+		case "string":
+			return c.tc.String()
+		}
+	}
+	if name == "Array" {
+		if len(ref.Args) != 1 {
+			c.errorf(ref.Pos(), "Array takes exactly one type argument")
+			return c.tc.Void()
+		}
+		return c.tc.ArrayOf(c.resolveType(ref.Args[0], sc))
+	}
+	cls := c.prog.classByName[name]
+	if cls == nil {
+		if en := c.prog.enumByName[name]; en != nil {
+			if len(ref.Args) != 0 {
+				c.errorf(ref.Pos(), "enum %s takes no type arguments", name)
+			}
+			return en.Type
+		}
+		c.errorf(ref.Pos(), "unknown type %q", name)
+		return c.tc.Void()
+	}
+	want := len(cls.Def.TypeParams)
+	if len(ref.Args) != want {
+		c.errorf(ref.Pos(), "class %s expects %d type argument(s), got %d", name, want, len(ref.Args))
+		return c.tc.Void()
+	}
+	args := make([]types.Type, len(ref.Args))
+	for i, a := range ref.Args {
+		args[i] = c.resolveType(a, sc)
+	}
+	return c.tc.ClassOf(cls.Def, args)
+}
+
+// resolveClassHeaders resolves parent classes and checks the hierarchy
+// for cycles.
+func (c *Checker) resolveClassHeaders() {
+	for _, cls := range c.prog.Classes {
+		d := cls.Decl
+		if d.Extends == nil {
+			continue
+		}
+		sc := newTypeScope().with(cls.Def.TypeParams)
+		pt := c.resolveType(d.Extends, sc)
+		pc, ok := pt.(*types.Class)
+		if !ok {
+			c.errorf(d.Extends.Pos(), "class %s cannot extend non-class type %s", cls.Name, pt)
+			continue
+		}
+		cls.Def.ParentType = pc
+		cls.Parent = c.prog.classByDef[pc.Def]
+	}
+	// Cycle detection and depth assignment.
+	for _, cls := range c.prog.Classes {
+		seen := map[*ClassSym]bool{}
+		depth := 0
+		for w := cls.Parent; w != nil; w = w.Parent {
+			if seen[w] || w == cls {
+				c.errorf(cls.Decl.Pos(), "inheritance cycle involving class %s", cls.Name)
+				cls.Parent = nil
+				cls.Def.ParentType = nil
+				break
+			}
+			seen[w] = true
+			depth++
+		}
+		cls.Depth = depth
+	}
+}
+
+// resolveSignatures resolves field types, method signatures and
+// constructors for every class, plus top-level function signatures and
+// global types.
+func (c *Checker) resolveSignatures() {
+	for _, cls := range c.prog.Classes {
+		c.resolveClassMembers(cls)
+	}
+	for _, fn := range c.prog.Funcs {
+		c.resolveFuncSig(fn, newTypeScope())
+	}
+	for _, g := range c.prog.Globals {
+		if g.Decl.Type != nil {
+			g.Type = c.resolveType(g.Decl.Type, newTypeScope())
+		}
+		// Globals without a declared type are typed from their
+		// initializer during body checking.
+	}
+}
+
+func (c *Checker) resolveClassMembers(cls *ClassSym) {
+	d := cls.Decl
+	sc := newTypeScope().with(cls.Def.TypeParams)
+	names := map[string]src.Pos{}
+	declare := func(name string, pos src.Pos) bool {
+		if prev, ok := names[name]; ok {
+			c.errorf(pos, "duplicate member %q in class %s (previously at %s); Virgil disallows overloading (§3.3)", name, cls.Name, prev)
+			return false
+		}
+		names[name] = pos
+		return true
+	}
+
+	// Compact class parameters become immutable fields (f1-f5).
+	var compactFields []*FieldSym
+	for _, p := range d.CtorParams {
+		if p.Type == nil {
+			c.errorf(p.Pos(), "compact class parameter %s requires a type", p.Name.Name)
+			continue
+		}
+		t := c.resolveType(p.Type, sc)
+		p.TypeOf = t
+		if !declare(p.Name.Name, p.Pos()) {
+			continue
+		}
+		f := &FieldSym{Name: p.Name.Name, Mutable: false, Owner: cls, Type: t}
+		cls.Fields = append(cls.Fields, f)
+		compactFields = append(compactFields, f)
+	}
+
+	var explicitCtor *ast.CtorDecl
+	for _, m := range d.Members {
+		switch m := m.(type) {
+		case *ast.FieldDecl:
+			if !declare(m.Name.Name, m.Pos()) {
+				continue
+			}
+			var t types.Type
+			if m.Type != nil {
+				t = c.resolveType(m.Type, sc)
+			}
+			m.TypeOf = t
+			f := &FieldSym{Name: m.Name.Name, Mutable: m.Mutable, Owner: cls, Decl: m, Type: t, Init: m.Init}
+			cls.Fields = append(cls.Fields, f)
+		case *ast.MethodDecl:
+			if !declare(m.Name.Name, m.Pos()) {
+				continue
+			}
+			fn := &FuncSym{Name: m.Name.Name, Owner: cls, Decl: m, Abstract: m.Body == nil, Private: m.Private, VtSlot: -1}
+			c.resolveFuncSig(fn, sc)
+			cls.Methods = append(cls.Methods, fn)
+		case *ast.CtorDecl:
+			if explicitCtor != nil {
+				c.errorf(m.Pos(), "class %s has multiple constructors", cls.Name)
+				continue
+			}
+			explicitCtor = m
+			m.Owner = d
+		}
+	}
+
+	// Fields without a declared type take the type of their initializer;
+	// that requires body checking, so reject for now unless Init exists
+	// (the init is checked later and backfills). To keep layout types
+	// available, we require a type or a literal-typed init here.
+	for _, f := range cls.Fields {
+		if f.Type == nil {
+			if f.Init != nil {
+				if t := literalType(c.tc, f.Init); t != nil {
+					f.Type = t
+					if f.Decl != nil {
+						f.Decl.TypeOf = t
+					}
+					continue
+				}
+			}
+			c.errorf(f.Decl.Pos(), "field %s.%s requires a declared type", cls.Name, f.Name)
+			f.Type = c.tc.Void()
+		}
+	}
+
+	// Constructor resolution.
+	switch {
+	case explicitCtor != nil:
+		if len(compactFields) > 0 {
+			c.errorf(explicitCtor.Pos(), "class %s has both compact class parameters and an explicit constructor", cls.Name)
+		}
+		ct := &CtorSym{Owner: cls, Decl: explicitCtor, Params: explicitCtor.Params}
+		ct.ParamTypes = make([]types.Type, len(ct.Params))
+		ct.FieldParams = make([]*FieldSym, len(ct.Params))
+		for i, p := range ct.Params {
+			if p.Type != nil {
+				ct.ParamTypes[i] = c.resolveType(p.Type, sc)
+				p.TypeOf = ct.ParamTypes[i]
+				continue
+			}
+			// Field-shorthand parameter (a4): takes the field's type and
+			// auto-assigns it.
+			f := cls.FieldOf(p.Name.Name)
+			if f == nil || f.Owner != cls {
+				c.errorf(p.Pos(), "constructor parameter %s does not name a field of %s", p.Name.Name, cls.Name)
+				ct.ParamTypes[i] = c.tc.Void()
+				continue
+			}
+			ct.ParamTypes[i] = f.Type
+			ct.FieldParams[i] = f
+			p.TypeOf = f.Type
+		}
+		cls.Ctor = ct
+	case len(compactFields) > 0:
+		ct := &CtorSym{Owner: cls, Compact: true}
+		for i, p := range d.CtorParams {
+			_ = i
+			ct.Params = append(ct.Params, p)
+			ct.ParamTypes = append(ct.ParamTypes, p.TypeOf)
+		}
+		ct.FieldParams = compactFields
+		cls.Ctor = ct
+	default:
+		cls.Ctor = &CtorSym{Owner: cls}
+	}
+}
+
+// literalType returns the type of a literal expression, or nil.
+func literalType(tc *types.Cache, e ast.Expr) types.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return tc.Int()
+	case *ast.ByteLit:
+		return tc.Byte()
+	case *ast.BoolLit:
+		return tc.Bool()
+	case *ast.StrLit:
+		return tc.String()
+	case *ast.TupleExpr:
+		elems := make([]types.Type, len(e.Elems))
+		for i, el := range e.Elems {
+			t := literalType(tc, el)
+			if t == nil {
+				return nil
+			}
+			elems[i] = t
+		}
+		return tc.TupleOf(elems)
+	}
+	return nil
+}
+
+func (c *Checker) resolveFuncSig(fn *FuncSym, outer *typeScope) {
+	d := fn.Decl
+	fn.TypeParams = make([]*types.TypeParamDef, len(d.TypeParams))
+	for i, tp := range d.TypeParams {
+		fn.TypeParams[i] = c.tc.NewTypeParamDef(tp.Name.Name, i, d)
+		tp.Def = fn.TypeParams[i]
+	}
+	sc := outer.with(fn.TypeParams)
+	fn.Params = d.Params
+	fn.ParamTypes = make([]types.Type, len(d.Params))
+	for i, p := range d.Params {
+		if p.Type == nil {
+			c.errorf(p.Pos(), "parameter %s requires a type", p.Name.Name)
+			fn.ParamTypes[i] = c.tc.Void()
+			continue
+		}
+		fn.ParamTypes[i] = c.resolveType(p.Type, sc)
+		p.TypeOf = fn.ParamTypes[i]
+	}
+	if d.RetType != nil {
+		fn.Ret = c.resolveType(d.RetType, sc)
+	} else {
+		fn.Ret = c.tc.Void()
+	}
+	d.Sig = fn.Sig(c.tc)
+	if fn.Owner != nil {
+		d.Owner = fn.Owner.Decl
+	}
+}
+
+// buildLayouts assigns field slots and vtable slots, checking override
+// compatibility (exact signature match after parent substitution).
+func (c *Checker) buildLayouts() {
+	done := map[*ClassSym]bool{}
+	var build func(cls *ClassSym)
+	build = func(cls *ClassSym) {
+		if done[cls] {
+			return
+		}
+		done[cls] = true
+		var baseFields []*FieldSym
+		var vtable []*MethodSym
+		if cls.Parent != nil {
+			build(cls.Parent)
+			// Parent members are typed in terms of the parent's type
+			// parameters; substitute this class's parent instantiation.
+			pt := cls.Def.ParentType
+			env := types.BindParams(cls.Parent.Def.TypeParams, pt.Args)
+			for _, f := range cls.Parent.AllFields {
+				nf := *f
+				nf.Type = c.tc.Subst(f.Type, env)
+				baseFields = append(baseFields, &nf)
+			}
+			vtable = append(vtable, cls.Parent.Vtable...)
+		}
+		cls.AllFields = baseFields
+		for _, f := range cls.Fields {
+			if cls.Parent != nil {
+				if pf := cls.Parent.FieldOf(f.Name); pf != nil {
+					c.errorf(cls.Decl.Pos(), "field %s.%s shadows inherited field", cls.Name, f.Name)
+				}
+			}
+			f.Slot = len(cls.AllFields)
+			cls.AllFields = append(cls.AllFields, f)
+		}
+		cls.Vtable = vtable
+		for _, m := range cls.Methods {
+			var overridden *MethodSym
+			if cls.Parent != nil {
+				overridden = cls.Parent.MethodOf(m.Name)
+			}
+			if overridden != nil {
+				// Exact signature match after substituting the parent
+				// instantiation (the paper requires matching signatures;
+				// tuple equivalences make (int,int) match ((int,int))).
+				pt := cls.Def.ParentType
+				env := types.BindParams(cls.Parent.Def.TypeParams, pt.Args)
+				wantParam := c.tc.Subst(overridden.ParamTuple(c.tc), env)
+				wantRet := c.tc.Subst(overridden.Ret, env)
+				if len(m.TypeParams) != len(overridden.TypeParams) {
+					c.errorf(m.Decl.Pos(), "override of %s.%s changes type parameter count", cls.Parent.Name, m.Name)
+				}
+				if m.ParamTuple(c.tc) != wantParam || m.Ret != wantRet {
+					c.errorf(m.Decl.Pos(), "override of %s.%s has signature %s, want %s -> %s",
+						cls.Parent.Name, m.Name, m.Sig(c.tc), wantParam, wantRet)
+				}
+				if overridden.Private {
+					c.errorf(m.Decl.Pos(), "cannot override private method %s.%s", cls.Parent.Name, m.Name)
+				}
+				m.VtSlot = overridden.VtSlot
+				m.Decl.Override = overridden.Decl
+				cls.Vtable[m.VtSlot] = m
+			} else {
+				m.VtSlot = len(cls.Vtable)
+				cls.Vtable = append(cls.Vtable, m)
+			}
+			m.Decl.VtSlot = m.VtSlot
+		}
+		// A concrete class must implement all abstract methods; we allow
+		// abstract methods to remain (calling one traps), matching the
+		// paper's use of Instr.emit as an abstract method (n2).
+	}
+	for _, cls := range c.prog.Classes {
+		build(cls)
+	}
+}

@@ -1,0 +1,101 @@
+package typecheck
+
+import "testing"
+
+func TestComponentBasics(t *testing.T) {
+	mustCheck(t, `
+component Counter {
+	var count: int;
+	def bump() -> int { count++; return count; }
+}
+def main() {
+	Counter.count = 5;
+	var c = Counter.bump();
+	var f = Counter.bump;   // component function as a value
+	var g: void -> int = f;
+}
+`)
+}
+
+func TestComponentUnqualifiedAccess(t *testing.T) {
+	mustCheck(t, `
+component C {
+	var x: int;
+	def get() -> int { return x; }
+	def indirect() -> int { return get(); }
+}
+`)
+}
+
+func TestComponentPrivate(t *testing.T) {
+	mustCheck(t, `
+component C {
+	private def secret() -> int { return 1; }
+	def open() -> int { return secret(); }
+}
+`)
+	mustFail(t, `
+component C {
+	private def secret() -> int { return 1; }
+}
+def main() { var x = C.secret(); }
+`, "private")
+}
+
+func TestComponentImmutableField(t *testing.T) {
+	mustFail(t, `
+component C { def x = 5; }
+def main() { C.x = 6; }
+`, "immutable")
+}
+
+func TestComponentDuplicates(t *testing.T) {
+	mustFail(t, `
+component C { var x: int; def x() { } }
+`, "duplicate member")
+	mustFail(t, `
+component C { }
+component C { }
+`, "duplicate")
+	mustFail(t, `
+class C { }
+component C { }
+`, "duplicate")
+}
+
+func TestComponentNoMember(t *testing.T) {
+	mustFail(t, `
+component C { var x: int; }
+def main() { var y = C.nope; }
+`, "no member")
+}
+
+func TestComponentGenericFunction(t *testing.T) {
+	mustCheck(t, `
+component Util {
+	def id<T>(x: T) -> T { return x; }
+}
+def main() {
+	var a = Util.id(5);
+	var b = Util.id<bool>(true);
+	var c = Util.id((1, 2));
+}
+`)
+}
+
+func TestComponentAbstractFunctionRejected(t *testing.T) {
+	mustFail(t, `
+component C { def f() -> int; }
+`, "requires a body")
+}
+
+func TestComponentShadowedByLocal(t *testing.T) {
+	// A local named like a component shadows it.
+	mustFail(t, `
+component C { var x: int; }
+def main() {
+	var C = 1;
+	var y = C.x;
+}
+`, "no member")
+}

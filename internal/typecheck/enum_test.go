@@ -1,0 +1,76 @@
+package typecheck
+
+import "testing"
+
+func TestEnumBasics(t *testing.T) {
+	mustCheck(t, `
+enum Color { RED, GREEN, BLUE }
+def main() {
+	var c = Color.RED;
+	var t: int = c.tag;
+	var n: string = c.name;
+	var e = c == Color.BLUE;
+	var d: Color;           // defaults to the first case
+	var arr = Array<Color>.new(3);
+	arr[0] = Color.GREEN;
+}
+`)
+}
+
+func TestEnumAsTypeArgument(t *testing.T) {
+	// Any type can be a type argument (§2.4) — including enums.
+	mustCheck(t, `
+enum Color { RED, GREEN }
+class Box<T> { var v: T; new(v) { } }
+def id<T>(x: T) -> T { return x; }
+def main() {
+	var b = Box.new(Color.RED);
+	var c = id(Color.GREEN);
+	var q = Box<Color>.?(b);
+}
+`)
+}
+
+func TestEnumUniversalOperators(t *testing.T) {
+	mustCheck(t, `
+enum Color { RED, GREEN }
+def main() {
+	var eq = Color.==;
+	var x = eq(Color.RED, Color.GREEN);
+	var q = Color.?(Color.RED);
+	var c = Color.!(Color.RED);
+}
+`)
+}
+
+func TestEnumErrors(t *testing.T) {
+	mustFail(t, `
+enum Color { RED }
+def main() { var c = Color.PINK; }
+`, "no case")
+	mustFail(t, `
+enum Color { RED, RED }
+`, "duplicate enum case")
+	mustFail(t, `enum E { }`, "at least one case")
+	mustFail(t, `
+enum Color { RED }
+class Color { }
+`, "duplicate")
+	mustFail(t, `
+enum Color { RED }
+def main() { var x = Color.RED.nope; }
+`, "only .tag and .name")
+	mustFail(t, `
+enum Color { RED }
+def main() { var c: Color = 0; }
+`, "cannot assign int to Color")
+	mustFail(t, `
+enum Color { RED }
+enum State { IDLE }
+def main() { var x = Color.RED == State.IDLE; }
+`, "cannot compare")
+	mustFail(t, `
+enum Color { RED }
+def main() { var x = int.!(Color.RED); }
+`, "can never succeed")
+}

@@ -1,0 +1,459 @@
+package typecheck
+
+import "testing"
+
+// This file is the negative test suite: every static rule the paper
+// states or implies gets an accepted and a rejected variant.
+
+func TestRejectUnknownIdentifier(t *testing.T) {
+	mustFail(t, `def main() { x = 1; }`, "unknown identifier")
+}
+
+func TestRejectUnknownType(t *testing.T) {
+	mustFail(t, `def f(x: Nope) { }`, "unknown type")
+}
+
+func TestRejectDuplicateTopLevel(t *testing.T) {
+	mustFail(t, `def f() { } def f() { }`, "duplicate")
+	mustFail(t, `var x = 1; var x = 2;`, "duplicate")
+	mustFail(t, `class A { } class A { }`, "duplicate class")
+}
+
+func TestRejectReservedNames(t *testing.T) {
+	mustFail(t, `class int { }`, "built-in name")
+	mustFail(t, `def System() { }`, "built-in name")
+	mustFail(t, `var string = 1;`, "built-in name")
+}
+
+func TestRejectInheritanceCycle(t *testing.T) {
+	mustFail(t, `class A extends B { } class B extends A { }`, "cycle")
+}
+
+func TestRejectExtendNonClass(t *testing.T) {
+	mustFail(t, `class A extends int { }`, "non-class")
+}
+
+func TestRejectFieldShadowing(t *testing.T) {
+	mustFail(t, `
+class A { var f: int; }
+class B extends A { var f: int; }
+`, "shadows")
+}
+
+func TestRejectBadOverride(t *testing.T) {
+	mustFail(t, `
+class A { def m(a: int) -> int { return a; } }
+class B extends A { def m(a: bool) -> int { return 0; } }
+`, "override")
+	mustFail(t, `
+class A { def m(a: int) -> int { return a; } }
+class B extends A { def m(a: int) -> bool { return true; } }
+`, "override")
+	mustFail(t, `
+class A { private def m() { } }
+class B extends A { def m() { } }
+`, "private")
+}
+
+func TestAcceptTupleEquivalentOverride(t *testing.T) {
+	// (p10-p14): (int, int) -> int and ((int, int)) -> int are the same
+	// type, so this override is legal.
+	mustCheck(t, `
+class A { def m(a: int, b: int) -> int { return a + b; } }
+class B extends A { def m(a: (int, int)) -> int { return a.0; } }
+`)
+}
+
+func TestRejectTypeArgCountMismatch(t *testing.T) {
+	mustFail(t, `
+class Box<T> { var v: T; }
+def main() { var b: Box<int, bool>; }
+`, "type argument")
+	mustFail(t, `
+def id<T>(x: T) -> T { return x; }
+def main() { var f = id<int, bool>; }
+`, "type argument")
+}
+
+func TestRejectArgumentMismatch(t *testing.T) {
+	mustFail(t, `
+def f(a: int, b: int) { }
+def main() { f(1); }
+`, "does not match")
+	mustFail(t, `
+def f(a: int) { }
+def main() { f(true); }
+`, "does not match")
+	mustFail(t, `
+def f() { }
+def main() { f(1); }
+`, "does not match")
+}
+
+func TestRejectCallNonFunction(t *testing.T) {
+	mustFail(t, `def main() { var x = 1; x(2); }`, "cannot call")
+}
+
+func TestRejectCondNotBool(t *testing.T) {
+	mustFail(t, `def main() { if (1) { } }`, "must be bool")
+	mustFail(t, `def main() { while ("s") { } }`, "must be bool")
+}
+
+func TestRejectBreakOutsideLoop(t *testing.T) {
+	mustFail(t, `def main() { break; }`, "outside loop")
+	mustFail(t, `def main() { continue; }`, "outside loop")
+}
+
+func TestRejectReturnMismatch(t *testing.T) {
+	mustFail(t, `def f() -> int { return true; }`, "cannot return")
+	mustFail(t, `def f() -> int { return; }`, "missing return value")
+	mustFail(t, `def f() -> int { var x = 1; }`, "missing return")
+}
+
+func TestAcceptWhileTrueTerminates(t *testing.T) {
+	mustCheck(t, `def f() -> int { while (true) { } }`)
+}
+
+func TestRejectImmutableAssignment(t *testing.T) {
+	mustFail(t, `def main() { def x = 5; x = 6; }`, "immutable")
+	mustFail(t, `def x = 5; def main() { x = 6; }`, "immutable")
+	mustFail(t, `
+class A { def f: int; new(f) { } }
+def main() { var a = A.new(1); a.f = 2; }
+`, "immutable field")
+}
+
+func TestAcceptDefFieldAssignedInCtor(t *testing.T) {
+	mustCheck(t, `
+class A {
+	def f: int;
+	new() { f = 42; }
+}
+`)
+}
+
+func TestRejectTupleElementAssignment(t *testing.T) {
+	// Tuples are immutable values (§2.3).
+	mustFail(t, `def main() { var t = (1, 2); t.0 = 5; }`, "cannot assign")
+}
+
+func TestRejectPrivateMethodAccess(t *testing.T) {
+	mustFail(t, `
+class A { private def secret() { } }
+def main() { A.new().secret(); }
+`, "private")
+}
+
+func TestAcceptPrivateWithinClass(t *testing.T) {
+	mustCheck(t, `
+class A {
+	private def secret() -> int { return 1; }
+	def open() -> int { return secret(); }
+}
+`)
+}
+
+func TestRejectNullWithoutContext(t *testing.T) {
+	mustFail(t, `def main() { var x = null; }`, "cannot infer the type of null")
+	mustFail(t, `def main() { var t = (null, 1); }`, "null")
+}
+
+func TestAcceptNullInContext(t *testing.T) {
+	mustCheck(t, `
+class A { }
+def f(a: A) { }
+def main() {
+	var a: A = null;
+	f(null);
+	var ok = a == null;
+}
+`)
+}
+
+func TestRejectTupleIndexOutOfRange(t *testing.T) {
+	mustFail(t, `def main() { var t = (1, 2); var x = t.2; }`, "out of range")
+	mustFail(t, `def main() { var x = 5; var y = x.1; }`, "out of range")
+}
+
+func TestAcceptDegenerateTupleIndex(t *testing.T) {
+	// (T) == T, so x.0 of a scalar is the scalar (c4).
+	mustCheck(t, `def main() { var x = 5; var y = x.0; }`)
+}
+
+func TestRejectArithmeticTypeErrors(t *testing.T) {
+	mustFail(t, `def main() { var x = 1 + true; }`, "requires int")
+	mustFail(t, `def main() { var x = 'a' + 'b'; }`, "requires int")
+	mustFail(t, `def main() { var x = true < false; }`, "requires int or byte")
+	mustFail(t, `def main() { var x = 1 && 2; }`, "requires bool")
+	mustFail(t, `def main() { var x = -true; }`, "requires int")
+	mustFail(t, `def main() { var x = !5; }`, "requires bool")
+}
+
+func TestRejectIncomparable(t *testing.T) {
+	mustFail(t, `
+class A { }
+def main() { var x = A.new() == 5; }
+`, "cannot compare")
+	mustFail(t, `def main() { var x = (1, 2) == (1, 2, 3); }`, "cannot compare")
+}
+
+func TestAcceptUniversalEquality(t *testing.T) {
+	// Every type supports == != (§2).
+	mustCheck(t, `
+class A { }
+def f(x: int) { }
+def main() {
+	var t = (1, (true, 'c')) == (1, (true, 'c'));
+	var o = A.new() == A.new();
+	var fn = f == f;
+	var v = () == ();
+}
+`)
+}
+
+func TestRejectIllegalCasts(t *testing.T) {
+	mustFail(t, `def main() { var x = bool.!(5); }`, "can never succeed")
+	mustFail(t, `
+class A { }
+def main() { var x = int.!(A.new()); }
+`, "can never succeed")
+	mustFail(t, `
+class A { }
+class B { }
+def main() { var x = B.!(A.new()); }
+`, "can never succeed")
+}
+
+func TestAcceptDynamicCasts(t *testing.T) {
+	mustCheck(t, `
+class A { }
+class B extends A { }
+class Box<T> { var v: T; }
+def main() {
+	var a: A = B.new();
+	var b = B.!(a);       // downcast
+	var i = int.!('c');   // widening
+	var c = byte.!(65);   // checked narrowing
+	var box: Box<int> = Box<int>.new();
+	var q = Box<bool>.?(box);  // reified query, statically false but legal
+}
+`)
+}
+
+func TestRejectIndexingNonArray(t *testing.T) {
+	mustFail(t, `def main() { var x = 5; var y = x[0]; }`, "cannot index")
+	mustFail(t, `def main() { var a = Array<int>.new(3); var y = a[true]; }`, "index must be int")
+}
+
+func TestRejectUnknownMember(t *testing.T) {
+	mustFail(t, `
+class A { }
+def main() { var x = A.new().nope; }
+`, "no member")
+	mustFail(t, `def main() { System.nope(); }`, "no member")
+	mustFail(t, `def main() { var a = Array<int>.new(1); var x = a.size; }`, "no member")
+}
+
+func TestRejectThisOutsideClass(t *testing.T) {
+	mustFail(t, `def main() { var x = this; }`, "this outside")
+}
+
+func TestRejectSuperErrors(t *testing.T) {
+	mustFail(t, `
+class A { }
+class B extends A {
+	new() super(1) { }
+}
+`, "super arguments")
+	mustFail(t, `
+class A { new(x: int) { } }
+class B extends A {
+	new() { }
+}
+`, "must call super")
+	mustFail(t, `
+class A {
+	new() super(1) { }
+}
+`, "no parent")
+}
+
+func TestRejectCtorShorthandForUnknownField(t *testing.T) {
+	mustFail(t, `
+class A { new(nope) { } }
+`, "does not name a field")
+}
+
+func TestRejectMultipleCtors(t *testing.T) {
+	mustFail(t, `
+class A {
+	new() { }
+	new(x: int) { }
+}
+`, "multiple constructors")
+}
+
+func TestRejectUninferableTypeArgs(t *testing.T) {
+	// A generic function with a parameter-independent type parameter
+	// cannot be inferred from arguments.
+	mustFail(t, `
+def make<T>() -> Array<T> { return Array<T>.new(0); }
+def main() { var a = make(); }
+`, "cannot infer")
+}
+
+func TestAcceptExplicitTypeArgs(t *testing.T) {
+	mustCheck(t, `
+def make<T>() -> Array<T> { return Array<T>.new(0); }
+def main() { var a = make<int>(); }
+`)
+}
+
+func TestRejectIntLiteralOverflow(t *testing.T) {
+	mustFail(t, `def main() { var x = 4294967296; }`, "out of 32-bit range")
+}
+
+func TestRejectVoidParamlessLocal(t *testing.T) {
+	mustFail(t, `def main() { var x; }`, "requires a type or initializer")
+}
+
+func TestAcceptVoidTypedVariables(t *testing.T) {
+	// (q7): programmers rarely write these, but polymorphic expansion
+	// produces them, so they are legal.
+	mustCheck(t, `
+def f(v: void) { }
+def main() {
+	var t: void;
+	f(t);
+	f();
+}
+`)
+}
+
+func TestRejectInstantiatingTypeAsValue(t *testing.T) {
+	mustFail(t, `
+class A { }
+def main() { var x = A(); }
+`, "use A.new")
+}
+
+func TestGenericMethodExplicitAndInferred(t *testing.T) {
+	mustCheck(t, `
+class Matcher {
+	def add<T>(f: T -> void) { }
+}
+def handler(i: int) { }
+def main() {
+	var m = Matcher.new();
+	m.add(handler);
+	m.add<int>(handler);
+	m.add<(int, bool)>(null);
+}
+`)
+}
+
+func TestInferenceThroughSubtyping(t *testing.T) {
+	// Inference must pick T = Animal for mixed lists (covariant merge).
+	mustCheck(t, `
+class Animal { }
+class Bat extends Animal { }
+def pair<T>(a: T, b: T) -> (T, T) { return (a, b); }
+def main() {
+	var p = pair(Bat.new(), Animal.new());
+	var q: (Animal, Animal) = p;
+}
+`)
+}
+
+func TestRejectConflictingInference(t *testing.T) {
+	mustFail(t, `
+def pair<T>(a: T, b: T) -> (T, T) { return (a, b); }
+def main() { var p = pair(1, true); }
+`, "cannot unify")
+}
+
+func TestVarianceInFunctionArguments(t *testing.T) {
+	// Accepting a more general function is always allowed (§3.6).
+	mustCheck(t, `
+class Animal { }
+class Bat extends Animal { }
+def use(f: Bat -> Animal) { }
+def general(a: Animal) -> Bat { return Bat.!(a); }
+def main() { use(general); }
+`)
+	// The reverse direction is an error.
+	mustFail(t, `
+class Animal { }
+class Bat extends Animal { }
+def use(f: Animal -> Animal) { }
+def specific(b: Bat) -> Animal { return b; }
+def main() { use(specific); }
+`, "does not match")
+}
+
+func TestAcceptOperatorsOnTypeParams(t *testing.T) {
+	// The four universal operators work on T (§2.4); others do not.
+	mustCheck(t, `
+def f<T>(a: T, b: T) -> bool { return a == b; }
+def g<T>(a: T) -> bool { return int.?(a); }
+def h<T>(x: T) -> (T, T) -> bool { return T.==; }
+`)
+	mustFail(t, `
+def f<T>(a: T, b: T) -> T { return T.+(a, b); }
+`, "no operator")
+}
+
+func TestSeparateTypechecking(t *testing.T) {
+	// (§2.4): bodies of parameterized declarations are checked
+	// independently of instantiation; an error inside shows up once,
+	// regardless of uses.
+	_, errs := checkSrc(t, `
+def broken<T>(x: T) -> int { return x + 1; }
+def main() {
+	broken(1);
+	broken(true);
+}
+`)
+	if errs.Empty() {
+		t.Fatal("expected an error in the generic body")
+	}
+	if errs.Len() != 1 {
+		t.Fatalf("the generic body error should be reported once, got %d:\n%s", errs.Len(), errs.Error())
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	// Locals shadow globals and class members.
+	mustCheck(t, `
+var x = 1;
+class A {
+	var f: int;
+	def m() -> int {
+		var f = 2;
+		var x = 3;
+		return f + x;
+	}
+}
+def main() { }
+`)
+}
+
+func TestForLoopScoping(t *testing.T) {
+	// The loop variable is scoped to the loop (d7).
+	mustFail(t, `
+def main() {
+	for (i = 0; i < 3; i++) { }
+	var x = i;
+}
+`, "unknown identifier")
+}
+
+func TestStringIsArrayByte(t *testing.T) {
+	mustCheck(t, `
+def len(s: string) -> int { return s.length; }
+def first(s: Array<byte>) -> byte { return s[0]; }
+def main() {
+	var n = len("hi") + int.!(first("hi"));
+}
+`)
+}

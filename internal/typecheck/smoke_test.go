@@ -1,0 +1,158 @@
+package typecheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/src"
+)
+
+// checkSrc parses and checks one source string.
+func checkSrc(t *testing.T, source string) (*Program, *src.ErrorList) {
+	t.Helper()
+	errs := &src.ErrorList{}
+	f := parser.Parse("test.v", source, errs)
+	if !errs.Empty() {
+		t.Fatalf("parse errors:\n%s", errs.Error())
+	}
+	prog := Check([]*ast.File{f}, errs)
+	return prog, errs
+}
+
+// mustCheck asserts the source checks without errors.
+func mustCheck(t *testing.T, source string) *Program {
+	t.Helper()
+	prog, errs := checkSrc(t, source)
+	if !errs.Empty() {
+		t.Fatalf("unexpected check errors:\n%s", errs.Error())
+	}
+	return prog
+}
+
+// mustFail asserts checking fails with a message containing want.
+func mustFail(t *testing.T, source, want string) {
+	t.Helper()
+	_, errs := checkSrc(t, source)
+	if errs.Empty() {
+		t.Fatalf("expected a check error containing %q, got none", want)
+	}
+	if !strings.Contains(errs.Error(), want) {
+		t.Fatalf("expected error containing %q, got:\n%s", want, errs.Error())
+	}
+}
+
+func TestSmokePaperClassA(t *testing.T) {
+	mustCheck(t, `
+class A {
+	var f: int;
+	def g: int;
+	new(f, g) { }
+	def m(a: byte) -> int { return f + int.!(a); }
+}
+class B extends A {
+	new(f: int) super(f, 1) { }
+	def m(a: byte) -> int { return 0; }
+}
+def main() -> int {
+	var a = A.new(0, 1);
+	var m1 = a.m;            // byte -> int
+	var m2 = A.m;            // (A, byte) -> int
+	var x = a.m('5');
+	var y = m1('4');
+	var z = m2(a, '6');
+	var w = A.new;           // (int, int) -> A
+	return x + y + z;
+}
+`)
+}
+
+func TestSmokeGenericList(t *testing.T) {
+	prog := mustCheck(t, `
+class List<T> {
+	var head: T;
+	var tail: List<T>;
+	new(head, tail) { }
+}
+def apply<A>(list: List<A>, f: A -> void) {
+	for (l = list; l != null; l = l.tail) f(l.head);
+}
+def print(i: int) { System.puti(i); }
+def main() {
+	var a = List<int>.new(0, null);
+	var b = List<(int, int)>.new((3, 4), null);
+	apply<int>(a, print);
+	var c = List.new(0, null);
+	apply(c, print);
+	var e = List<bool>.?(a);
+	var f = List<void>.?(a);
+}
+`)
+	if prog.Main == nil {
+		t.Fatal("main not found")
+	}
+}
+
+func TestSmokeTimePattern(t *testing.T) {
+	mustCheck(t, `
+def time<A, B>(func: A -> B, a: A) -> (B, int) {
+	var start = clock.ticks();
+	return (func(a), clock.ticks() - start);
+}
+def sqrt(x: int) -> int { return x; }
+def main() { System.puti(time(sqrt, 37).1); }
+`)
+}
+
+func TestSmokeVarianceExample(t *testing.T) {
+	// (o1)-(o7): f(b) is an error, apply(b, g) is fine.
+	base := `
+class Animal { }
+class Bat extends Animal { }
+class List<T> {
+	var head: T;
+	var tail: List<T>;
+	new(head, tail) { }
+}
+def apply<A>(list: List<A>, f: A -> void) {
+	for (l = list; l != null; l = l.tail) f(l.head);
+}
+def g(a: Animal) { }
+def f(list: List<Animal>) { }
+var b: List<Bat>;
+`
+	mustCheck(t, base+`def main() { apply(b, g); }`)
+	mustFail(t, base+`def main() { f(b); }`, "does not match parameter")
+}
+
+func TestSmokeOperatorsAsFunctions(t *testing.T) {
+	mustCheck(t, `
+class A { def m() { } }
+def main() {
+	var z = byte.==;   // (byte, byte) -> bool
+	var w = A.!=;      // (A, A) -> bool
+	var p = int.+;     // (int, int) -> int
+	var m = int.-;     // (int, int) -> int
+	var q = p(1, 2) + m(4, 3);
+	var t = z('a', 'b') || w(null, null);
+}
+`)
+}
+
+func TestSmokeOverloadingRejected(t *testing.T) {
+	mustFail(t, `
+class A {
+	def m(a: int) { }
+	def m(a: bool) { }
+}
+`, "overloading")
+}
+
+func TestSmokeNoImplicitConversion(t *testing.T) {
+	mustFail(t, `
+def main() {
+	var x: int = 'a';
+}
+`, "cannot assign byte to int")
+}

@@ -1,0 +1,216 @@
+// Package typecheck resolves names and types of a parsed Virgil-core
+// program, building the symbol structures the lowering phase consumes.
+//
+// It implements the paper's semantic rules: separate class hierarchies
+// with no universal supertype (§2.1), methods usable as bound and
+// unbound functions (§2.2), tuple/void degeneracies (§2.3),
+// separately-checked type parameters with best-effort inference (§2.4),
+// and the four universal operators == != ! ? on every type.
+package typecheck
+
+import (
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+// Program is the result of checking: all symbols plus the type cache.
+type Program struct {
+	Types      *types.Cache
+	Files      []*ast.File
+	Classes    []*ClassSym
+	Funcs      []*FuncSym
+	Globals    []*GlobalSym
+	Components []*ComponentSym
+	Enums      []*EnumSym
+	Main       *FuncSym
+
+	classByDef  map[*types.ClassDef]*ClassSym
+	classByName map[string]*ClassSym
+	funcByName  map[string]*FuncSym
+	globByName  map[string]*GlobalSym
+	compByName  map[string]*ComponentSym
+	enumByName  map[string]*EnumSym
+}
+
+// ClassOf returns the class symbol for a class definition.
+func (p *Program) ClassOf(def *types.ClassDef) *ClassSym { return p.classByDef[def] }
+
+// LookupClass finds a class symbol by name, or nil.
+func (p *Program) LookupClass(name string) *ClassSym { return p.classByName[name] }
+
+// LookupFunc finds a top-level function by name, or nil.
+func (p *Program) LookupFunc(name string) *FuncSym { return p.funcByName[name] }
+
+// ClassSym is a checked class declaration.
+type ClassSym struct {
+	Name    string
+	Decl    *ast.ClassDecl
+	Def     *types.ClassDef
+	Parent  *ClassSym
+	Fields  []*FieldSym  // declared fields, in order
+	Methods []*MethodSym // declared methods, in order
+	Ctor    *CtorSym     // never nil after checking
+
+	// AllFields is the full slot-ordered field list including inherited
+	// fields (inherited first). Field types are in terms of this class's
+	// own type parameters.
+	AllFields []*FieldSym
+	// Vtable maps slot index to the implementing method, including
+	// inherited and overridden methods.
+	Vtable []*MethodSym
+
+	Depth int // inheritance depth, 0 for roots
+}
+
+// FieldOf finds a field by name along the inheritance chain, returning
+// the field plus the class that declares it.
+func (c *ClassSym) FieldOf(name string) *FieldSym {
+	for w := c; w != nil; w = w.Parent {
+		for _, f := range w.Fields {
+			if f.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// MethodOf finds a method by name along the inheritance chain.
+func (c *ClassSym) MethodOf(name string) *MethodSym {
+	for w := c; w != nil; w = w.Parent {
+		for _, m := range w.Methods {
+			if m.Name == name {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// FieldSym is a checked field.
+type FieldSym struct {
+	Name    string
+	Mutable bool
+	Owner   *ClassSym
+	Decl    *ast.FieldDecl // nil for compact class-parameter fields
+	Type    types.Type     // in terms of the owner's type params
+	Slot    int            // index into the object's field slots
+	Init    ast.Expr       // optional initializer
+}
+
+// FuncSym is a method or top-level function. Component functions are
+// top-level functions with qualified names and a non-nil Comp.
+type FuncSym struct {
+	Name       string
+	Owner      *ClassSym     // nil for top-level functions
+	Comp       *ComponentSym // nil outside components
+	Decl       *ast.MethodDecl
+	TypeParams []*types.TypeParamDef
+	Params     []*ast.Param
+	ParamTypes []types.Type
+	Ret        types.Type
+	Abstract   bool
+	Private    bool
+	VtSlot     int // vtable slot for methods; -1 for top-level
+}
+
+// MethodSym is an alias kept for readability at call sites that deal
+// specifically with class methods.
+type MethodSym = FuncSym
+
+// ParamTuple returns the method's parameter type as a single (possibly
+// degenerate) tuple.
+func (f *FuncSym) ParamTuple(c *types.Cache) types.Type { return c.TupleOf(f.ParamTypes) }
+
+// Sig returns the function type ParamTuple -> Ret.
+func (f *FuncSym) Sig(c *types.Cache) *types.Func {
+	return c.FuncOf(f.ParamTuple(c), f.Ret)
+}
+
+// UnboundSig returns the type of the method used as an unbound class
+// method (§2.2): the receiver becomes the first parameter.
+func (f *FuncSym) UnboundSig(c *types.Cache, recv types.Type) *types.Func {
+	elems := append([]types.Type{recv}, f.ParamTypes...)
+	return c.FuncOf(c.TupleOf(elems), f.Ret)
+}
+
+// CtorSym is a constructor (explicit, compact, or implicit default).
+type CtorSym struct {
+	Owner      *ClassSym
+	Decl       *ast.CtorDecl // nil for compact/implicit constructors
+	Params     []*ast.Param  // nil for implicit
+	ParamTypes []types.Type
+	// FieldParams[i] is the field auto-assigned from parameter i, or nil.
+	FieldParams []*FieldSym
+	// Compact is true for `class C(f: T)` constructors.
+	Compact bool
+}
+
+// ParamTuple returns the constructor's parameter type as a tuple.
+func (ct *CtorSym) ParamTuple(c *types.Cache) types.Type { return c.TupleOf(ct.ParamTypes) }
+
+// GlobalSym is a top-level variable. Component fields are globals with
+// qualified names and a non-nil Comp.
+type GlobalSym struct {
+	Name    string
+	Mutable bool
+	Decl    *ast.VarDecl
+	Type    types.Type
+	Index   int
+	Comp    *ComponentSym
+}
+
+// EnumSym is a checked enum declaration.
+type EnumSym struct {
+	Name string
+	Decl *ast.EnumDecl
+	Def  *types.EnumDef
+	Type *types.Enum
+}
+
+// ComponentSym is a checked component declaration (§2: System and clock
+// are built-in components; user components declare singleton state and
+// functions).
+type ComponentSym struct {
+	Name    string
+	Decl    *ast.ComponentDecl
+	Fields  map[string]*GlobalSym
+	Methods map[string]*FuncSym
+}
+
+// LocalSym is a local variable or parameter binding inside a body.
+type LocalSym struct {
+	Name    string
+	Mutable bool
+	Type    types.Type
+	IsParam bool
+	// Decl is the declaring node (a *ast.LocalDecl, *ast.Param, or
+	// *ast.ForStmt), used by lowering as the binding identity.
+	Decl any
+}
+
+// BuiltinFunc describes a member of a built-in component such as
+// System.puts or clock.ticks.
+type BuiltinFunc struct {
+	Component string
+	Name      string
+	Param     types.Type
+	Ret       types.Type
+}
+
+// OperatorSym describes one of the universal or primitive operators used
+// as a first-class function (b8-b15).
+type OperatorSym struct {
+	// Op is the operator spelling: "==", "!=", "!", "?", "+", ...
+	Op string
+	// Subject is the type the operator was selected from (the T in
+	// T.==). For casts/queries this is the target type.
+	Subject types.Type
+	// Input is the operand type: for casts/queries, the source type
+	// (explicit via T.!<F> or inferred); for binary operators, the
+	// operand type.
+	Input types.Type
+	// FreeInput, when non-nil, is the not-yet-inferred input type
+	// parameter of a cast/query.
+	FreeInput *types.TypeParamDef
+}

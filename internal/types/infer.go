@@ -1,0 +1,191 @@
+package types
+
+// Inference implements the paper's best-effort type-argument inference
+// (§2.4): the type parameters of the called class or method act as
+// unification variables; parameter types are matched against argument
+// types, and conflicting bindings are merged with least upper bounds
+// where possible.
+type Inference struct {
+	c    *Cache
+	vars map[*TypeParamDef]bool
+	bind map[*TypeParamDef]Type
+}
+
+// NewInference creates an inference over the given inferable parameters.
+func NewInference(c *Cache, params []*TypeParamDef) *Inference {
+	vars := make(map[*TypeParamDef]bool, len(params))
+	for _, p := range params {
+		vars[p] = true
+	}
+	return &Inference{c: c, vars: vars, bind: map[*TypeParamDef]Type{}}
+}
+
+// Unify matches pattern (which may mention inferable parameters) against
+// actual (a closed type, or null), starting in covariant polarity (the
+// argument must be a subtype of the parameter). It reports false on a
+// hard structural conflict. Null arguments contribute no constraints.
+func (inf *Inference) Unify(pattern, actual Type) bool {
+	return inf.unify(pattern, actual, +1)
+}
+
+// unify tracks variance polarity: +1 covariant, -1 contravariant,
+// 0 invariant. Bindings in covariant positions merge with least upper
+// bounds; contravariant positions merge with greatest lower bounds
+// (Animal -> void must infer A = Bat for apply(b, g), §3.6 o7);
+// invariant positions require equal bindings.
+func (inf *Inference) unify(pattern, actual Type, pol int) bool {
+	if p, ok := actual.(*Prim); ok && p.Kind == KindNull {
+		// null matches any reference-typed pattern without constraining.
+		return true
+	}
+	switch pt := pattern.(type) {
+	case *TypeParam:
+		if !inf.vars[pt.Def] {
+			// A fixed (outer) parameter: must match exactly.
+			return pattern == actual
+		}
+		if prev, ok := inf.bind[pt.Def]; ok {
+			if prev == actual {
+				return true
+			}
+			var merged Type
+			switch {
+			case pol > 0:
+				merged = inf.c.Lub(prev, actual)
+			case pol < 0:
+				merged = inf.c.Glb(prev, actual)
+			default:
+				// Invariant position: best-effort merge (the caller's
+				// final assignability check validates the result), so
+				// that e.g. List.new(Box.new(f), anyList) infers
+				// List<Any> (k4).
+				merged = inf.c.Lub(prev, actual)
+				if merged == nil {
+					merged = inf.c.Glb(prev, actual)
+				}
+			}
+			if merged == nil {
+				return false
+			}
+			inf.bind[pt.Def] = merged
+			return true
+		}
+		inf.bind[pt.Def] = actual
+		return true
+	case *Prim:
+		return pattern == actual
+	case *Tuple:
+		at, ok := actual.(*Tuple)
+		if !ok || len(at.Elems) != len(pt.Elems) {
+			return false
+		}
+		for i := range pt.Elems {
+			if !inf.unify(pt.Elems[i], at.Elems[i], pol) {
+				return false
+			}
+		}
+		return true
+	case *Func:
+		af, ok := actual.(*Func)
+		if !ok {
+			return false
+		}
+		return inf.unify(pt.Param, af.Param, -pol) && inf.unify(pt.Ret, af.Ret, pol)
+	case *Array:
+		aa, ok := actual.(*Array)
+		if !ok {
+			return false
+		}
+		return inf.unify(pt.Elem, aa.Elem, 0)
+	case *Class:
+		ac, ok := actual.(*Class)
+		if !ok {
+			return false
+		}
+		// Walk the actual's parent chain to find the pattern's class.
+		for w := ac; w != nil; w = inf.c.ParentOf(w) {
+			if w.Def == pt.Def {
+				for i := range pt.Args {
+					if !inf.unify(pt.Args[i], w.Args[i], 0) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Bindings returns the inferred assignment for params in order, and
+// reports whether every parameter was bound.
+func (inf *Inference) Bindings(params []*TypeParamDef) ([]Type, bool) {
+	out := make([]Type, len(params))
+	complete := true
+	for i, p := range params {
+		t, ok := inf.bind[p]
+		if !ok {
+			complete = false
+			t = nil
+		}
+		out[i] = t
+	}
+	return out, complete
+}
+
+// Env returns the binding environment for substitution.
+func (inf *Inference) Env() map[*TypeParamDef]Type { return inf.bind }
+
+// CastLegal reports whether the front end accepts a cast from -> to.
+// Casts whose outcome is statically known to fail are rejected when the
+// types are provably unrelated (different constructors, or classes from
+// unrelated hierarchies); same-class different-argument casts remain
+// legal and simply fail at runtime, preserving reified instantiation
+// tests like List<bool>.?(a) (d13-d14).
+func (c *Cache) CastLegal(from, to Type) bool {
+	if c.Castable(from, to) != CastFalse {
+		return true
+	}
+	switch ft := from.(type) {
+	case *Prim:
+		tp, ok := to.(*Prim)
+		if !ok {
+			return false
+		}
+		// int <-> byte conversions are fine; others are rejected.
+		numeric := func(k PrimKind) bool { return k == KindInt || k == KindByte }
+		return numeric(ft.Kind) && numeric(tp.Kind)
+	case *Class:
+		tc, ok := to.(*Class)
+		if !ok {
+			return false
+		}
+		return c.root(ft.Def) == c.root(tc.Def)
+	case *Tuple:
+		tt, ok := to.(*Tuple)
+		if !ok || len(tt.Elems) != len(ft.Elems) {
+			return false
+		}
+		for i := range ft.Elems {
+			if !c.CastLegal(ft.Elems[i], tt.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *Func:
+		_, ok := to.(*Func)
+		return ok
+	case *Array:
+		_, ok := to.(*Array)
+		return ok
+	}
+	return false
+}
+
+func (c *Cache) root(def *ClassDef) *ClassDef {
+	for def.ParentType != nil {
+		def = def.ParentType.Def
+	}
+	return def
+}

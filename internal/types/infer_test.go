@@ -1,0 +1,166 @@
+package types
+
+import "testing"
+
+// inferEnv builds a cache with Animal <- Bat, a generic List class, and
+// two inference variables A and B.
+func inferEnv() (*Cache, *ClassDef, *ClassDef, *ClassDef, []*TypeParamDef) {
+	tc := NewCache()
+	animal := tc.NewClassDef("Animal", nil, nil)
+	bat := tc.NewClassDef("Bat", nil, nil)
+	bat.ParentType = tc.ClassOf(animal, nil)
+	list := tc.NewClassDef("List", []*TypeParamDef{tc.NewTypeParamDef("T", 0, nil)}, nil)
+	vars := []*TypeParamDef{tc.NewTypeParamDef("A", 0, nil), tc.NewTypeParamDef("B", 1, nil)}
+	return tc, animal, bat, list, vars
+}
+
+func TestUnifySimpleBinding(t *testing.T) {
+	tc, _, _, _, vars := inferEnv()
+	inf := NewInference(tc, vars)
+	a := tc.ParamRef(vars[0])
+	if !inf.Unify(a, tc.Int()) {
+		t.Fatal("A ~ int should unify")
+	}
+	bind, complete := inf.Bindings(vars[:1])
+	if !complete || bind[0] != tc.Int() {
+		t.Fatalf("A = %v", bind[0])
+	}
+}
+
+func TestUnifyThroughConstructors(t *testing.T) {
+	tc, _, bat, list, vars := inferEnv()
+	a := tc.ParamRef(vars[0])
+	bt := tc.ClassOf(bat, nil)
+	inf := NewInference(tc, vars)
+	// List<A> ~ List<Bat> binds A = Bat (d10').
+	if !inf.Unify(tc.ClassOf(list, []Type{a}), tc.ClassOf(list, []Type{bt})) {
+		t.Fatal("List<A> ~ List<Bat>")
+	}
+	// (A, int) ~ (Bat, int) is consistent.
+	if !inf.Unify(tc.TupleOf([]Type{a, tc.Int()}), tc.TupleOf([]Type{bt, tc.Int()})) {
+		t.Fatal("tuple unification")
+	}
+	bind, _ := inf.Bindings(vars[:1])
+	if bind[0] != bt {
+		t.Fatalf("A = %v, want Bat", bind[0])
+	}
+}
+
+func TestUnifyContravariantMergesWithGlb(t *testing.T) {
+	// The o7 case: A first binds Bat (from List<Bat>), then the
+	// function argument Animal -> void must KEEP A = Bat because the
+	// parameter position is contravariant.
+	tc, animal, bat, list, vars := inferEnv()
+	a := tc.ParamRef(vars[0])
+	an, bt := tc.ClassOf(animal, nil), tc.ClassOf(bat, nil)
+	v := tc.Void()
+	inf := NewInference(tc, vars)
+	if !inf.Unify(tc.ClassOf(list, []Type{a}), tc.ClassOf(list, []Type{bt})) {
+		t.Fatal("step 1")
+	}
+	if !inf.Unify(tc.FuncOf(a, v), tc.FuncOf(an, v)) {
+		t.Fatal("step 2")
+	}
+	bind, _ := inf.Bindings(vars[:1])
+	if bind[0] != bt {
+		t.Fatalf("A = %v, want Bat (contravariant GLB, §3.6)", bind[0])
+	}
+}
+
+func TestUnifyCovariantMergesWithLub(t *testing.T) {
+	// pair(batValue, animalValue) infers A = Animal.
+	tc, animal, bat, _, vars := inferEnv()
+	a := tc.ParamRef(vars[0])
+	an, bt := tc.ClassOf(animal, nil), tc.ClassOf(bat, nil)
+	inf := NewInference(tc, vars)
+	if !inf.Unify(a, bt) || !inf.Unify(a, an) {
+		t.Fatal("both unifications should succeed")
+	}
+	bind, _ := inf.Bindings(vars[:1])
+	if bind[0] != an {
+		t.Fatalf("A = %v, want Animal (covariant LUB)", bind[0])
+	}
+}
+
+func TestUnifyNullUnconstrained(t *testing.T) {
+	// List.new(0, null): null contributes no constraint (d10').
+	tc, _, _, list, vars := inferEnv()
+	a := tc.ParamRef(vars[0])
+	inf := NewInference(tc, vars)
+	if !inf.Unify(a, tc.Int()) {
+		t.Fatal("head")
+	}
+	if !inf.Unify(tc.ClassOf(list, []Type{a}), tc.Null()) {
+		t.Fatal("null tail must not constrain")
+	}
+	bind, complete := inf.Bindings(vars[:1])
+	if !complete || bind[0] != tc.Int() {
+		t.Fatalf("A = %v", bind[0])
+	}
+}
+
+func TestUnifyHardConflicts(t *testing.T) {
+	tc, _, _, list, vars := inferEnv()
+	a := tc.ParamRef(vars[0])
+	inf := NewInference(tc, vars)
+	if !inf.Unify(a, tc.Int()) {
+		t.Fatal("first binding")
+	}
+	if inf.Unify(a, tc.Bool()) {
+		t.Error("int vs bool must conflict (no lub)")
+	}
+	inf2 := NewInference(tc, vars)
+	if inf2.Unify(tc.ClassOf(list, []Type{a}), tc.Int()) {
+		t.Error("List<A> ~ int must fail structurally")
+	}
+	inf3 := NewInference(tc, vars)
+	if inf3.Unify(tc.TupleOf([]Type{a, a}), tc.TupleOf([]Type{tc.Int(), tc.Int(), tc.Int()})) {
+		t.Error("tuple arity mismatch must fail")
+	}
+}
+
+func TestUnifySubclassWalksToPattern(t *testing.T) {
+	// Pattern Animal-typed class patterns accept subclass actuals by
+	// walking the parent chain (generic parents).
+	tc := NewCache()
+	base := tc.NewClassDef("Base", []*TypeParamDef{tc.NewTypeParamDef("T", 0, nil)}, nil)
+	sub := tc.NewClassDef("Sub", nil, nil)
+	sub.ParentType = tc.ClassOf(base, []Type{tc.Int()})
+	v := tc.NewTypeParamDef("A", 0, nil)
+	inf := NewInference(tc, []*TypeParamDef{v})
+	pattern := tc.ClassOf(base, []Type{tc.ParamRef(v)})
+	if !inf.Unify(pattern, tc.ClassOf(sub, nil)) {
+		t.Fatal("Base<A> ~ Sub (where Sub extends Base<int>)")
+	}
+	bind, _ := inf.Bindings([]*TypeParamDef{v})
+	if bind[0] != tc.Int() {
+		t.Fatalf("A = %v, want int", bind[0])
+	}
+}
+
+func TestBindingsIncomplete(t *testing.T) {
+	tc, _, _, _, vars := inferEnv()
+	inf := NewInference(tc, vars)
+	if !inf.Unify(tc.ParamRef(vars[0]), tc.Int()) {
+		t.Fatal("bind A")
+	}
+	_, complete := inf.Bindings(vars) // B never mentioned
+	if complete {
+		t.Error("B unbound; Bindings must report incomplete")
+	}
+}
+
+func TestFixedOuterParamsMustMatchExactly(t *testing.T) {
+	// A type parameter that is NOT an inference variable (an enclosing
+	// scope's parameter) only unifies with itself.
+	tc, _, _, _, vars := inferEnv()
+	outer := tc.NewTypeParamDef("T", 0, nil)
+	ot := tc.ParamRef(outer)
+	inf := NewInference(tc, vars)
+	if !inf.Unify(ot, ot) {
+		t.Error("outer param ~ itself")
+	}
+	if inf.Unify(ot, tc.Int()) {
+		t.Error("outer param must not bind to int")
+	}
+}

