@@ -2,90 +2,144 @@
 //
 // Usage:
 //
-//	virgil run [-config ref|mono|norm|full] file.v...
-//	virgil check file.v...
+//	virgil run [-config ref|mono|norm|full] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+//	virgil check [-config ...] file.v...
 //	virgil dump [-config ...] file.v...
 //	virgil stats file.v...
 //
-// run executes the program; check typechecks only; dump prints the IR
-// after the selected pipeline stages; stats prints monomorphization,
-// normalization and optimization statistics.
+// run executes the program; check compiles under the selected config
+// without executing; dump prints the IR after the selected pipeline
+// stages; stats prints monomorphization, normalization and optimization
+// statistics.
+//
+// Exit codes: 0 success; 1 source diagnostics, Virgil trap, or resource
+// exhaustion; 2 usage error; 3 internal compiler error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/src"
+)
+
+// Exit codes distinguish faults in the input (1) from faults in the
+// invocation (2) and faults in the compiler itself (3).
+const (
+	exitOK    = 0
+	exitDiag  = 1
+	exitUsage = 2
+	exitICE   = 3
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable driver body: it parses argv, dispatches the
+// subcommand, and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) < 1 {
+		usage(stderr)
+		return exitUsage
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := argv[0]
+	switch cmd {
+	case "run", "check", "dump", "stats":
+	default:
+		usage(stderr)
+		return exitUsage
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	cfgName := fs.String("config", "full", "pipeline config: ref, mono, norm, or full")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	maxSteps := fs.Int64("max-steps", 0, "step budget for execution (0 = default)")
+	maxDepth := fs.Int("max-depth", 0, "call-depth limit for execution (0 = default)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for execution (0 = none)")
+	if err := fs.Parse(argv[1:]); err != nil {
+		return exitUsage
 	}
 	files := fs.Args()
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "virgil: no input files")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "virgil: no input files")
+		return exitUsage
 	}
 	cfg, err := configByName(*cfgName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "virgil:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "virgil:", err)
+		return exitUsage
 	}
+	cfg.MaxSteps = *maxSteps
+	cfg.MaxDepth = *maxDepth
+	cfg.Timeout = *timeout
 
 	var srcs []core.File
 	for _, name := range files {
 		data, err := os.ReadFile(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "virgil:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "virgil:", err)
+			return exitDiag
 		}
 		srcs = append(srcs, core.File{Name: name, Source: string(data)})
 	}
 
 	switch cmd {
 	case "check":
-		cfg = core.Reference()
 		if _, err := core.CompileFiles(srcs, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return report(stderr, err)
 		}
 	case "run":
 		comp, err := core.CompileFiles(srcs, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return report(stderr, err)
 		}
 		if comp.Module.Main == nil {
-			fmt.Fprintln(os.Stderr, "virgil: program has no main function")
-			os.Exit(1)
+			fmt.Fprintln(stderr, "virgil: program has no main function")
+			return exitDiag
 		}
-		if _, err := comp.RunTo(os.Stdout, 0); err != nil {
-			fmt.Fprintln(os.Stderr, "\n"+err.Error())
-			os.Exit(1)
+		if _, err := comp.RunTo(stdout, 0); err != nil {
+			fmt.Fprintln(stdout)
+			return report(stderr, err)
 		}
 	case "dump":
 		comp, err := core.CompileFiles(srcs, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return report(stderr, err)
 		}
-		fmt.Print(comp.Module.String())
+		fmt.Fprint(stdout, comp.Module.String())
 	case "stats":
-		printStats(srcs)
-	default:
-		usage()
-		os.Exit(2)
+		return printStats(stdout, stderr, srcs)
 	}
+	return exitOK
+}
+
+// report prints err in its user-facing form and returns the exit code
+// for its class: ICEs are compiler bugs (3, with a one-line summary and
+// an optional stack under VIRGIL_ICE_STACK=1); Virgil traps print their
+// source-level stack trace; everything else is an input diagnostic (1).
+func report(stderr io.Writer, err error) int {
+	var ice *src.ICE
+	if errors.As(err, &ice) {
+		fmt.Fprintln(stderr, "virgil:", ice.Error())
+		fmt.Fprintln(stderr, "virgil: this is a bug in the compiler, not in your program; please report it")
+		if os.Getenv("VIRGIL_ICE_STACK") != "" && ice.Stack != "" {
+			fmt.Fprintln(stderr, ice.Stack)
+		}
+		return exitICE
+	}
+	var ve *interp.VirgilError
+	if errors.As(err, &ve) {
+		fmt.Fprintln(stderr, ve.Error())
+		fmt.Fprint(stderr, ve.TraceString())
+		return exitDiag
+	}
+	fmt.Fprintln(stderr, err)
+	return exitDiag
 }
 
 func configByName(name string) (core.Config, error) {
@@ -102,48 +156,50 @@ func configByName(name string) (core.Config, error) {
 	return core.Config{}, fmt.Errorf("unknown config %q (want ref, mono, norm, or full)", name)
 }
 
-func printStats(srcs []core.File) {
+func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 	comp, err := core.CompileFiles(srcs, core.Compiled())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return report(stderr, err)
 	}
 	ms := comp.MonoStats
-	fmt.Printf("monomorphization (§4.3):\n")
-	fmt.Printf("  functions: %d -> %d\n", ms.FuncsBefore, ms.FuncsAfter)
-	fmt.Printf("  classes:   %d -> %d\n", ms.ClassesBefore, ms.ClassesAfter)
-	fmt.Printf("  instrs:    %d -> %d (expansion %.2fx)\n", ms.InstrsBefore, ms.InstrsAfter, ms.ExpansionFactor())
-	fmt.Printf("  top specializations:\n")
+	fmt.Fprintf(stdout, "monomorphization (§4.3):\n")
+	fmt.Fprintf(stdout, "  functions: %d -> %d\n", ms.FuncsBefore, ms.FuncsAfter)
+	fmt.Fprintf(stdout, "  classes:   %d -> %d\n", ms.ClassesBefore, ms.ClassesAfter)
+	fmt.Fprintf(stdout, "  instrs:    %d -> %d (expansion %.2fx)\n", ms.InstrsBefore, ms.InstrsAfter, ms.ExpansionFactor())
+	fmt.Fprintf(stdout, "  top specializations:\n")
 	for i, fe := range ms.PerFunc {
 		if i >= 10 || fe.Instances < 2 {
 			break
 		}
-		fmt.Printf("    %-30s %3d instances, %4d -> %4d instrs\n", fe.Name, fe.Instances, fe.InstrsBefore, fe.InstrsAfter)
+		fmt.Fprintf(stdout, "    %-30s %3d instances, %4d -> %4d instrs\n", fe.Name, fe.Instances, fe.InstrsBefore, fe.InstrsAfter)
 	}
 	ns := comp.NormStats
-	fmt.Printf("normalization (§4.2):\n")
-	fmt.Printf("  tuples eliminated: %d\n", ns.TuplesEliminated)
-	fmt.Printf("  fields split:      %d\n", ns.FieldsSplit)
-	fmt.Printf("  globals split:     %d\n", ns.GlobalsSplit)
-	fmt.Printf("  params split:      %d\n", ns.ParamsSplit)
-	os := comp.OptStats
-	fmt.Printf("optimization (§3.3):\n")
-	fmt.Printf("  instrs:          %d -> %d\n", os.InstrsBefore, os.InstrsAfter)
-	fmt.Printf("  queries folded:  %d\n", os.QueriesFolded)
-	fmt.Printf("  casts elided:    %d\n", os.CastsElided)
-	fmt.Printf("  branches folded: %d\n", os.BranchesFolded)
-	fmt.Printf("  calls inlined:   %d\n", os.Inlined)
-	fmt.Printf("timings: parse %v, check %v, lower %v, mono %v, norm %v, opt %v, total %v\n",
+	fmt.Fprintf(stdout, "normalization (§4.2):\n")
+	fmt.Fprintf(stdout, "  tuples eliminated: %d\n", ns.TuplesEliminated)
+	fmt.Fprintf(stdout, "  fields split:      %d\n", ns.FieldsSplit)
+	fmt.Fprintf(stdout, "  globals split:     %d\n", ns.GlobalsSplit)
+	fmt.Fprintf(stdout, "  params split:      %d\n", ns.ParamsSplit)
+	osStats := comp.OptStats
+	fmt.Fprintf(stdout, "optimization (§3.3):\n")
+	fmt.Fprintf(stdout, "  instrs:          %d -> %d\n", osStats.InstrsBefore, osStats.InstrsAfter)
+	fmt.Fprintf(stdout, "  queries folded:  %d\n", osStats.QueriesFolded)
+	fmt.Fprintf(stdout, "  casts elided:    %d\n", osStats.CastsElided)
+	fmt.Fprintf(stdout, "  branches folded: %d\n", osStats.BranchesFolded)
+	fmt.Fprintf(stdout, "  calls inlined:   %d\n", osStats.Inlined)
+	fmt.Fprintf(stdout, "timings: parse %v, check %v, lower %v, mono %v, norm %v, opt %v, total %v\n",
 		comp.Timings.Parse, comp.Timings.Check, comp.Timings.Lower,
 		comp.Timings.Mono, comp.Timings.Norm, comp.Timings.Opt, comp.Timings.Total)
+	return exitOK
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: virgil <command> [-config ref|mono|norm|full] file.v...
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-max-steps n] [-max-depth n] [-timeout d] file.v...
 
 commands:
   run    compile and execute the program
-  check  typecheck only
+  check  compile under the selected config without executing
   dump   print the IR after the selected pipeline stages
-  stats  print per-stage compilation statistics`)
+  stats  print per-stage compilation statistics
+
+exit codes: 0 ok; 1 diagnostics, trap, or resource limit; 2 usage; 3 internal compiler error`)
 }

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write saves a temp source file and returns its path.
+func write(t *testing.T, name, src string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// exec invokes the driver in-process, capturing output and exit code.
+func exec(args ...string) (code int, stdout, stderr string) {
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestUsageExitCodes(t *testing.T) {
+	if code, _, _ := exec(); code != exitUsage {
+		t.Errorf("no args: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := exec("frobnicate", "x.v"); code != exitUsage {
+		t.Errorf("unknown command: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, _ := exec("run"); code != exitUsage {
+		t.Errorf("no files: exit %d, want %d", code, exitUsage)
+	}
+	p := write(t, "ok.v", "def main() { }\n")
+	if code, _, _ := exec("run", "-config", "bogus", p); code != exitUsage {
+		t.Errorf("bad config: exit %d, want %d", code, exitUsage)
+	}
+}
+
+func TestRunHello(t *testing.T) {
+	p := write(t, "hello.v", `def main() { System.puts("hi"); System.ln(); }`)
+	code, out, stderr := exec("run", p)
+	if code != exitOK || out != "hi\n" {
+		t.Fatalf("exit %d out %q stderr %q", code, out, stderr)
+	}
+}
+
+// TestCheckHonorsConfig: check must compile under the *selected*
+// pipeline config (it used to silently overwrite -config with the
+// reference config). A program that traps at runtime still checks
+// cleanly under every config, because check never executes.
+func TestCheckHonorsConfig(t *testing.T) {
+	p := write(t, "trapsatruntime.v", `
+class C { var x: int; }
+def main() -> int {
+	var c: C;
+	return c.x;
+}
+`)
+	for _, cfg := range []string{"ref", "mono", "norm", "full"} {
+		code, _, stderr := exec("check", "-config", cfg, p)
+		if code != exitOK {
+			t.Errorf("check -config %s: exit %d, stderr %q", cfg, code, stderr)
+		}
+	}
+	bad := write(t, "bad.v", "def main() -> int { return true; }\n")
+	for _, cfg := range []string{"ref", "full"} {
+		code, _, _ := exec("check", "-config", cfg, bad)
+		if code != exitDiag {
+			t.Errorf("check -config %s on bad program: exit %d, want %d", cfg, code, exitDiag)
+		}
+	}
+}
+
+// TestMultipleDiagnostics: independent errors in one file are all
+// reported (parser/checker recovery), not just the first.
+func TestMultipleDiagnostics(t *testing.T) {
+	p := write(t, "multi.v", `
+def f() -> int {
+	var x: int = true;
+	return x;
+}
+def g() -> bool {
+	var y: bool = 3;
+	return y;
+}
+`)
+	code, _, stderr := exec("check", p)
+	if code != exitDiag {
+		t.Fatalf("exit %d, want %d", code, exitDiag)
+	}
+	if n := strings.Count(stderr, "multi.v:"); n < 2 {
+		t.Errorf("want >=2 positioned diagnostics, got %d:\n%s", n, stderr)
+	}
+}
+
+func TestTrapPrintsTraceNotGoStack(t *testing.T) {
+	p := write(t, "nulltrap.v", `
+class C { var x: int; }
+def deref(c: C) -> int {
+	if (c == null) return c.x;
+	return c.x;
+}
+def main() -> int {
+	var c: C;
+	return deref(c);
+}
+`)
+	for _, cfg := range []string{"ref", "full"} {
+		code, _, stderr := exec("run", "-config", cfg, p)
+		if code != exitDiag {
+			t.Errorf("[%s] exit %d, want %d", cfg, code, exitDiag)
+		}
+		if !strings.Contains(stderr, "!NullCheckException") {
+			t.Errorf("[%s] missing trap name:\n%s", cfg, stderr)
+		}
+		if !strings.Contains(stderr, "at deref (") || !strings.Contains(stderr, "nulltrap.v:") {
+			t.Errorf("[%s] missing source-level trace frame:\n%s", cfg, stderr)
+		}
+		assertNoGoStack(t, stderr)
+	}
+}
+
+func TestResourceGuardFlags(t *testing.T) {
+	loop := write(t, "loop.v", `
+def main() -> int {
+	var n = 0;
+	while (true) n = n + 1;
+	return n;
+}
+`)
+	code, _, stderr := exec("run", "-max-steps", "10000", loop)
+	if code != exitDiag || !strings.Contains(stderr, "step limit") {
+		t.Errorf("-max-steps: exit %d stderr %q", code, stderr)
+	}
+	code, _, stderr = exec("run", "-timeout", "50ms", loop)
+	if code != exitDiag || !strings.Contains(stderr, "deadline") {
+		t.Errorf("-timeout: exit %d stderr %q", code, stderr)
+	}
+	rec := write(t, "rec.v", `
+def f(n: int) -> int {
+	if (n > 0) return f(n + 1);
+	return n;
+}
+def main() -> int { return f(1); }
+`)
+	code, _, stderr = exec("run", "-max-depth", "100", rec)
+	if code != exitDiag || !strings.Contains(stderr, "!StackOverflow") {
+		t.Errorf("-max-depth: exit %d stderr %q", code, stderr)
+	}
+}
+
+// TestCrashersNeverPanic runs every checked-in malformed program
+// through the full driver: each must produce a one-line-per-diagnostic
+// report and exit 1 (diagnostics or trap) or 3 (contained ICE) — never
+// a Go panic or runtime stack dump.
+func TestCrashersNeverPanic(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "crashers", "*.v"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no crasher corpus found: %v", err)
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			for _, cfg := range []string{"ref", "full"} {
+				// Guards keep even "valid but divergent" crashers quick.
+				code, _, stderr := exec("run", "-config", cfg, "-max-steps", "1000000", "-timeout", "5s", p)
+				if code != exitDiag && code != exitICE {
+					t.Errorf("[%s] exit %d (stderr %q), want 1 or 3", cfg, code, stderr)
+				}
+				assertNoGoStack(t, stderr)
+			}
+		})
+	}
+}
+
+func assertNoGoStack(t *testing.T, stderr string) {
+	t.Helper()
+	for _, marker := range []string{"goroutine ", "runtime error", "panic:", ".go:"} {
+		if strings.Contains(stderr, marker) {
+			t.Errorf("Go runtime detail leaked to user output (%q):\n%s", marker, stderr)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -33,11 +34,20 @@ import (
 )
 
 // Config selects pipeline stages. Normalize requires Monomorphize;
-// Optimize requires both.
+// Optimize requires both. The resource-guard fields bound execution
+// (Run/RunTo); zero values mean the interpreter defaults.
 type Config struct {
 	Monomorphize bool
 	Normalize    bool
 	Optimize     bool
+
+	// MaxSteps bounds executed IR instructions (0 = interpreter default).
+	MaxSteps int64
+	// MaxDepth bounds Virgil call depth; exceeding it raises the
+	// !StackOverflow trap (0 = interpreter default).
+	MaxDepth int
+	// Timeout bounds wall-clock execution time (0 = none).
+	Timeout time.Duration
 }
 
 // Reference returns the reference-interpreter configuration.
@@ -45,6 +55,23 @@ func Reference() Config { return Config{} }
 
 // Compiled returns the full static-compilation configuration.
 func Compiled() Config { return Config{Monomorphize: true, Normalize: true, Optimize: true} }
+
+// guard runs one pipeline stage with a panic-recovery boundary,
+// converting any panic into a structured internal-compiler-error
+// diagnostic. No entry point of this package may leak a Go panic to
+// its caller on malformed input.
+func guard(stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &src.ICE{
+				Stage: stage,
+				Msg:   fmt.Sprint(r),
+				Stack: src.TrimStack(debug.Stack(), 40),
+			}
+		}
+	}()
+	return fn()
+}
 
 // Name returns a short label for the configuration, used in reports.
 func (c Config) Name() string {
@@ -109,6 +136,12 @@ func Compile(name, source string, cfg Config) (*Compilation, error) {
 }
 
 // CompileFiles runs the pipeline on several files as one program.
+//
+// Diagnostics in the input are returned as a *src.ErrorList carrying
+// every independent error (capped at src.MaxReported with a "too many
+// errors" sentinel). A panic in any stage is recovered at the stage
+// boundary and returned as a *src.ICE — CompileFiles never panics on
+// malformed input.
 func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -116,59 +149,98 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	comp := &Compilation{Config: cfg}
 	start := time.Now()
 
-	t0 := time.Now()
 	errs := &src.ErrorList{}
+	diags := func() error {
+		errs.Sort()
+		errs.Truncate(src.MaxReported)
+		return errs
+	}
+
+	t0 := time.Now()
 	var parsed []*ast.File
-	for _, f := range files {
-		parsed = append(parsed, parser.Parse(f.Name, f.Source, errs))
-		comp.Timings.SourceLen += len(f.Source)
+	if err := guard("parse", func() error {
+		for _, f := range files {
+			parsed = append(parsed, parser.Parse(f.Name, f.Source, errs))
+			comp.Timings.SourceLen += len(f.Source)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	comp.Timings.Parse = time.Since(t0)
 	if !errs.Empty() {
-		errs.Sort()
-		return nil, errs
+		return nil, diags()
 	}
 
 	t0 = time.Now()
-	prog := typecheck.Check(parsed, errs)
+	var prog *typecheck.Program
+	if err := guard("check", func() error {
+		prog = typecheck.Check(parsed, errs)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	comp.Timings.Check = time.Since(t0)
 	if !errs.Empty() {
-		errs.Sort()
-		return nil, errs
+		return nil, diags()
 	}
 	comp.Program = prog
 
 	t0 = time.Now()
-	mod := lower.Lower(prog)
+	var mod *ir.Module
+	if err := guard("lower", func() error {
+		mod = lower.Lower(prog)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	comp.Timings.Lower = time.Since(t0)
 
 	if cfg.Monomorphize {
 		t0 = time.Now()
-		monoMod, stats, err := mono.Monomorphize(mod, mono.Config{})
-		comp.Timings.Mono = time.Since(t0)
-		if err != nil {
+		if err := guard("mono", func() error {
+			monoMod, stats, err := mono.Monomorphize(mod, mono.Config{})
+			if err != nil {
+				return err
+			}
+			comp.MonoStats = stats
+			mod = monoMod
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		comp.MonoStats = stats
-		mod = monoMod
+		comp.Timings.Mono = time.Since(t0)
 	}
 	if cfg.Normalize {
 		t0 = time.Now()
-		normMod, stats, err := norm.Normalize(mod)
-		comp.Timings.Norm = time.Since(t0)
-		if err != nil {
+		if err := guard("norm", func() error {
+			normMod, stats, err := norm.Normalize(mod)
+			if err != nil {
+				return err
+			}
+			comp.NormStats = stats
+			mod = normMod
+			return nil
+		}); err != nil {
 			return nil, err
 		}
-		comp.NormStats = stats
-		mod = normMod
+		comp.Timings.Norm = time.Since(t0)
 	}
 	if cfg.Optimize {
 		t0 = time.Now()
-		comp.OptStats = opt.Optimize(mod, opt.Config{})
+		if err := guard("opt", func() error {
+			comp.OptStats = opt.Optimize(mod, opt.Config{})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
 		comp.Timings.Opt = time.Since(t0)
 	}
-	if err := mod.Validate(); err != nil {
-		return nil, fmt.Errorf("core: internal error: invalid IR after %s: %w", cfg.Name(), err)
+	if err := guard("validate", func() error { return mod.Validate() }); err != nil {
+		if _, ok := err.(*src.ICE); !ok {
+			err = &src.ICE{Stage: "validate", Msg: fmt.Sprintf("invalid IR after %s: %v", cfg.Name(), err)}
+		}
+		return nil, err
 	}
 	comp.Module = mod
 	comp.Timings.Total = time.Since(start)
@@ -182,25 +254,60 @@ type RunResult struct {
 	Err    error // the Virgil exception, if the program threw
 }
 
-// Run executes the compiled module, capturing System output.
+// options derives interpreter options from the config's resource
+// guards.
+func (c *Compilation) options(w io.Writer) interp.Options {
+	return interp.Options{
+		Out:      w,
+		MaxSteps: c.Config.MaxSteps,
+		MaxDepth: c.Config.MaxDepth,
+		Timeout:  c.Config.Timeout,
+	}
+}
+
+// execute runs the interpreter behind the same fault-containment
+// boundary as compilation: panics and internal interpreter errors
+// surface as *src.ICE, while Virgil traps (*interp.VirgilError) and
+// resource-guard stops (*interp.ResourceError) pass through.
+func execute(it *interp.Interp) error {
+	err := guard("interp", func() error {
+		_, err := it.Run()
+		return err
+	})
+	switch err.(type) {
+	case nil, *interp.VirgilError, *interp.ResourceError, *src.ICE:
+		return err
+	}
+	// Any other error from the interpreter is an internal inconsistency
+	// (bad IR reached execution), not a fault in the user's program.
+	return &src.ICE{Stage: "interp", Msg: err.Error()}
+}
+
+// Run executes the compiled module, capturing System output and
+// honoring the config's resource guards.
 func (c *Compilation) Run() RunResult {
 	var out strings.Builder
-	it := interp.New(c.Module, interp.Options{Out: &out})
-	_, err := it.Run()
+	it := interp.New(c.Module, c.options(&out))
+	err := execute(it)
 	return RunResult{Output: out.String(), Stats: it.Stats(), Err: err}
 }
 
-// RunTo executes the compiled module writing System output to w.
+// RunTo executes the compiled module writing System output to w. A
+// nonzero maxSteps overrides the config's step budget.
 func (c *Compilation) RunTo(w io.Writer, maxSteps int64) (interp.Stats, error) {
-	it := interp.New(c.Module, interp.Options{Out: w, MaxSteps: maxSteps})
-	_, err := it.Run()
+	o := c.options(w)
+	if maxSteps != 0 {
+		o.MaxSteps = maxSteps
+	}
+	it := interp.New(c.Module, o)
+	err := execute(it)
 	return it.Stats(), err
 }
 
 // Interp returns a fresh interpreter over the compiled module, for
 // callers that need to invoke individual functions (benchmarks).
 func (c *Compilation) Interp(w io.Writer) *interp.Interp {
-	return interp.New(c.Module, interp.Options{Out: w})
+	return interp.New(c.Module, c.options(w))
 }
 
 // Configs returns the four ablation configurations in pipeline order.

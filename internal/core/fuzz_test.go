@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/src"
+	"repro/internal/testprogs"
+)
+
+// fuzzGuards bounds fuzz executions with deterministic limits only (a
+// wall-clock timeout would make the two configs diverge spuriously).
+func fuzzGuards(cfg core.Config) core.Config {
+	cfg.MaxSteps = 300_000
+	cfg.MaxDepth = 256
+	return cfg
+}
+
+// FuzzPipeline is the property the whole paper rests on: for any input
+// that compiles, the reference interpreter (polymorphic IR, runtime
+// type environments) and the full static pipeline (monomorphized,
+// normalized, optimized) must agree — same output and same result, or
+// the same language-level trap. On inputs that do not compile, both
+// configs must fail with ordinary diagnostics, never a panic or an
+// internal compiler error.
+func FuzzPipeline(f *testing.F) {
+	for _, p := range testprogs.All() {
+		f.Add(p.Source)
+	}
+	f.Fuzz(func(t *testing.T, source string) {
+		refComp, refErr := core.Compile("fuzz.v", source, fuzzGuards(core.Reference()))
+		fullComp, fullErr := core.Compile("fuzz.v", source, fuzzGuards(core.Compiled()))
+		checkNoICE(t, "ref compile", refErr)
+		checkNoICE(t, "full compile", fullErr)
+		if refErr != nil || fullErr != nil {
+			// Legitimate rejections (diagnostics, or mono refusing
+			// unbounded specialization) end the property here.
+			return
+		}
+		if refComp.Module.Main == nil {
+			return
+		}
+		refRes := refComp.Run()
+		fullRes := fullComp.Run()
+		checkNoICE(t, "ref run", refRes.Err)
+		checkNoICE(t, "full run", fullRes.Err)
+		// Step budgets fire at different instruction counts across
+		// configs, so a resource stop on either side voids comparison.
+		var re *interp.ResourceError
+		if errors.As(refRes.Err, &re) || errors.As(fullRes.Err, &re) {
+			return
+		}
+		refName, fullName := trapName(refRes.Err), trapName(fullRes.Err)
+		if refName != fullName {
+			t.Fatalf("trap divergence: ref=%q full=%q\nsource:\n%s", refName, fullName, source)
+		}
+		if refRes.Output != fullRes.Output {
+			t.Fatalf("output divergence:\nref:  %q\nfull: %q\nsource:\n%s", refRes.Output, fullRes.Output, source)
+		}
+	})
+}
+
+// trapName maps an execution result to a comparable label: "" for
+// clean termination, the trap name for Virgil exceptions.
+func trapName(err error) string {
+	if err == nil {
+		return ""
+	}
+	var ve *interp.VirgilError
+	if errors.As(err, &ve) {
+		return ve.Name
+	}
+	return err.Error()
+}
+
+func checkNoICE(t *testing.T, phase string, err error) {
+	t.Helper()
+	var ice *src.ICE
+	if errors.As(err, &ice) {
+		t.Fatalf("%s: internal compiler error (contained panic): %v\n%s", phase, ice, ice.Stack)
+	}
+	if err != nil && strings.Contains(err.Error(), "internal") && !errors.As(err, &ice) {
+		// Non-ICE "internal" errors indicate a containment gap.
+		t.Fatalf("%s: unstructured internal error: %v", phase, err)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/src"
+)
+
+// TestGuardConvertsPanic: the stage boundary converts an arbitrary
+// panic into a structured ICE naming the stage, and passes ordinary
+// errors and clean returns through untouched.
+func TestGuardConvertsPanic(t *testing.T) {
+	err := guard("teststage", func() error { panic("boom: unhandled node") })
+	ice, ok := err.(*src.ICE)
+	if !ok {
+		t.Fatalf("want *src.ICE, got %T: %v", err, err)
+	}
+	if ice.Stage != "teststage" || !strings.Contains(ice.Msg, "boom") {
+		t.Errorf("ICE = %+v, want stage and recovered message", ice)
+	}
+	if ice.Stack == "" {
+		t.Error("ICE should carry a trimmed Go stack for bug reports")
+	}
+
+	if err := guard("ok", func() error { return nil }); err != nil {
+		t.Errorf("clean stage returned %v", err)
+	}
+	sentinel := &src.ErrorList{}
+	sentinel.Add(src.NoPos, "plain diagnostic")
+	if err := guard("diag", func() error { return sentinel }); err != error(sentinel) {
+		t.Errorf("ordinary error not passed through: %v", err)
+	}
+}
+
+// TestGuardRecoversRuntimePanics: realistic stage failures — nil map
+// writes, out-of-range indexing — are contained, not just string
+// panics.
+func TestGuardRecoversRuntimePanics(t *testing.T) {
+	err := guard("index", func() error {
+		var s []int
+		_ = s[3]
+		return nil
+	})
+	ice, ok := err.(*src.ICE)
+	if !ok || !strings.Contains(ice.Msg, "index out of range") {
+		t.Fatalf("want index ICE, got %T: %v", err, err)
+	}
+}

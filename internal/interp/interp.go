@@ -3,16 +3,43 @@ package interp
 import (
 	"fmt"
 	"io"
+	"strings"
+	"time"
 
 	"repro/internal/ir"
+	"repro/internal/src"
 	"repro/internal/types"
 )
 
+// Frame is one Virgil-level call frame in a stack trace: the function
+// name and the source position of the instruction that was executing
+// when the trap fired (or, in caller frames, the call site).
+type Frame struct {
+	Func string
+	Pos  src.Pos
+}
+
+func (f Frame) String() string {
+	if f.Pos.IsValid() {
+		return fmt.Sprintf("%s (%s)", f.Func, f.Pos)
+	}
+	return f.Func
+}
+
+// maxTraceFrames bounds the frames captured in one trace; deeper stacks
+// (a !StackOverflow has thousands of frames) record the overflow count
+// in Elided instead.
+const maxTraceFrames = 64
+
 // VirgilError is a runtime exception thrown by the executed program
-// (e.g. !NullCheckException, !TypeCheckException).
+// (e.g. !NullCheckException, !TypeCheckException). Trace holds the
+// Virgil-level call stack at the throw point, innermost frame first;
+// Elided counts frames dropped from an over-deep trace.
 type VirgilError struct {
-	Name string
-	Msg  string
+	Name   string
+	Msg    string
+	Trace  []Frame
+	Elided int
 }
 
 func (e *VirgilError) Error() string {
@@ -20,6 +47,33 @@ func (e *VirgilError) Error() string {
 		return e.Name
 	}
 	return e.Name + ": " + e.Msg
+}
+
+// TraceString renders the source-level stack trace, one frame per line,
+// innermost first — the paper's §2 safety story made debuggable.
+func (e *VirgilError) TraceString() string {
+	var b strings.Builder
+	for _, f := range e.Trace {
+		fmt.Fprintf(&b, "\tat %s\n", f)
+	}
+	if e.Elided > 0 {
+		fmt.Fprintf(&b, "\t... %d more frames elided ...\n", e.Elided)
+	}
+	return b.String()
+}
+
+// A ResourceError reports that execution exceeded a configured resource
+// guard (step budget or wall-clock deadline). It is not a Virgil-level
+// exception — the program did not misbehave, the host bounded it — so
+// it is a distinct type that drivers report as such.
+type ResourceError struct {
+	Kind string // "steps" or "deadline"
+	Func string // function executing when the guard fired
+	Msg  string
+}
+
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("interp: %s in %s", e.Msg, e.Func)
 }
 
 // Stats reports the dynamic costs the paper's implementation section
@@ -43,10 +97,17 @@ type Stats struct {
 	Calls int64
 }
 
+// DefaultMaxDepth bounds Virgil call depth. Each Virgil frame consumes
+// a Go frame plus heap registers, so this must stay well under the Go
+// runtime's fatal (unrecoverable) 1GB stack limit.
+const DefaultMaxDepth = 10_000
+
 // Options configure an interpreter.
 type Options struct {
-	Out      io.Writer // System output; nil discards
-	MaxSteps int64     // safety bound; 0 means the default (1e9)
+	Out      io.Writer     // System output; nil discards
+	MaxSteps int64         // step budget; 0 means the default (1e9)
+	MaxDepth int           // call-depth limit; 0 means DefaultMaxDepth
+	Timeout  time.Duration // wall-clock budget; 0 means none
 }
 
 // Interp executes one module.
@@ -62,6 +123,9 @@ type Interp struct {
 
 	stats    Stats
 	maxSteps int64
+	maxDepth int
+	deadline time.Time
+	frames   []Frame // active Virgil call stack, outermost first
 }
 
 // New creates an interpreter for mod.
@@ -78,6 +142,13 @@ func New(mod *ir.Module, opts Options) *Interp {
 	}
 	if i.maxSteps == 0 {
 		i.maxSteps = 1_000_000_000
+	}
+	i.maxDepth = opts.MaxDepth
+	if i.maxDepth == 0 {
+		i.maxDepth = DefaultMaxDepth
+	}
+	if opts.Timeout > 0 {
+		i.deadline = time.Now().Add(opts.Timeout)
 	}
 	for _, c := range mod.Classes {
 		if mod.Monomorphic {
@@ -211,9 +282,56 @@ func (i *Interp) adapt(provided []Value, params []*ir.Reg) ([]Value, error) {
 	return nil, &VirgilError{Name: "!CallArityException", Msg: fmt.Sprintf("cannot adapt %d value(s) to %d parameter(s)", n, m)}
 }
 
-// call executes f with the given argument values and type arguments.
+// traceSnapshot captures the current Virgil call stack, innermost frame
+// first, bounded at maxTraceFrames.
+func (i *Interp) traceSnapshot() ([]Frame, int) {
+	n := len(i.frames)
+	keep := n
+	if keep > maxTraceFrames {
+		keep = maxTraceFrames
+	}
+	out := make([]Frame, keep)
+	for k := 0; k < keep; k++ {
+		out[k] = i.frames[n-1-k]
+	}
+	return out, n - keep
+}
+
+// trap builds a Virgil exception carrying the current stack trace.
+func (i *Interp) trap(name, msg string) *VirgilError {
+	tr, elided := i.traceSnapshot()
+	return &VirgilError{Name: name, Msg: msg, Trace: tr, Elided: elided}
+}
+
+// call pushes a Virgil frame for f, executes it, and — if a trap is
+// unwinding and has no trace yet — stamps the trace at this, the
+// deepest point that sees the error. Caller frames above attach
+// nothing, so the snapshot reflects the throw point.
 func (i *Interp) call(f *ir.Func, args []Value, targs []types.Type) ([]Value, error) {
 	i.stats.Calls++
+	if len(i.frames) >= i.maxDepth {
+		return nil, i.trap("!StackOverflow", fmt.Sprintf("call depth limit %d reached calling %s", i.maxDepth, f.Name))
+	}
+	fr := Frame{Func: f.Name}
+	// Seed the frame with the function-entry position so traps that
+	// fire before the first instruction (arity adaptation) still point
+	// into the source.
+	if len(f.Blocks) > 0 && len(f.Blocks[0].Instrs) > 0 {
+		fr.Pos = f.Blocks[0].Instrs[0].Pos
+	}
+	i.frames = append(i.frames, fr)
+	res, err := i.exec(f, args, targs)
+	if ve, ok := err.(*VirgilError); ok && ve.Trace == nil {
+		ve.Trace, ve.Elided = i.traceSnapshot()
+	}
+	i.frames = i.frames[:len(i.frames)-1]
+	return res, err
+}
+
+// exec runs f's body. It must only be called by call, which maintains
+// the frame stack around it.
+func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, error) {
+	fi := len(i.frames) - 1
 	e := i.bindEnv(f, targs)
 	regs := make([]Value, f.NumRegs())
 	if len(args) != len(f.Params) {
@@ -230,9 +348,13 @@ func (i *Interp) call(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			return nil, fmt.Errorf("interp: %s: fell off block b%d", f.Name, blk.ID)
 		}
 		in := blk.Instrs[pc]
+		i.frames[fi].Pos = in.Pos
 		i.stats.Steps++
 		if i.stats.Steps > i.maxSteps {
-			return nil, fmt.Errorf("interp: step limit exceeded in %s", f.Name)
+			return nil, &ResourceError{Kind: "steps", Func: f.Name, Msg: fmt.Sprintf("step limit exceeded (budget %d)", i.maxSteps)}
+		}
+		if i.stats.Steps&0xFFF == 0 && !i.deadline.IsZero() && time.Now().After(i.deadline) {
+			return nil, &ResourceError{Kind: "deadline", Func: f.Name, Msg: "wall-clock deadline exceeded"}
 		}
 		switch in.Op {
 		case ir.OpNop:

@@ -1,0 +1,43 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/src"
+	"repro/internal/testprogs"
+	"repro/internal/token"
+)
+
+// FuzzLexer asserts the lexer is total: any byte sequence tokenizes
+// without panicking, terminates at EOF, yields monotonically
+// nondecreasing in-bounds offsets, and makes progress on every token.
+func FuzzLexer(f *testing.F) {
+	for _, p := range testprogs.All() {
+		f.Add(p.Source)
+	}
+	f.Add("\"unterminated")
+	f.Add("/* unterminated")
+	f.Add("'")
+	f.Add("\x00\xff\xfe")
+	f.Fuzz(func(t *testing.T, source string) {
+		errs := &src.ErrorList{}
+		lx := New(src.NewFile("fuzz.v", source), errs)
+		prevOff := -1
+		for steps := 0; ; steps++ {
+			if steps > len(source)*4+64 {
+				t.Fatalf("lexer not making progress after %d tokens", steps)
+			}
+			tok := lx.Next()
+			if tok.Off < prevOff {
+				t.Fatalf("offset went backwards: %d after %d", tok.Off, prevOff)
+			}
+			if tok.Off < 0 || tok.Off > len(source) {
+				t.Fatalf("offset %d out of bounds [0,%d]", tok.Off, len(source))
+			}
+			prevOff = tok.Off
+			if tok.Kind == token.EOF {
+				break
+			}
+		}
+	})
+}

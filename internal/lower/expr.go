@@ -14,6 +14,9 @@ import (
 // value (a void-typed register for void expressions).
 func (b *builder) lowerExpr(e ast.Expr) *ir.Reg {
 	tc := b.tc()
+	if p := e.Pos(); p.IsValid() {
+		b.pos = p
+	}
 	switch e := e.(type) {
 	case *ast.IntLit:
 		r := b.f.NewReg(tc.Int(), "")

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/ir"
+	"repro/internal/src"
 	"repro/internal/token"
 	"repro/internal/typecheck"
 	"repro/internal/types"
@@ -198,6 +199,10 @@ type builder struct {
 	this   *ir.Reg
 	// cls is the enclosing source class, for implicit-this resolution.
 	cls *typecheck.ClassSym
+	// pos is the source position of the statement or expression being
+	// lowered; emit stamps it onto instructions so the interpreter can
+	// render source-level stack traces.
+	pos src.Pos
 	// loop targets
 	breaks, continues []*ir.Block
 }
@@ -211,6 +216,9 @@ func (lw *Lowerer) newBuilder(f *ir.Func, cls *typecheck.ClassSym) *builder {
 func (b *builder) tc() *types.Cache { return b.lw.tc }
 
 func (b *builder) emit(in *ir.Instr) *ir.Instr {
+	if !in.Pos.IsValid() {
+		in.Pos = b.pos
+	}
 	b.cur.Instrs = append(b.cur.Instrs, in)
 	return in
 }
@@ -354,6 +362,7 @@ func (b *builder) lowerStmt(s ast.Stmt) {
 	if b.terminated() {
 		return // unreachable code is dropped
 	}
+	b.pos = s.Pos()
 	switch s := s.(type) {
 	case *ast.Block:
 		for _, st := range s.Stmts {

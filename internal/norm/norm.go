@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
+	"repro/internal/src"
 	"repro/internal/types"
 )
 
@@ -201,6 +202,9 @@ type bodyNormalizer struct {
 	regMap map[*ir.Reg][]*ir.Reg
 	blkMap map[*ir.Block]*ir.Block
 	cur    *ir.Block
+	// pos is the source position of the instruction being normalized;
+	// emit stamps it so flattened code keeps source-level traces.
+	pos src.Pos
 }
 
 func (n *normalizer) normalizeBody(f *ir.Func) error {
@@ -259,7 +263,12 @@ func (b *bodyNormalizer) flatArgs(args []*ir.Reg) []*ir.Reg {
 	return out
 }
 
-func (b *bodyNormalizer) emit(in *ir.Instr) { b.cur.Instrs = append(b.cur.Instrs, in) }
+func (b *bodyNormalizer) emit(in *ir.Instr) {
+	if !in.Pos.IsValid() {
+		in.Pos = b.pos
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+}
 
 // moveAll emits pairwise moves from src to dst registers.
 func (b *bodyNormalizer) moveAll(dst, src []*ir.Reg) error {
@@ -290,6 +299,7 @@ func (b *bodyNormalizer) tupleOffsets(t types.Type, idx int) (int, int, error) {
 }
 
 func (b *bodyNormalizer) instr(in *ir.Instr) error {
+	b.pos = in.Pos
 	switch in.Op {
 	case ir.OpNop:
 		return nil

@@ -1,0 +1,29 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/src"
+	"repro/internal/testprogs"
+)
+
+// FuzzParser asserts the parser is total: any byte sequence parses to
+// an AST plus diagnostics without panicking — including adversarially
+// deep nesting, which must hit the depth guard instead of the Go
+// runtime's fatal stack limit.
+func FuzzParser(f *testing.F) {
+	for _, p := range testprogs.All() {
+		f.Add(p.Source)
+	}
+	f.Add("def main() { ((((((((1)))))))); }")
+	f.Add("class A extends A { }")
+	f.Add("def f<T>(x: T) -> T { return f(f); }")
+	f.Add("}}}} class { } enum ; component def var")
+	f.Fuzz(func(t *testing.T, source string) {
+		errs := &src.ErrorList{}
+		file := Parse("fuzz.v", source, errs)
+		if file == nil {
+			t.Fatal("Parse returned nil file")
+		}
+	})
+}

@@ -25,6 +25,29 @@ type Parser struct {
 	i      int
 	halfGt bool // a Shr token is half-consumed as '>'
 	spec   int  // >0 while speculatively parsing (errors suppressed)
+	// depth counts active recursive parse calls; tooDeep latches once
+	// the limit is hit, aborting the parse with a diagnostic instead of
+	// exhausting the (unrecoverable) Go stack on adversarial nesting.
+	depth   int
+	tooDeep bool
+}
+
+// maxNestingDepth bounds recursive-descent depth. Legitimate programs
+// nest a few dozen levels; adversarial inputs nest tens of thousands,
+// which would otherwise hit the Go runtime's fatal stack limit (and,
+// with speculative backtracking, superlinear reparse times).
+const maxNestingDepth = 500
+
+// exceeded reports whether parsing should abort due to over-deep
+// nesting. Once latched it stays true so every in-flight recursion
+// unwinds promptly; ParseFile reports the diagnostic exactly once
+// (errorf during speculation would be discarded by reset).
+func (p *Parser) exceeded() bool {
+	if p.tooDeep || p.depth > maxNestingDepth {
+		p.tooDeep = true
+		return true
+	}
+	return false
 }
 
 // New lexes the whole file and returns a parser over its tokens.
@@ -134,7 +157,8 @@ func (p *Parser) ident() ast.Ident {
 // ParseFile parses the whole compilation unit.
 func (p *Parser) ParseFile() *ast.File {
 	f := &ast.File{Source: p.file}
-	for p.kind() != token.EOF {
+	baseErr := p.errs.Len()
+	for p.kind() != token.EOF && !p.tooDeep {
 		before := p.i
 		d := p.parseDecl()
 		if d != nil {
@@ -144,6 +168,14 @@ func (p *Parser) ParseFile() *ast.File {
 			// Ensure progress on malformed input.
 			p.next()
 		}
+	}
+	if p.tooDeep {
+		// The abort unwinds through every in-flight production, each of
+		// which records a cascade error; drop those and report the root
+		// cause alone. (Added outside any speculation so reset() cannot
+		// discard it.)
+		p.errs.Errors = p.errs.Errors[:baseErr]
+		p.errs.Add(p.pos(), "nesting too deep (limit %d); aborting parse", maxNestingDepth)
 	}
 	return f
 }
@@ -395,6 +427,11 @@ func (p *Parser) parseTopDefOrVar() ast.Decl {
 
 // parseType parses a type reference: atom ('->' type)? (right assoc).
 func (p *Parser) parseType() ast.TypeRef {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.exceeded() {
+		return &ast.NamedTypeRef{Name: ast.Ident{Name: "void", Off: p.pos()}}
+	}
 	t := p.parseTypeAtom()
 	if t == nil {
 		return &ast.NamedTypeRef{Name: ast.Ident{Name: "void", Off: p.pos()}}
@@ -597,6 +634,11 @@ func (p *Parser) parseBlock() *ast.Block {
 }
 
 func (p *Parser) parseStmt() ast.Stmt {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.exceeded() {
+		return &ast.EmptyStmt{SemiPos: p.pos()}
+	}
 	switch p.kind() {
 	case token.LBrace:
 		return p.parseBlock()
@@ -714,6 +756,11 @@ func (p *Parser) parseFor() ast.Stmt {
 
 // parseExpr parses a full expression, including assignment.
 func (p *Parser) parseExpr() ast.Expr {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.exceeded() {
+		return &ast.NullLit{LitPos: p.pos()}
+	}
 	e := p.parseTernary()
 	switch p.kind() {
 	case token.Assign, token.AddEq, token.SubEq:

@@ -391,3 +391,50 @@ def main() {
 		t.Error("(g)(1) should stay a call")
 	}
 }
+
+// TestSyncPointRecovery: the parser resynchronizes after a syntax error
+// and reports later, independent errors from the same file instead of
+// stopping at the first.
+func TestSyncPointRecovery(t *testing.T) {
+	source := `
+def f() -> int {
+	return 1 +;
+}
+def g() -> int {
+	var x int = 2;
+	return @;
+}
+`
+	errs := &src.ErrorList{}
+	Parse("sync.v", source, errs)
+	if errs.Len() < 2 {
+		t.Fatalf("want >=2 independent diagnostics, got %d:\n%v", errs.Len(), errs)
+	}
+	lines := map[int]bool{}
+	for _, e := range errs.Errors {
+		lines[e.Pos.Line()] = true
+	}
+	if len(lines) < 2 {
+		t.Errorf("diagnostics should span >=2 distinct lines, got %v", lines)
+	}
+}
+
+// TestNestingDepthGuard: adversarially deep nesting yields a single
+// diagnostic, not Go stack exhaustion or a superlinear reparse.
+func TestNestingDepthGuard(t *testing.T) {
+	deep := "def main() -> int { return " + strings.Repeat("(", 5000) + "1" + strings.Repeat(")", 5000) + "; }"
+	errs := &src.ErrorList{}
+	Parse("deep.v", deep, errs)
+	if errs.Empty() {
+		t.Fatal("deep nesting accepted silently")
+	}
+	found := false
+	for _, e := range errs.Errors {
+		if strings.Contains(e.Msg, "nesting too deep") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want 'nesting too deep' diagnostic, got:\n%v", errs)
+	}
+}

@@ -1,0 +1,45 @@
+package src
+
+import (
+	"fmt"
+	"strings"
+)
+
+// An ICE is an internal compiler error: a panic recovered at a pipeline
+// stage boundary and converted into a structured diagnostic. Unlike an
+// Error, an ICE indicates a bug in the compiler rather than in the
+// input program, so drivers report it distinctly (exit code 3) — but it
+// must never surface as a raw Go stack trace to the user.
+type ICE struct {
+	Stage string // pipeline stage that panicked (parse, check, lower, ...)
+	Pos   Pos    // best-known source position, possibly NoPos
+	Msg   string // recovered panic value, rendered
+	Stack string // trimmed Go stack, for bug reports; not shown by default
+}
+
+func (e *ICE) Error() string {
+	var b strings.Builder
+	b.WriteString("internal compiler error")
+	if e.Stage != "" {
+		fmt.Fprintf(&b, " [%s]", e.Stage)
+	}
+	if e.Pos.IsValid() {
+		fmt.Fprintf(&b, " at %s", e.Pos)
+	}
+	if e.Msg != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Msg)
+	}
+	return b.String()
+}
+
+// TrimStack reduces a debug.Stack() dump to the frames below the
+// recovery boundary, keeping ICE reports short enough to paste into a
+// bug report.
+func TrimStack(stack []byte, maxLines int) string {
+	lines := strings.Split(string(stack), "\n")
+	if len(lines) > maxLines {
+		lines = append(lines[:maxLines], "\t... stack truncated ...")
+	}
+	return strings.Join(lines, "\n")
+}

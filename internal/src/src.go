@@ -117,6 +117,24 @@ func (l *ErrorList) Error() string {
 	return b.String()
 }
 
+// MaxReported is the default cap on diagnostics surfaced to the user;
+// past it, cascades from one root cause drown the signal.
+const MaxReported = 20
+
+// Truncate caps the list at max diagnostics, replacing the overflow
+// with a single "too many errors" sentinel that records the true count.
+// It is a no-op when the list already fits.
+func (l *ErrorList) Truncate(max int) {
+	if max <= 0 || len(l.Errors) <= max {
+		return
+	}
+	total := len(l.Errors)
+	l.Errors = append(l.Errors[:max:max], &Error{
+		Pos: l.Errors[max-1].Pos,
+		Msg: fmt.Sprintf("too many errors (%d total); showing first %d", total, max),
+	})
+}
+
 // Sort orders diagnostics by file name then offset, for stable output.
 func (l *ErrorList) Sort() {
 	sort.SliceStable(l.Errors, func(i, j int) bool {

@@ -75,3 +75,36 @@ func TestErrorListSortAcrossFiles(t *testing.T) {
 		t.Errorf("files should sort by name: %q", l.Error())
 	}
 }
+
+func TestErrorListTruncate(t *testing.T) {
+	l := &ErrorList{}
+	for i := 0; i < 50; i++ {
+		l.Add(NoPos, "error %d", i)
+	}
+	l.Truncate(20)
+	if got := len(l.Errors); got != 21 {
+		t.Fatalf("len = %d, want 20 + sentinel", got)
+	}
+	last := l.Errors[20].Msg
+	if !strings.Contains(last, "too many errors") || !strings.Contains(last, "50") {
+		t.Errorf("sentinel = %q, want total count mention", last)
+	}
+	// Under the cap: no-op.
+	s := &ErrorList{}
+	s.Add(NoPos, "only one")
+	s.Truncate(20)
+	if len(s.Errors) != 1 {
+		t.Errorf("truncate below cap changed list: %d", len(s.Errors))
+	}
+}
+
+func TestICEError(t *testing.T) {
+	f := NewFile("x.v", "def main() { }\n")
+	ice := &ICE{Stage: "lower", Pos: Pos{File: f, Off: 4}, Msg: "unhandled node"}
+	msg := ice.Error()
+	for _, want := range []string{"internal compiler error", "[lower]", "x.v:1:5", "unhandled node"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("ICE message %q missing %q", msg, want)
+		}
+	}
+}

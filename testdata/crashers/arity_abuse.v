@@ -1,0 +1,2 @@
+def f(x: int, y: int) -> int { return x + y; }
+def main() { f(); f(1); f(1, 2, 3); f(1, 2)(3); }

@@ -1,0 +1,2 @@
+class A extends A { }
+def main() { var a = A.new(); }

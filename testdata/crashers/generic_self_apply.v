@@ -1,0 +1,2 @@
+def f<T>(x: T) -> T { return f(f); }
+def main() { f(f(f)); }

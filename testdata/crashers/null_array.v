@@ -1,0 +1,4 @@
+def main() -> int {
+	var a: Array<int>;
+	return a[0] + a.length;
+}

@@ -1,0 +1,1 @@
+}}}} class { } enum ; component def var

@@ -1,0 +1,1 @@
+def main() { var t = (1, (2, (3, ))); var x = t.9999; }

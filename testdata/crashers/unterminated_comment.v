@@ -1,0 +1,2 @@
+/* a block comment that never ends
+def main() { }
