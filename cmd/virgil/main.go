@@ -2,18 +2,25 @@
 //
 // Usage:
 //
-//	virgil run [-config ref|mono|norm|full] [-max-steps n] [-max-depth n] [-timeout d] file.v...
-//	virgil check [-config ...] file.v...
-//	virgil dump [-config ...] file.v...
+//	virgil run [-config ref|mono|norm|full] [-verify-ir] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+//	virgil check [-config ...] [-verify-ir] file.v...
+//	virgil dump [-config ...] [-verify-ir] file.v...
+//	virgil lint file.v...
 //	virgil stats file.v...
 //
 // run executes the program; check compiles under the selected config
 // without executing; dump prints the IR after the selected pipeline
-// stages; stats prints monomorphization, normalization and optimization
-// statistics.
+// stages; lint typechecks and reports advisory diagnostics (unreachable
+// code, locals read before initialization, unused locals, fields,
+// private functions and type parameters, statically-decided casts);
+// stats prints monomorphization, normalization and optimization
+// statistics. -verify-ir runs the typed IR verifier after every
+// pipeline stage (also enabled by the VIRGIL_VERIFY_IR environment
+// variable).
 //
-// Exit codes: 0 success; 1 source diagnostics, Virgil trap, or resource
-// exhaustion; 2 usage error; 3 internal compiler error.
+// Exit codes: 0 success; 1 source diagnostics, lint findings, Virgil
+// trap, or resource exhaustion; 2 usage error; 3 internal compiler
+// error.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/lint"
 	"repro/internal/src"
 )
 
@@ -50,7 +58,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	cmd := argv[0]
 	switch cmd {
-	case "run", "check", "dump", "stats":
+	case "run", "check", "dump", "lint", "stats":
 	default:
 		usage(stderr)
 		return exitUsage
@@ -58,6 +66,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cfgName := fs.String("config", "full", "pipeline config: ref, mono, norm, or full")
+	verifyIR := fs.Bool("verify-ir", false, "run the typed IR verifier after every pipeline stage")
 	maxSteps := fs.Int64("max-steps", 0, "step budget for execution (0 = default)")
 	maxDepth := fs.Int("max-depth", 0, "call-depth limit for execution (0 = default)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for execution (0 = none)")
@@ -74,6 +83,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "virgil:", err)
 		return exitUsage
 	}
+	cfg.VerifyIR = *verifyIR
 	cfg.MaxSteps = *maxSteps
 	cfg.MaxDepth = *maxDepth
 	cfg.Timeout = *timeout
@@ -112,6 +122,18 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return report(stderr, err)
 		}
 		fmt.Fprint(stdout, comp.Module.String())
+	case "lint":
+		prog, err := core.CheckFiles(srcs)
+		if err != nil {
+			return report(stderr, err)
+		}
+		findings := lint.Run(prog)
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) > 0 {
+			return exitDiag
+		}
 	case "stats":
 		return printStats(stdout, stderr, srcs)
 	}
@@ -193,13 +215,14 @@ func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-verify-ir] [-max-steps n] [-max-depth n] [-timeout d] file.v...
 
 commands:
   run    compile and execute the program
   check  compile under the selected config without executing
   dump   print the IR after the selected pipeline stages
+  lint   report advisory diagnostics (unused code, bad casts, ...)
   stats  print per-stage compilation statistics
 
-exit codes: 0 ok; 1 diagnostics, trap, or resource limit; 2 usage; 3 internal compiler error`)
+exit codes: 0 ok; 1 diagnostics, lint findings, trap, or resource limit; 2 usage; 3 internal compiler error`)
 }

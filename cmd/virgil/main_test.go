@@ -185,3 +185,66 @@ func assertNoGoStack(t *testing.T, stderr string) {
 		}
 	}
 }
+
+// TestLintSubcommand: virgil lint reports advisory findings with
+// positions and exits 1, stays silent and exits 0 on clean programs,
+// and reports ordinary diagnostics for programs that do not check.
+func TestLintSubcommand(t *testing.T) {
+	dirty := write(t, "dirty.v", `
+def main() {
+	var unused = 1;
+	return;
+	System.ln();
+}
+`)
+	code, out, _ := exec("lint", dirty)
+	if code != exitDiag {
+		t.Errorf("dirty program: exit %d, want %d", code, exitDiag)
+	}
+	if !strings.Contains(out, "unused-local: local unused is never read") {
+		t.Errorf("missing unused-local finding in output:\n%s", out)
+	}
+	if !strings.Contains(out, "unreachable: unreachable statement") {
+		t.Errorf("missing unreachable finding in output:\n%s", out)
+	}
+	if !strings.Contains(out, "dirty.v:3:6:") {
+		t.Errorf("findings lack file:line:col positions:\n%s", out)
+	}
+
+	clean := write(t, "clean.v", `def main() { System.puts("ok"); System.ln(); }`)
+	code, out, stderr := exec("lint", clean)
+	if code != exitOK || out != "" {
+		t.Errorf("clean program: exit %d out %q stderr %q", code, out, stderr)
+	}
+
+	broken := write(t, "broken.v", `def main() { undefined; }`)
+	code, _, stderr = exec("lint", broken)
+	if code != exitDiag || stderr == "" {
+		t.Errorf("broken program: exit %d stderr %q, want diagnostics on stderr", code, stderr)
+	}
+}
+
+// TestVerifyIRFlag: -verify-ir must be accepted by the compiling
+// subcommands and leave correct programs untouched.
+func TestVerifyIRFlag(t *testing.T) {
+	p := write(t, "gen.v", `
+class Box<T> {
+	var x: T;
+	new(x) { }
+}
+def main() {
+	var b = Box<int>.new(41);
+	System.puti(b.x + 1);
+	System.ln();
+}
+`)
+	for _, cfgName := range []string{"ref", "mono", "norm", "full"} {
+		if code, _, stderr := exec("check", "-config", cfgName, "-verify-ir", p); code != exitOK {
+			t.Errorf("check -config %s -verify-ir: exit %d stderr %q", cfgName, code, stderr)
+		}
+	}
+	code, out, stderr := exec("run", "-verify-ir", p)
+	if code != exitOK || out != "42\n" {
+		t.Errorf("run -verify-ir: exit %d out %q stderr %q", code, out, stderr)
+	}
+}

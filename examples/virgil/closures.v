@@ -1,0 +1,18 @@
+// First-class functions: bound methods, partial application of
+// operators, and function-typed fields (§2.2).
+class Accum {
+	var total: int;
+	new(total) { }
+	def add(x: int) { total = total + x; }
+}
+def each(xs: Array<int>, f: int -> void) {
+	for (i = 0; i < xs.length; i++) f(xs[i]);
+}
+def main() {
+	var a = Accum.new(0);
+	var xs = Array<int>.new(4);
+	for (i = 0; i < xs.length; i++) xs[i] = i + 1;
+	each(xs, a.add);
+	System.puti(a.total);
+	System.ln();
+}

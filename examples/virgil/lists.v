@@ -1,0 +1,21 @@
+// Generic linked lists: the paper's flagship interaction of classes,
+// functions and type parameters (§2).
+class List<T> {
+	var head: T;
+	var tail: List<T>;
+	new(head, tail) { }
+}
+def map<A, B>(list: List<A>, f: A -> B) -> List<B> {
+	if (list == null) return null;
+	return List<B>.new(f(list.head), map(list.tail, f));
+}
+def apply<T>(list: List<T>, f: T -> void) {
+	for (l = list; l != null; l = l.tail) f(l.head);
+}
+def double(x: int) -> int { return x * 2; }
+def print(x: int) { System.puti(x); System.putc(' '); }
+def main() {
+	var l = List<int>.new(1, List<int>.new(2, List<int>.new(3, null)));
+	apply(map(l, double), print);
+	System.ln();
+}

@@ -1,0 +1,26 @@
+// Classes with single inheritance, virtual dispatch and type queries
+// (§2.1, §2.5).
+class Shape {
+	def area() -> int { return 0; }
+}
+class Square extends Shape {
+	var side: int;
+	new(side) { }
+	def area() -> int { return side * side; }
+}
+class Rect extends Shape {
+	var w: int;
+	var h: int;
+	new(w, h) { }
+	def area() -> int { return w * h; }
+}
+def describe(s: Shape) {
+	if (Square.?(s)) System.puts("square ");
+	else System.puts("other ");
+	System.puti(s.area());
+	System.ln();
+}
+def main() {
+	describe(Square.new(4));
+	describe(Rect.new(2, 3));
+}

@@ -1,0 +1,20 @@
+// Tuples compose with functions and type parameters: multi-value
+// returns and tuple parameters flatten away after normalization (§4.2).
+def divmod(a: int, b: int) -> (int, int) {
+	return (a / b, a % b);
+}
+def swap<A, B>(p: (A, B)) -> (B, A) {
+	return (p.1, p.0);
+}
+def main() {
+	var qr = divmod(17, 5);
+	System.puti(qr.0);
+	System.putc(' ');
+	System.puti(qr.1);
+	System.ln();
+	var sw = swap((1, true));
+	System.putb(sw.0);
+	System.putc(' ');
+	System.puti(sw.1);
+	System.ln();
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime/debug"
 	"strings"
 	"time"
@@ -40,6 +41,12 @@ type Config struct {
 	Monomorphize bool
 	Normalize    bool
 	Optimize     bool
+
+	// VerifyIR runs the typed IR verifier (ir.Verify) after every
+	// pipeline stage, converting stage-local IR corruption into a
+	// stage-tagged ICE at the earliest point it is observable. The
+	// VIRGIL_VERIFY_IR environment variable force-enables it.
+	VerifyIR bool
 
 	// MaxSteps bounds executed IR instructions (0 = interpreter default).
 	MaxSteps int64
@@ -146,8 +153,27 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if os.Getenv("VIRGIL_VERIFY_IR") != "" {
+		cfg.VerifyIR = true
+	}
 	comp := &Compilation{Config: cfg}
 	start := time.Now()
+
+	// verify runs the typed IR verifier after one stage; any finding is
+	// a compiler bug in that stage, reported as a stage-tagged ICE.
+	verify := func(stage string, mod *ir.Module) error {
+		if !cfg.VerifyIR {
+			return nil
+		}
+		err := guard("verify-"+stage, func() error { return mod.Verify() })
+		if err == nil {
+			return nil
+		}
+		if _, ok := err.(*src.ICE); !ok {
+			err = &src.ICE{Stage: "verify-" + stage, Msg: fmt.Sprintf("invalid IR after %s: %v", stage, err)}
+		}
+		return err
+	}
 
 	errs := &src.ErrorList{}
 	diags := func() error {
@@ -195,6 +221,9 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 		return nil, err
 	}
 	comp.Timings.Lower = time.Since(t0)
+	if err := verify("lower", mod); err != nil {
+		return nil, err
+	}
 
 	if cfg.Monomorphize {
 		t0 = time.Now()
@@ -210,6 +239,9 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 			return nil, err
 		}
 		comp.Timings.Mono = time.Since(t0)
+		if err := verify("mono", mod); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Normalize {
 		t0 = time.Now()
@@ -225,6 +257,9 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 			return nil, err
 		}
 		comp.Timings.Norm = time.Since(t0)
+		if err := verify("norm", mod); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Optimize {
 		t0 = time.Now()
@@ -235,6 +270,9 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 			return nil, err
 		}
 		comp.Timings.Opt = time.Since(t0)
+		if err := verify("opt", mod); err != nil {
+			return nil, err
+		}
 	}
 	if err := guard("validate", func() error { return mod.Validate() }); err != nil {
 		if _, ok := err.(*src.ICE); !ok {
@@ -245,6 +283,42 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	comp.Module = mod
 	comp.Timings.Total = time.Since(start)
 	return comp, nil
+}
+
+// CheckFiles parses and typechecks files as one program without
+// lowering, for tools that work on the typed AST (virgil lint).
+// Diagnostics come back as a *src.ErrorList and panics as stage-tagged
+// *src.ICE values, exactly as in CompileFiles.
+func CheckFiles(files []File) (*typecheck.Program, error) {
+	errs := &src.ErrorList{}
+	diags := func() error {
+		errs.Sort()
+		errs.Truncate(src.MaxReported)
+		return errs
+	}
+	var parsed []*ast.File
+	if err := guard("parse", func() error {
+		for _, f := range files {
+			parsed = append(parsed, parser.Parse(f.Name, f.Source, errs))
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if !errs.Empty() {
+		return nil, diags()
+	}
+	var prog *typecheck.Program
+	if err := guard("check", func() error {
+		prog = typecheck.Check(parsed, errs)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if !errs.Empty() {
+		return nil, diags()
+	}
+	return prog, nil
 }
 
 // RunResult is the outcome of executing a compiled program.

@@ -13,9 +13,12 @@ import (
 
 // fuzzGuards bounds fuzz executions with deterministic limits only (a
 // wall-clock timeout would make the two configs diverge spuriously).
+// The typed IR verifier runs after every stage so fuzzing catches
+// stage-local IR corruption, not just end-to-end divergence.
 func fuzzGuards(cfg core.Config) core.Config {
 	cfg.MaxSteps = 300_000
 	cfg.MaxDepth = 256
+	cfg.VerifyIR = true
 	return cfg
 }
 

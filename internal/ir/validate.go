@@ -16,19 +16,13 @@ func (m *Module) Validate() error {
 			return fmt.Errorf("func %s: %w", f.Name, err)
 		}
 	}
+	inModule := make(map[*Func]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		inModule[f] = true
+	}
 	for _, c := range m.Classes {
 		for i, fn := range c.Vtable {
-			if fn == nil {
-				continue
-			}
-			found := false
-			for _, g := range m.Funcs {
-				if g == fn {
-					found = true
-					break
-				}
-			}
-			if !found {
+			if fn != nil && !inModule[fn] {
 				return fmt.Errorf("class %s: vtable slot %d points outside the module", c.Name, i)
 			}
 		}

@@ -1,0 +1,261 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// newFunc builds an empty function with one result type.
+func newFunc(name string, ret types.Type) *ir.Func {
+	return &ir.Func{Name: name, Results: []types.Type{ret}, VtSlot: -1}
+}
+
+func emit(b *ir.Block, in *ir.Instr) *ir.Instr {
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// wantVerifyError asserts that Verify rejects the module with a
+// message mentioning each fragment.
+func wantVerifyError(t *testing.T, m *ir.Module, fragments ...string) {
+	t.Helper()
+	err := m.Verify()
+	if err == nil {
+		t.Fatalf("Verify accepted a corrupt module")
+	}
+	for _, frag := range fragments {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("Verify error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func TestVerifyAcceptsMinimalModule(t *testing.T) {
+	tc := types.NewCache()
+	f := newFunc("f", tc.Int())
+	b := f.NewBlock()
+	v := f.NewReg(tc.Int(), "")
+	emit(b, &ir.Instr{Op: ir.OpConstInt, Dst: []*ir.Reg{v}, IVal: 7})
+	emit(b, &ir.Instr{Op: ir.OpRet, Args: []*ir.Reg{v}})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{f}}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify rejected a well-formed module: %v", err)
+	}
+}
+
+// TestVerifyRejectsSeededTypeMismatch seeds the deliberate corruption
+// the issue asks for: an int constant moved into a bool register.
+func TestVerifyRejectsSeededTypeMismatch(t *testing.T) {
+	tc := types.NewCache()
+	f := newFunc("f", tc.Void())
+	b := f.NewBlock()
+	i := f.NewReg(tc.Int(), "")
+	c := f.NewReg(tc.Bool(), "")
+	emit(b, &ir.Instr{Op: ir.OpConstInt, Dst: []*ir.Reg{i}, IVal: 1})
+	emit(b, &ir.Instr{Op: ir.OpMove, Dst: []*ir.Reg{c}, Args: []*ir.Reg{i}})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	wantVerifyError(t, &ir.Module{Types: tc, Funcs: []*ir.Func{f}}, "move int into register of bool")
+}
+
+func TestVerifyRejectsUseBeforeDef(t *testing.T) {
+	tc := types.NewCache()
+	f := newFunc("f", tc.Int())
+	b := f.NewBlock()
+	v := f.NewReg(tc.Int(), "")
+	emit(b, &ir.Instr{Op: ir.OpRet, Args: []*ir.Reg{v}})
+	wantVerifyError(t, &ir.Module{Types: tc, Funcs: []*ir.Func{f}}, "used before definition")
+}
+
+// TestVerifyRejectsPartialDefinition defines a register on only one
+// branch of a diamond; the all-paths dataflow must flag its use at the
+// join.
+func TestVerifyRejectsPartialDefinition(t *testing.T) {
+	tc := types.NewCache()
+	f := newFunc("f", tc.Int())
+	b0, b1, b2, b3 := f.NewBlock(), f.NewBlock(), f.NewBlock(), f.NewBlock()
+	cond := f.NewReg(tc.Bool(), "")
+	v := f.NewReg(tc.Int(), "")
+	emit(b0, &ir.Instr{Op: ir.OpConstBool, Dst: []*ir.Reg{cond}, IVal: 1})
+	emit(b0, &ir.Instr{Op: ir.OpBranch, Args: []*ir.Reg{cond}, Blocks: []*ir.Block{b1, b2}})
+	emit(b1, &ir.Instr{Op: ir.OpConstInt, Dst: []*ir.Reg{v}, IVal: 3})
+	emit(b1, &ir.Instr{Op: ir.OpJump, Blocks: []*ir.Block{b3}})
+	emit(b2, &ir.Instr{Op: ir.OpJump, Blocks: []*ir.Block{b3}})
+	emit(b3, &ir.Instr{Op: ir.OpRet, Args: []*ir.Reg{v}})
+	wantVerifyError(t, &ir.Module{Types: tc, Funcs: []*ir.Func{f}}, "used before definition")
+}
+
+// TestVerifyAcceptsLoopAndDeadBlock exercises the two shapes that must
+// NOT be flagged: a back edge to a loop header, and an unreachable
+// block using registers it never saw defined (lowering leaves such
+// dead merge blocks before optimization).
+func TestVerifyAcceptsLoopAndDeadBlock(t *testing.T) {
+	tc := types.NewCache()
+	f := newFunc("f", tc.Int())
+	v := f.NewReg(tc.Int(), "")
+	cond := f.NewReg(tc.Bool(), "")
+	b0, b1, b2 := f.NewBlock(), f.NewBlock(), f.NewBlock()
+	dead := f.NewBlock()
+	emit(b0, &ir.Instr{Op: ir.OpConstInt, Dst: []*ir.Reg{v}, IVal: 0})
+	emit(b0, &ir.Instr{Op: ir.OpJump, Blocks: []*ir.Block{b1}})
+	emit(b1, &ir.Instr{Op: ir.OpConstBool, Dst: []*ir.Reg{cond}, IVal: 1})
+	emit(b1, &ir.Instr{Op: ir.OpBranch, Args: []*ir.Reg{cond}, Blocks: []*ir.Block{b1, b2}})
+	emit(b2, &ir.Instr{Op: ir.OpRet, Args: []*ir.Reg{v}})
+	emit(dead, &ir.Instr{Op: ir.OpRet, Args: []*ir.Reg{v}})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{f}}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("Verify rejected loop/dead-block shapes: %v", err)
+	}
+}
+
+func TestVerifyRejectsCallArityMismatch(t *testing.T) {
+	tc := types.NewCache()
+	callee := newFunc("g", tc.Int())
+	callee.Params = []*ir.Reg{callee.NewReg(tc.Int(), "x")}
+	cb := callee.NewBlock()
+	emit(cb, &ir.Instr{Op: ir.OpRet, Args: []*ir.Reg{callee.Params[0]}})
+
+	caller := newFunc("f", tc.Void())
+	b := caller.NewBlock()
+	r := caller.NewReg(tc.Int(), "")
+	emit(b, &ir.Instr{Op: ir.OpCallStatic, Fn: callee, Dst: []*ir.Reg{r}})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{caller, callee}}
+	wantVerifyError(t, m, "0 args, want 1")
+}
+
+func TestVerifyRejectsCallArgTypeMismatch(t *testing.T) {
+	tc := types.NewCache()
+	callee := newFunc("g", tc.Int())
+	callee.Params = []*ir.Reg{callee.NewReg(tc.Int(), "x")}
+	cb := callee.NewBlock()
+	emit(cb, &ir.Instr{Op: ir.OpRet, Args: []*ir.Reg{callee.Params[0]}})
+
+	caller := newFunc("f", tc.Void())
+	b := caller.NewBlock()
+	s := caller.NewReg(tc.Bool(), "")
+	r := caller.NewReg(tc.Int(), "")
+	emit(b, &ir.Instr{Op: ir.OpConstBool, Dst: []*ir.Reg{s}, IVal: 1})
+	emit(b, &ir.Instr{Op: ir.OpCallStatic, Fn: callee, Dst: []*ir.Reg{r}, Args: []*ir.Reg{s}})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{caller, callee}}
+	wantVerifyError(t, m, "arg 0 has bool")
+}
+
+func TestVerifyRejectsForeignCallee(t *testing.T) {
+	tc := types.NewCache()
+	outside := newFunc("ghost", tc.Void())
+	ob := outside.NewBlock()
+	emit(ob, &ir.Instr{Op: ir.OpRet})
+
+	caller := newFunc("f", tc.Void())
+	b := caller.NewBlock()
+	emit(b, &ir.Instr{Op: ir.OpCallStatic, Fn: outside})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{caller}}
+	wantVerifyError(t, m, "outside the module")
+}
+
+func TestVerifyRejectsForeignRegister(t *testing.T) {
+	tc := types.NewCache()
+	other := newFunc("g", tc.Void())
+	stray := other.NewReg(tc.Int(), "")
+
+	f := newFunc("f", tc.Void())
+	b := f.NewBlock()
+	mine := f.NewReg(tc.Int(), "")
+	emit(b, &ir.Instr{Op: ir.OpConstInt, Dst: []*ir.Reg{mine}, IVal: 1})
+	emit(b, &ir.Instr{Op: ir.OpMove, Dst: []*ir.Reg{f.NewReg(tc.Int(), "")}, Args: []*ir.Reg{stray}})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{f}}
+	wantVerifyError(t, m, "share id")
+}
+
+func TestVerifyRejectsBranchOnNonBool(t *testing.T) {
+	tc := types.NewCache()
+	f := newFunc("f", tc.Void())
+	b0, b1 := f.NewBlock(), f.NewBlock()
+	v := f.NewReg(tc.Int(), "")
+	emit(b0, &ir.Instr{Op: ir.OpConstInt, Dst: []*ir.Reg{v}, IVal: 1})
+	emit(b0, &ir.Instr{Op: ir.OpBranch, Args: []*ir.Reg{v}, Blocks: []*ir.Block{b1, b1}})
+	emit(b1, &ir.Instr{Op: ir.OpRet})
+	wantVerifyError(t, &ir.Module{Types: tc, Funcs: []*ir.Func{f}}, "must be bool")
+}
+
+func TestVerifyRejectsOpenTypeInMonoModule(t *testing.T) {
+	tc := types.NewCache()
+	tp := tc.NewTypeParamDef("T", 0, nil)
+	f := newFunc("f", tc.Void())
+	b := f.NewBlock()
+	v := f.NewReg(tc.ParamRef(tp), "")
+	emit(b, &ir.Instr{Op: ir.OpConstNull, Dst: []*ir.Reg{v}, Type: tc.ParamRef(tp)})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{f}, Monomorphic: true}
+	wantVerifyError(t, m, "open type")
+}
+
+func TestVerifyRejectsTypeArgsInMonoModule(t *testing.T) {
+	tc := types.NewCache()
+	callee := newFunc("g", tc.Void())
+	cb := callee.NewBlock()
+	emit(cb, &ir.Instr{Op: ir.OpRet})
+
+	f := newFunc("f", tc.Void())
+	b := f.NewBlock()
+	emit(b, &ir.Instr{Op: ir.OpCallStatic, Fn: callee, TypeArgs: []types.Type{tc.Int()}})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{f, callee}, Monomorphic: true}
+	wantVerifyError(t, m, "type args")
+}
+
+func TestVerifyRejectsTupleParamInNormalizedModule(t *testing.T) {
+	tc := types.NewCache()
+	pair := tc.TupleOf([]types.Type{tc.Int(), tc.Int()})
+	f := &ir.Func{Name: "f", VtSlot: -1}
+	f.Params = []*ir.Reg{f.NewReg(pair, "p")}
+	b := f.NewBlock()
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{f}, Monomorphic: true, Normalized: true}
+	wantVerifyError(t, m, "tuple type")
+}
+
+func TestVerifyRejectsStaleGlobal(t *testing.T) {
+	tc := types.NewCache()
+	stale := &ir.Global{Name: "gone", Type: tc.Int()}
+	f := newFunc("f", tc.Void())
+	b := f.NewBlock()
+	v := f.NewReg(tc.Int(), "")
+	emit(b, &ir.Instr{Op: ir.OpGlobalLoad, Dst: []*ir.Reg{v}, Global: stale})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{f}}
+	wantVerifyError(t, m, "not in the module")
+}
+
+func TestVerifyRejectsRetTypeMismatch(t *testing.T) {
+	tc := types.NewCache()
+	f := newFunc("f", tc.Bool())
+	b := f.NewBlock()
+	v := f.NewReg(tc.Int(), "")
+	emit(b, &ir.Instr{Op: ir.OpConstInt, Dst: []*ir.Reg{v}, IVal: 1})
+	emit(b, &ir.Instr{Op: ir.OpRet, Args: []*ir.Reg{v}})
+	wantVerifyError(t, &ir.Module{Types: tc, Funcs: []*ir.Func{f}}, "ret of int, want bool")
+}
+
+func TestVerifyRejectsFieldSlotOutOfRange(t *testing.T) {
+	tc := types.NewCache()
+	def := tc.NewClassDef("C", nil, nil)
+	ct := tc.ClassOf(def, nil)
+	cls := &ir.Class{Name: "C", Def: def, Type: ct, Fields: []ir.Field{{Name: "x", Type: tc.Int()}}}
+
+	f := newFunc("f", tc.Void())
+	b := f.NewBlock()
+	o := f.NewReg(ct, "")
+	v := f.NewReg(tc.Int(), "")
+	emit(b, &ir.Instr{Op: ir.OpConstNull, Dst: []*ir.Reg{o}, Type: ct})
+	emit(b, &ir.Instr{Op: ir.OpFieldLoad, Dst: []*ir.Reg{v}, Args: []*ir.Reg{o}, FieldSlot: 5})
+	emit(b, &ir.Instr{Op: ir.OpRet})
+	m := &ir.Module{Types: tc, Funcs: []*ir.Func{f}, Classes: []*ir.Class{cls}}
+	wantVerifyError(t, m, "slot 5 out of range")
+}

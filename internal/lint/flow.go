@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/typecheck"
+)
+
+// flow performs the per-body dataflow lints: reachability (unreachable
+// statements) and definite assignment (locals read before any write —
+// legal in Virgil, which default-initializes, but almost always a bug).
+//
+// The analysis is a forward may-walk over the AST: `assigned` holds the
+// locals definitely assigned on every path reaching the current point,
+// `terminated` is true when no path reaches it at all. Branches fork a
+// copy of the state and merge by intersection; loop bodies run on a
+// discarded copy because they may execute zero times.
+type flow struct {
+	l *linter
+	// uninit maps the declaring node of each local declared without an
+	// initializer to its declaration, for positions in reports.
+	uninit map[any]*ast.LocalDecl
+	// assigned marks binding nodes definitely assigned so far.
+	assigned   map[any]bool
+	terminated bool
+}
+
+func (f *flow) copyState() map[any]bool {
+	c := make(map[any]bool, len(f.assigned))
+	for k, v := range f.assigned {
+		c[k] = v
+	}
+	return c
+}
+
+// merge replaces the state with the join of two branch outcomes: the
+// intersection of their assignments, unless one branch terminated, in
+// which case the other's facts hold alone.
+func (f *flow) merge(aAssigned map[any]bool, aTerm bool, bAssigned map[any]bool, bTerm bool) {
+	switch {
+	case aTerm && bTerm:
+		f.terminated = true
+		f.assigned = aAssigned
+	case aTerm:
+		f.assigned = bAssigned
+	case bTerm:
+		f.assigned = aAssigned
+	default:
+		for k := range aAssigned {
+			if bAssigned[k] {
+				f.assigned[k] = true
+			}
+		}
+	}
+}
+
+func (f *flow) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			if f.terminated {
+				if _, empty := st.(*ast.EmptyStmt); !empty {
+					f.l.report(st.Pos(), CatUnreachable, "unreachable statement")
+					// Analyze the rest as if reachable so one report
+					// per dead region suffices.
+					f.terminated = false
+				}
+			}
+			f.stmt(st)
+		}
+	case *ast.IfStmt:
+		f.expr(s.Cond)
+		base := f.copyState()
+		f.stmt(s.Then)
+		thenAssigned, thenTerm := f.assigned, f.terminated
+		f.assigned, f.terminated = base, false
+		if s.Else != nil {
+			f.stmt(s.Else)
+			f.merge(thenAssigned, thenTerm, f.assigned, f.terminated)
+		}
+		// No else: the fall-through path keeps the pre-branch state.
+	case *ast.WhileStmt:
+		f.expr(s.Cond)
+		base := f.copyState()
+		f.stmt(s.Body)
+		// The body may run zero times; discard its facts...
+		f.assigned, f.terminated = base, false
+		// ...unless the condition is literally `true`: then the only way
+		// past the loop is a break.
+		if lit, ok := s.Cond.(*ast.BoolLit); ok && lit.Value && !hasBreak(s.Body) {
+			f.terminated = true
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			f.expr(s.Init)
+		}
+		f.assigned[s] = true // the loop variable is assigned by Init
+		if s.Cond != nil {
+			f.expr(s.Cond)
+		}
+		base := f.copyState()
+		f.stmt(s.Body)
+		if s.Post != nil {
+			f.expr(s.Post)
+		}
+		f.assigned, f.terminated = base, false
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			f.expr(s.Value)
+		}
+		f.terminated = true
+	case *ast.BreakStmt, *ast.ContinueStmt:
+		f.terminated = true
+	case *ast.LocalDecl:
+		if s.Init != nil {
+			f.expr(s.Init)
+			f.assigned[s] = true
+		} else {
+			f.uninit[s] = s
+		}
+	case *ast.ExprStmt:
+		f.expr(s.E)
+	}
+}
+
+func (f *flow) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		f.readLocal(e)
+	case *ast.TupleExpr:
+		for _, el := range e.Elems {
+			f.expr(el)
+		}
+	case *ast.MemberExpr:
+		if e.Recv != nil {
+			f.expr(e.Recv)
+		}
+	case *ast.CallExpr:
+		f.expr(e.Fn)
+		for _, a := range e.Args {
+			f.expr(a)
+		}
+	case *ast.IndexExpr:
+		f.expr(e.Arr)
+		f.expr(e.Idx)
+	case *ast.BinaryExpr:
+		f.expr(e.L)
+		if e.Op == token.AndAnd || e.Op == token.OrOr {
+			// The right operand may not evaluate: its assignments are
+			// not definite past the operator.
+			base := f.copyState()
+			f.expr(e.R)
+			f.assigned = base
+		} else {
+			f.expr(e.R)
+		}
+	case *ast.UnaryExpr:
+		f.expr(e.E)
+	case *ast.TernaryExpr:
+		f.expr(e.Cond)
+		base := f.copyState()
+		f.expr(e.Then)
+		thenAssigned := f.assigned
+		f.assigned = base
+		f.expr(e.Els)
+		f.merge(thenAssigned, false, f.assigned, false)
+	case *ast.AssignExpr:
+		f.expr(e.Value)
+		if v, ok := e.Target.(*ast.VarRef); ok {
+			if sym, ok := v.Binding.(*typecheck.LocalSym); ok {
+				if e.Op != token.Assign {
+					f.readLocal(v) // compound assignment reads first
+				}
+				f.assigned[sym.Decl] = true
+				return
+			}
+		}
+		f.expr(e.Target)
+	case *ast.IncDecExpr:
+		if v, ok := e.Target.(*ast.VarRef); ok {
+			if sym, ok := v.Binding.(*typecheck.LocalSym); ok {
+				f.readLocal(v)
+				f.assigned[sym.Decl] = true
+				return
+			}
+		}
+		f.expr(e.Target)
+	}
+}
+
+// readLocal reports a read of a local declared without an initializer
+// before any definite assignment, once per local.
+func (f *flow) readLocal(v *ast.VarRef) {
+	sym, ok := v.Binding.(*typecheck.LocalSym)
+	if !ok {
+		return
+	}
+	decl, tracked := f.uninit[sym.Decl]
+	if !tracked || f.assigned[sym.Decl] {
+		return
+	}
+	f.l.report(v.Pos(), CatUseBeforeInit, "local %s is read before initialization (declared at %s)", sym.Name, decl.Pos())
+	// Report each local once: treat it as assigned from here on.
+	f.assigned[sym.Decl] = true
+}
+
+// hasBreak reports whether s contains a break binding to the enclosing
+// loop (nested loops capture their own breaks).
+func hasBreak(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BreakStmt:
+		return true
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			if hasBreak(st) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if hasBreak(s.Then) {
+			return true
+		}
+		if s.Else != nil && hasBreak(s.Else) {
+			return true
+		}
+	}
+	return false
+}

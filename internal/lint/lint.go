@@ -1,0 +1,585 @@
+// Package lint implements the Virgil-core lint pass: dataflow and
+// whole-program diagnostics over the typed AST that are advisory
+// rather than errors — unreachable statements, locals read before
+// initialization (Virgil default-initializes, so the read is legal but
+// probably unintended), never-read locals and fields, unused private
+// functions, type parameters declared but never used, and casts or
+// type queries whose outcome is statically decided (§2.5's TypeCast
+// and TypeQuery semantics evaluated at compile time).
+//
+// Lint runs on the checker's output, before lowering: every finding
+// carries the source position of the offending node.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/src"
+	"repro/internal/token"
+	"repro/internal/typecheck"
+	"repro/internal/types"
+)
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Pos      src.Pos
+	Category string
+	Msg      string
+}
+
+// String renders the finding in the compiler's file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Category, f.Msg)
+}
+
+// Lint categories.
+const (
+	CatUnreachable   = "unreachable"
+	CatUseBeforeInit = "use-before-init"
+	CatUnusedLocal   = "unused-local"
+	CatUnusedField   = "unused-field"
+	CatUnusedPrivate = "unused-private"
+	CatUnusedParam   = "unused-type-param"
+	CatStaticCast    = "static-cast"
+)
+
+// Run lints a checked program and returns the findings sorted by
+// source position.
+func Run(prog *typecheck.Program) []Finding {
+	l := &linter{
+		prog:       prog,
+		tc:         prog.Types,
+		localReads: map[any]bool{},
+		fieldReads: map[*typecheck.FieldSym]bool{},
+		funcRefs:   map[*typecheck.FuncSym]bool{},
+	}
+	l.collectUsage()
+	l.checkBodies()
+	l.reportUnusedLocals()
+	l.reportUnusedFields()
+	l.reportUnusedPrivate()
+	l.reportUnusedTypeParams()
+	sort.Slice(l.findings, func(i, j int) bool {
+		a, b := l.findings[i], l.findings[j]
+		an, bn := "", ""
+		if a.Pos.File != nil {
+			an = a.Pos.File.Name
+		}
+		if b.Pos.File != nil {
+			bn = b.Pos.File.Name
+		}
+		if an != bn {
+			return an < bn
+		}
+		if a.Pos.Off != b.Pos.Off {
+			return a.Pos.Off < b.Pos.Off
+		}
+		return a.Msg < b.Msg
+	})
+	return l.findings
+}
+
+type linter struct {
+	prog     *typecheck.Program
+	tc       *types.Cache
+	findings []Finding
+
+	// localReads marks locals read at least once, keyed by declaring
+	// node (*ast.LocalDecl or *ast.ForStmt — the binding identity).
+	localReads map[any]bool
+	fieldReads map[*typecheck.FieldSym]bool
+	funcRefs   map[*typecheck.FuncSym]bool
+}
+
+func (l *linter) report(pos src.Pos, cat, format string, args ...any) {
+	l.findings = append(l.findings, Finding{Pos: pos, Category: cat, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ------------------------------------------------------------- bodies
+
+// body is one analyzable code body with its enclosing declaration.
+type body struct {
+	block *ast.Block
+	// exprs are stray expressions outside the block: super args,
+	// field and global initializers.
+	exprs []ast.Expr
+}
+
+// bodies enumerates every code body in the program: top-level and
+// component functions, methods, constructors, and initializers.
+func (l *linter) bodies() []body {
+	var out []body
+	add := func(b *ast.Block, exprs ...ast.Expr) {
+		var live []ast.Expr
+		for _, e := range exprs {
+			if e != nil {
+				live = append(live, e)
+			}
+		}
+		if b != nil || len(live) > 0 {
+			out = append(out, body{block: b, exprs: live})
+		}
+	}
+	for _, fn := range l.prog.Funcs {
+		if fn.Decl != nil {
+			add(fn.Decl.Body)
+		}
+	}
+	for _, cls := range l.prog.Classes {
+		for _, m := range cls.Methods {
+			if m.Decl != nil {
+				add(m.Decl.Body)
+			}
+		}
+		if ct := cls.Ctor; ct != nil && ct.Decl != nil {
+			add(ct.Decl.Body, ct.Decl.SuperArgs...)
+		}
+		for _, f := range cls.Fields {
+			add(nil, f.Init)
+		}
+	}
+	for _, g := range l.prog.Globals {
+		if g.Decl != nil {
+			add(nil, g.Decl.Init)
+		}
+	}
+	return out
+}
+
+// checkBodies runs the per-body flow analyses: reachability and
+// definite assignment.
+func (l *linter) checkBodies() {
+	for _, b := range l.bodies() {
+		f := &flow{l: l, assigned: map[any]bool{}, uninit: map[any]*ast.LocalDecl{}}
+		for _, e := range b.exprs {
+			f.expr(e)
+		}
+		if b.block != nil {
+			f.stmt(b.block)
+		}
+	}
+}
+
+// ------------------------------------------------------- usage marking
+
+// collectUsage walks every expression in the program once, recording
+// which locals and fields are read and which functions are referenced,
+// and reporting statically-decided casts along the way.
+func (l *linter) collectUsage() {
+	for _, b := range l.bodies() {
+		for _, e := range b.exprs {
+			l.useExpr(e, true)
+		}
+		if b.block != nil {
+			l.useStmt(b.block)
+		}
+	}
+}
+
+func (l *linter) useStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			l.useStmt(st)
+		}
+	case *ast.IfStmt:
+		l.useExpr(s.Cond, true)
+		l.useStmt(s.Then)
+		if s.Else != nil {
+			l.useStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		l.useExpr(s.Cond, true)
+		l.useStmt(s.Body)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			l.useExpr(s.Init, true)
+		}
+		if s.Cond != nil {
+			l.useExpr(s.Cond, true)
+		}
+		if s.Post != nil {
+			l.useExpr(s.Post, true)
+		}
+		l.useStmt(s.Body)
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			l.useExpr(s.Value, true)
+		}
+	case *ast.LocalDecl:
+		if s.Init != nil {
+			l.useExpr(s.Init, true)
+		}
+	case *ast.ExprStmt:
+		l.useExpr(s.E, true)
+	}
+}
+
+// useExpr records reads; read is false only for the target of a plain
+// assignment, which writes without reading.
+func (l *linter) useExpr(e ast.Expr, read bool) {
+	switch e := e.(type) {
+	case *ast.VarRef:
+		if !read {
+			return
+		}
+		switch b := e.Binding.(type) {
+		case *typecheck.LocalSym:
+			l.localReads[b.Decl] = true
+		case *typecheck.FieldSym:
+			l.fieldReads[b] = true
+		case *typecheck.FuncSym:
+			l.funcRefs[b] = true
+		}
+	case *ast.TupleExpr:
+		for _, el := range e.Elems {
+			l.useExpr(el, true)
+		}
+	case *ast.MemberExpr:
+		if e.Recv != nil {
+			l.useExpr(e.Recv, true)
+		}
+		switch b := e.Binding.(type) {
+		case *typecheck.FieldSym:
+			if read {
+				l.fieldReads[b] = true
+			}
+		case *typecheck.FuncSym:
+			l.funcRefs[b] = true
+		case *typecheck.OperatorSym:
+			l.checkOperator(e, b)
+		}
+	case *ast.CallExpr:
+		l.useExpr(e.Fn, true)
+		for _, a := range e.Args {
+			l.useExpr(a, true)
+		}
+	case *ast.IndexExpr:
+		l.useExpr(e.Arr, true)
+		l.useExpr(e.Idx, true)
+	case *ast.BinaryExpr:
+		l.useExpr(e.L, true)
+		l.useExpr(e.R, true)
+	case *ast.UnaryExpr:
+		l.useExpr(e.E, true)
+	case *ast.TernaryExpr:
+		l.useExpr(e.Cond, true)
+		l.useExpr(e.Then, true)
+		l.useExpr(e.Els, true)
+	case *ast.AssignExpr:
+		l.useExpr(e.Value, true)
+		// A compound assignment reads its target; a plain one only
+		// writes it (though a member/index target still reads the
+		// receiver and index).
+		l.useExpr(e.Target, e.Op != token.Assign)
+	case *ast.IncDecExpr:
+		l.useExpr(e.Target, true)
+	}
+}
+
+// checkOperator reports casts and queries whose outcome the checker
+// can already decide (§2.5): the operand's static type settles the
+// test, so the dynamic check is redundant (or doomed).
+func (l *linter) checkOperator(e *ast.MemberExpr, sym *typecheck.OperatorSym) {
+	if sym.Op != "!" && sym.Op != "?" {
+		return
+	}
+	// Input stays nil when inference failed; FreeInput remains set even
+	// after inference fills Input in, so only Input decides. Open types
+	// have no static outcome.
+	if sym.Input == nil || types.HasTypeParams(sym.Input) || types.HasTypeParams(sym.Subject) {
+		return
+	}
+	// A cast between distinct primitive types is a value conversion
+	// (byte.!(i), int.!(b)) with computational effect, not a redundant
+	// type test — never flag it.
+	if _, inPrim := sym.Input.(*types.Prim); inPrim {
+		if _, subjPrim := sym.Subject.(*types.Prim); subjPrim && sym.Input != sym.Subject && sym.Op == "!" {
+			return
+		}
+	}
+	rel := l.tc.Castable(sym.Input, sym.Subject)
+	switch {
+	case sym.Op == "!" && rel == types.CastTrue:
+		l.report(e.Pos(), CatStaticCast, "cast from %s to %s always succeeds", sym.Input, sym.Subject)
+	case sym.Op == "!" && rel == types.CastFalse:
+		l.report(e.Pos(), CatStaticCast, "cast from %s to %s always fails", sym.Input, sym.Subject)
+	case sym.Op == "?" && rel == types.CastTrue:
+		l.report(e.Pos(), CatStaticCast, "type query from %s to %s is always true", sym.Input, sym.Subject)
+	case sym.Op == "?" && rel == types.CastFalse:
+		l.report(e.Pos(), CatStaticCast, "type query from %s to %s is always false", sym.Input, sym.Subject)
+	}
+}
+
+// ------------------------------------------------------ unused things
+
+// reportUnusedLocals walks bodies again to find declaration sites and
+// reports the ones no expression ever read. Parameters are exempt
+// (overrides and abstract signatures legitimately ignore them).
+func (l *linter) reportUnusedLocals() {
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.WhileStmt:
+			walk(s.Body)
+		case *ast.ForStmt:
+			if !l.localReads[s] {
+				l.report(s.Var.Off, CatUnusedLocal, "loop variable %s is never read", s.Var.Name)
+			}
+			walk(s.Body)
+		case *ast.LocalDecl:
+			if !l.localReads[s] {
+				l.report(s.Pos(), CatUnusedLocal, "local %s is never read", s.Name.Name)
+			}
+		}
+	}
+	for _, b := range l.bodies() {
+		if b.block != nil {
+			walk(b.block)
+		}
+	}
+}
+
+// reportUnusedFields reports declared fields never read anywhere in
+// the program. Virgil-core compiles whole programs, so "no read in the
+// program" is decidable; compact class-parameter fields are exempt
+// (they are the constructor's signature).
+func (l *linter) reportUnusedFields() {
+	for _, cls := range l.prog.Classes {
+		for _, f := range cls.Fields {
+			if f.Decl == nil || l.fieldReads[f] {
+				continue
+			}
+			l.report(f.Decl.Pos(), CatUnusedField, "field %s.%s is never read", cls.Name, f.Name)
+		}
+	}
+}
+
+// reportUnusedPrivate reports private functions and methods no
+// expression references. Overriding methods are exempt: they are
+// reached through the overridden slot.
+func (l *linter) reportUnusedPrivate() {
+	check := func(fn *typecheck.FuncSym, kind string) {
+		if !fn.Private || fn.Decl == nil || fn.Abstract || fn == l.prog.Main {
+			return
+		}
+		if fn.Decl.Override != nil || l.funcRefs[fn] {
+			return
+		}
+		l.report(fn.Decl.Pos(), CatUnusedPrivate, "private %s %s is never used", kind, fn.Name)
+	}
+	for _, fn := range l.prog.Funcs {
+		check(fn, "function")
+	}
+	for _, cls := range l.prog.Classes {
+		for _, m := range cls.Methods {
+			check(m, "method")
+		}
+	}
+}
+
+// ------------------------------------------------- unused type params
+
+// reportUnusedTypeParams reports type parameters that appear nowhere
+// in the declaring entity's signature or body types.
+func (l *linter) reportUnusedTypeParams() {
+	for _, fn := range l.prog.Funcs {
+		l.checkFuncTypeParams(fn)
+	}
+	for _, cls := range l.prog.Classes {
+		l.checkClassTypeParams(cls)
+		for _, m := range cls.Methods {
+			l.checkFuncTypeParams(m)
+		}
+	}
+}
+
+func (l *linter) checkFuncTypeParams(fn *typecheck.FuncSym) {
+	if fn.Decl == nil || len(fn.TypeParams) == 0 || len(fn.Decl.TypeParams) != len(fn.TypeParams) {
+		return
+	}
+	used := map[*types.TypeParamDef]bool{}
+	for _, t := range fn.ParamTypes {
+		collectParams(t, used)
+	}
+	collectParams(fn.Ret, used)
+	if fn.Decl.Body != nil {
+		l.collectStmtParams(fn.Decl.Body, used)
+	}
+	for i, tp := range fn.TypeParams {
+		if !used[tp] {
+			l.report(fn.Decl.TypeParams[i].Pos(), CatUnusedParam, "type parameter %s of %s is never used", tp.Name, fn.Name)
+		}
+	}
+}
+
+func (l *linter) checkClassTypeParams(cls *typecheck.ClassSym) {
+	d := cls.Decl
+	if d == nil || cls.Def == nil || len(cls.Def.TypeParams) == 0 || len(d.TypeParams) != len(cls.Def.TypeParams) {
+		return
+	}
+	used := map[*types.TypeParamDef]bool{}
+	for _, f := range cls.Fields {
+		collectParams(f.Type, used)
+	}
+	if ct := cls.Ctor; ct != nil {
+		for _, t := range ct.ParamTypes {
+			collectParams(t, used)
+		}
+		if ct.Decl != nil {
+			for _, a := range ct.Decl.SuperArgs {
+				l.collectExprParams(a, used)
+			}
+			if ct.Decl.Body != nil {
+				l.collectStmtParams(ct.Decl.Body, used)
+			}
+		}
+	}
+	if cls.Def.ParentType != nil {
+		collectParams(cls.Def.ParentType, used)
+	}
+	for _, m := range cls.Methods {
+		for _, t := range m.ParamTypes {
+			collectParams(t, used)
+		}
+		collectParams(m.Ret, used)
+		if m.Decl != nil && m.Decl.Body != nil {
+			l.collectStmtParams(m.Decl.Body, used)
+		}
+	}
+	for _, f := range cls.Fields {
+		if f.Init != nil {
+			l.collectExprParams(f.Init, used)
+		}
+	}
+	for i, tp := range cls.Def.TypeParams {
+		if !used[tp] {
+			l.report(d.TypeParams[i].Pos(), CatUnusedParam, "type parameter %s of %s is never used", tp.Name, cls.Name)
+		}
+	}
+}
+
+// collectParams adds every type parameter mentioned by t to used.
+func collectParams(t types.Type, used map[*types.TypeParamDef]bool) {
+	switch t := t.(type) {
+	case nil, *types.Prim, *types.Enum:
+	case *types.TypeParam:
+		used[t.Def] = true
+	case *types.Tuple:
+		for _, e := range t.Elems {
+			collectParams(e, used)
+		}
+	case *types.Func:
+		collectParams(t.Param, used)
+		collectParams(t.Ret, used)
+	case *types.Array:
+		collectParams(t.Elem, used)
+	case *types.Class:
+		for _, a := range t.Args {
+			collectParams(a, used)
+		}
+	}
+}
+
+func (l *linter) collectStmtParams(s ast.Stmt, used map[*types.TypeParamDef]bool) {
+	switch s := s.(type) {
+	case *ast.Block:
+		for _, st := range s.Stmts {
+			l.collectStmtParams(st, used)
+		}
+	case *ast.IfStmt:
+		l.collectExprParams(s.Cond, used)
+		l.collectStmtParams(s.Then, used)
+		if s.Else != nil {
+			l.collectStmtParams(s.Else, used)
+		}
+	case *ast.WhileStmt:
+		l.collectExprParams(s.Cond, used)
+		l.collectStmtParams(s.Body, used)
+	case *ast.ForStmt:
+		collectParams(s.VarType, used)
+		if s.Init != nil {
+			l.collectExprParams(s.Init, used)
+		}
+		if s.Cond != nil {
+			l.collectExprParams(s.Cond, used)
+		}
+		if s.Post != nil {
+			l.collectExprParams(s.Post, used)
+		}
+		l.collectStmtParams(s.Body, used)
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			l.collectExprParams(s.Value, used)
+		}
+	case *ast.LocalDecl:
+		collectParams(s.TypeOf, used)
+		if s.Init != nil {
+			l.collectExprParams(s.Init, used)
+		}
+	case *ast.ExprStmt:
+		l.collectExprParams(s.E, used)
+	}
+}
+
+func (l *linter) collectExprParams(e ast.Expr, used map[*types.TypeParamDef]bool) {
+	if e == nil {
+		return
+	}
+	collectParams(e.Type(), used)
+	switch e := e.(type) {
+	case *ast.VarRef:
+		for _, t := range e.TypeArgsOf {
+			collectParams(t, used)
+		}
+	case *ast.TupleExpr:
+		for _, el := range e.Elems {
+			l.collectExprParams(el, used)
+		}
+	case *ast.MemberExpr:
+		if e.Recv != nil {
+			l.collectExprParams(e.Recv, used)
+		}
+		collectParams(e.RecvType, used)
+		for _, t := range e.TypeArgsOf {
+			collectParams(t, used)
+		}
+		if op, ok := e.Binding.(*typecheck.OperatorSym); ok {
+			collectParams(op.Subject, used)
+			collectParams(op.Input, used)
+		}
+	case *ast.CallExpr:
+		l.collectExprParams(e.Fn, used)
+		for _, a := range e.Args {
+			l.collectExprParams(a, used)
+		}
+	case *ast.IndexExpr:
+		l.collectExprParams(e.Arr, used)
+		l.collectExprParams(e.Idx, used)
+	case *ast.BinaryExpr:
+		l.collectExprParams(e.L, used)
+		l.collectExprParams(e.R, used)
+	case *ast.UnaryExpr:
+		l.collectExprParams(e.E, used)
+	case *ast.TernaryExpr:
+		l.collectExprParams(e.Cond, used)
+		l.collectExprParams(e.Then, used)
+		l.collectExprParams(e.Els, used)
+	case *ast.AssignExpr:
+		l.collectExprParams(e.Target, used)
+		l.collectExprParams(e.Value, used)
+	case *ast.IncDecExpr:
+		l.collectExprParams(e.Target, used)
+	}
+}

@@ -1,0 +1,11 @@
+def pick(c: bool) -> int {
+	var both: int;
+	if (c) both = 1;
+	else both = 2;
+	var one: int;
+	if (c) one = 3;
+	return both + one;
+}
+def main() {
+	System.puti(pick(true));
+}

@@ -1,0 +1,14 @@
+// A program the linter has nothing to say about.
+class Counter {
+	var n: int;
+	new(n) { }
+	def bump() { n = n + 1; }
+	def value() -> int { return n; }
+}
+def main() {
+	var c = Counter.new(0);
+	c.bump();
+	c.bump();
+	System.puti(c.value());
+	System.ln();
+}

@@ -1,0 +1,10 @@
+def main() {
+	for (i = 0; i < 3; i++) System.puti(i);
+	var n = 2;
+	for (k = 0; n > 0; n = n - 1) System.puts("x");
+	var total = 0;
+	total += 5;
+	System.puti(total);
+	var flag: bool;
+	if (n == 0 && flag) System.ln();
+}

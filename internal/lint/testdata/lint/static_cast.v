@@ -1,0 +1,13 @@
+class A { new() { } }
+class B extends A { new() super() { } }
+def main() {
+	var b = B.new();
+	var a: A = b;
+	System.putb(A.?(b));
+	System.putb(B.?(a));
+	var a2 = A.!(b);
+	var b2 = B.!(a);
+	System.putb(a2 == b2);
+	System.putb(int.?(a));
+	System.ln();
+}

@@ -1,0 +1,8 @@
+def choose(c: bool) -> int {
+	var t: int;
+	var r = c ? 1 : 2;
+	return r + t;
+}
+def main() {
+	System.puti(choose(false));
+}

@@ -1,0 +1,23 @@
+def after_return() -> int {
+	return 3;
+	System.puts("never");
+}
+def after_infinite_loop() {
+	var i = 0;
+	while (true) {
+		i = i + 1;
+		if (i > 3) return;
+	}
+	System.puts("never");
+}
+def loop_with_break() {
+	while (true) {
+		break;
+	}
+	System.puts("reached");
+}
+def main() {
+	System.puti(after_return());
+	after_infinite_loop();
+	loop_with_break();
+}

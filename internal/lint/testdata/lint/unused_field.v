@@ -1,0 +1,16 @@
+class P {
+	var x: int;
+	var y: int;
+	new(a: int) {
+		x = a;
+		y = a;
+	}
+	def getx() -> int { return x; }
+}
+class Q(tag: int) { }
+def main() {
+	var p = P.new(3);
+	System.puti(p.getx());
+	var q = Q.new(7);
+	System.puti(q.tag);
+}

@@ -1,0 +1,7 @@
+def main() {
+	var never = 10;
+	var writeOnly = 0;
+	writeOnly = 5;
+	var used = 2;
+	System.puti(used);
+}

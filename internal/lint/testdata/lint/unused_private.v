@@ -1,0 +1,13 @@
+class C {
+	new() { }
+	private def helper() -> int { return 1; }
+	private def used() -> int { return 2; }
+	def pub() -> int { return used(); }
+}
+private def deadFn() { }
+private def liveFn() -> int { return 3; }
+def main() {
+	var c = C.new();
+	System.puti(c.pub());
+	System.puti(liveFn());
+}

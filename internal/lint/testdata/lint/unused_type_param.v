@@ -1,0 +1,12 @@
+class Pair<A, B> {
+	var a: A;
+	new(a) { }
+}
+def id<T>(x: T) -> T { return x; }
+def stuck<T>(n: int) -> int { return n + 1; }
+def main() {
+	var p = Pair<int, bool>.new(3);
+	System.puti(p.a);
+	System.puti(id(4));
+	System.puti(stuck<byte>(5));
+}

@@ -1,0 +1,9 @@
+def main() {
+	var x: int;
+	System.puti(x);
+	x = 4;
+	System.puti(x);
+	var ok: int;
+	ok = 1;
+	System.puti(ok);
+}
