@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race bench bench-short bench-check lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the suite under the race detector; the parallel pipeline's
+# determinism test (jobs=1 vs jobs=8) runs here with full checking.
+race:
+	$(GO) test -race ./...
+
+# bench records the full E1-E7 + CompileParallel suite to
+# BENCH_<date>.json in the repo root.
+bench:
+	$(GO) run ./cmd/bench
+
+# bench-short is the CI-sized run.
+bench-short:
+	$(GO) run ./cmd/bench -short
+
+# bench-check additionally fails if parallel compilation regresses
+# against the sequential path (core-count-aware floor).
+bench-check:
+	$(GO) run ./cmd/bench -short -check
+
+lint:
+	for f in examples/virgil/*.v; do $(GO) run ./cmd/virgil lint $$f; done

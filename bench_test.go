@@ -13,10 +13,13 @@
 package repro
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/progen"
 	"repro/internal/testprogs"
 )
@@ -184,6 +187,72 @@ func BenchmarkE7_CompileSpeed(b *testing.B) {
 			b.ReportMetric(linesPerSec, "lines/sec")
 			b.ReportMetric(lines, "lines")
 		})
+	}
+}
+
+// ----------------------------------------------- parallel compilation
+
+// parallelJobCounts is the ladder of worker counts exercised by
+// BenchmarkCompileParallel: sequential reference, 2, 4, and the
+// machine's GOMAXPROCS (deduplicated when the machine is small).
+func parallelJobCounts() []int {
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, j := range counts {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// BenchmarkCompileParallel measures full-pipeline compile throughput
+// at increasing worker counts on the largest E7 generated program.
+// jobs=1 is the sequential reference path; the jobs=N results are the
+// tentpole speedup claim, and cmd/bench records the ratio.
+func BenchmarkCompileParallel(b *testing.B) {
+	src := progen.Generate(progen.Scale(16))
+	for _, j := range parallelJobCounts() {
+		cfg := core.Compiled()
+		cfg.Jobs = j
+		b.Run(fmt.Sprintf("jobs=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile("gen.v", src, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestE5AllocsPerOp pins the interpreter's allocation rate on the E5
+// query-chain workload. The frame pool recycles the per-call register
+// slice plus the static-call and builtin argument slices; without it
+// this workload measures ~6.5 allocs per interpreted call, with it
+// ~4.4 (the remainder is Value interface boxing of int results, which
+// scales with VM steps, not calls). The 5.0 ceiling fails if any of
+// the pooled per-call allocations come back.
+func TestE5AllocsPerOp(t *testing.T) {
+	p := testprogs.BenchPrint1(2000)
+	comp, err := core.Compile(p.Name+".v", p.Source, core.Compiled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats interp.Stats
+	allocs := testing.AllocsPerRun(5, func() {
+		st, err := comp.RunTo(io.Discard, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = st
+	})
+	perCall := allocs / float64(stats.Calls)
+	t.Logf("E5 allocs/op = %.0f over %d calls (%.3f allocs/call)", allocs, stats.Calls, perCall)
+	if perCall > 5.0 {
+		t.Errorf("allocs per interpreted call = %.3f, want <= 5.0: frame pooling regressed", perCall)
 	}
 }
 

@@ -1,0 +1,263 @@
+// Command bench runs the repository's experiment benchmarks (E1-E7
+// plus the parallel-compile ladder) through testing.Benchmark and
+// records the results as a JSON snapshot, so perf numbers land in the
+// repo with the machine context needed to interpret them.
+//
+// Usage:
+//
+//	go run ./cmd/bench                 # full run, writes BENCH_<date>.json
+//	go run ./cmd/bench -short          # small workloads, for CI
+//	go run ./cmd/bench -short -check   # also gate on parallel-compile regression
+//	go run ./cmd/bench -out FILE.json  # explicit output path
+//
+// The -check gate is core-count aware: the parallel pipeline cannot
+// speed anything up on a single-core machine, so the required
+// jobs=4-vs-jobs=1 ratio scales with runtime.NumCPU. What it always
+// catches is a parallel path that got SLOWER than the sequential one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/progen"
+	"repro/internal/testprogs"
+)
+
+type result struct {
+	Name           string  `json:"name"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	SpeedupVsJobs1 float64 `json:"speedup_vs_jobs1,omitempty"`
+}
+
+type report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Short      bool     `json:"short"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+// bench is one named entry in the flat benchmark table.
+// testing.Benchmark does not aggregate b.Run sub-benchmarks, so the
+// table is flat: one entry per (workload, config) point.
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// runProg benchmarks executing a pre-compiled program.
+func runProg(p testprogs.Prog, cfg core.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		comp, err := core.Compile(p.Name+".v", p.Source, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := comp.RunTo(io.Discard, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// compileSrc benchmarks the full compilation pipeline on src.
+func compileSrc(src string, cfg core.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compile("gen.v", src, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// table builds the benchmark list. Short mode shrinks every workload
+// so a CI run finishes in seconds.
+func table(short bool) []bench {
+	n := 10000
+	scale := 16
+	if short {
+		n = 1000
+		scale = 4
+	}
+	ref, comp := core.Reference(), core.Compiled()
+	mono := core.Config{Monomorphize: true}
+
+	var t []bench
+	add := func(name string, fn func(b *testing.B)) { t = append(t, bench{name, fn}) }
+
+	add("E1_DynamicChecks/reference", runProg(testprogs.BenchTupleSmall(n), ref))
+	add("E1_DynamicChecks/compiled", runProg(testprogs.BenchTupleSmall(n), comp))
+	add("E2_TupleSmall/boxed", runProg(testprogs.BenchTupleSmall(n), mono))
+	add("E2_TupleSmall/flattened", runProg(testprogs.BenchTupleSmall(n), comp))
+	add("E2_TupleLarge/boxed", runProg(testprogs.BenchTupleLarge(n/4), mono))
+	add("E2_TupleLarge/flattened", runProg(testprogs.BenchTupleLarge(n/4), comp))
+	add("E3_GenericList/reference", runProg(testprogs.BenchGenericList(n/4), ref))
+	add("E3_GenericList/compiled", runProg(testprogs.BenchGenericList(n/4), comp))
+	add("E3_HashMap/reference", runProg(testprogs.BenchHashMap(n/2), ref))
+	add("E3_HashMap/compiled", runProg(testprogs.BenchHashMap(n/2), comp))
+	add("E5_Print1/reference", runProg(testprogs.BenchPrint1(n), ref))
+	add("E5_Print1/compiled", runProg(testprogs.BenchPrint1(n), comp))
+	add("E5_DirectBaseline/compiled", runProg(testprogs.BenchDirect(n), comp))
+	add("E6_Matcher/reference", runProg(testprogs.BenchMatcher(n/2), ref))
+	add("E6_Matcher/compiled", runProg(testprogs.BenchMatcher(n/2), comp))
+
+	src := progen.Generate(progen.Scale(scale))
+	add("E7_CompileSpeed/largest", compileSrc(src, comp))
+	for _, j := range jobCounts() {
+		cfg := comp
+		cfg.Jobs = j
+		add(fmt.Sprintf("CompileParallel/jobs=%d", j), compileSrc(src, cfg))
+	}
+	return t
+}
+
+// jobCounts is the worker ladder: 1, 2, 4, GOMAXPROCS, deduplicated
+// and ordered.
+func jobCounts() []int {
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, j := range counts {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// requiredSpeedup is the jobs=4 (or max-jobs) vs jobs=1 floor enforced
+// by -check, scaled to the machine: parallel speedup needs cores.
+func requiredSpeedup() float64 {
+	switch {
+	case runtime.NumCPU() >= 4:
+		return 1.0
+	case runtime.NumCPU() >= 2:
+		return 0.95
+	default:
+		return 0.85 // single core: only catch gross scheduling overhead
+	}
+}
+
+func main() {
+	short := flag.Bool("short", false, "shrink workloads for a quick CI run")
+	check := flag.Bool("check", false, "exit nonzero if parallel compile regresses vs jobs=1")
+	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
+	benchtime := flag.String("benchtime", "", "per-benchmark measuring time (default 1s, 200ms with -short)")
+	testing.Init()
+	flag.Parse()
+
+	bt := *benchtime
+	if bt == "" {
+		bt = "1s"
+		if *short {
+			bt = "200ms"
+		}
+	}
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Short:      *short,
+		Benchtime:  bt,
+	}
+
+	nsByName := map[string]float64{}
+	for _, entry := range table(*short) {
+		r := testing.Benchmark(entry.fn)
+		if r.N == 0 {
+			fmt.Fprintf(os.Stderr, "bench: %s produced no iterations (failed?)\n", entry.name)
+			os.Exit(1)
+		}
+		res := result{
+			Name:        entry.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		nsByName[entry.name] = res.NsPerOp
+		if base, ok := nsByName["CompileParallel/jobs=1"]; ok && res.NsPerOp > 0 &&
+			entry.name != "CompileParallel/jobs=1" && strings.HasPrefix(entry.name, "CompileParallel/") {
+			res.SpeedupVsJobs1 = base / res.NsPerOp
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Printf("%-34s %12.0f ns/op %9d allocs/op\n", entry.name, res.NsPerOp, res.AllocsPerOp)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
+
+	if *check {
+		gate := pickGate(nsByName)
+		base := nsByName["CompileParallel/jobs=1"]
+		if gate == "" || base == 0 {
+			fmt.Fprintln(os.Stderr, "bench: -check: missing CompileParallel results")
+			os.Exit(1)
+		}
+		speedup := base / nsByName[gate]
+		need := requiredSpeedup()
+		fmt.Printf("check: %s speedup vs jobs=1 = %.2fx (need >= %.2fx on %d CPUs)\n",
+			gate, speedup, need, runtime.NumCPU())
+		if speedup < need {
+			fmt.Fprintf(os.Stderr, "bench: FAIL: parallel compile regressed below the %.2fx floor\n", need)
+			os.Exit(1)
+		}
+	}
+}
+
+// pickGate selects the jobs=4 point when present, else the largest
+// measured worker count.
+func pickGate(ns map[string]float64) string {
+	if _, ok := ns["CompileParallel/jobs=4"]; ok {
+		return "CompileParallel/jobs=4"
+	}
+	best, bestJ := "", 0
+	for name := range ns {
+		var j int
+		if n, _ := fmt.Sscanf(name, "CompileParallel/jobs=%d", &j); n == 1 && j > bestJ && j > 1 {
+			best, bestJ = name, j
+		}
+	}
+	return best
+}

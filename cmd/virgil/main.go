@@ -70,6 +70,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	maxSteps := fs.Int64("max-steps", 0, "step budget for execution (0 = default)")
 	maxDepth := fs.Int("max-depth", 0, "call-depth limit for execution (0 = default)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for execution (0 = none)")
+	jobs := fs.Int("jobs", 0, "worker count for per-function pipeline stages (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(argv[1:]); err != nil {
 		return exitUsage
 	}
@@ -87,6 +88,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	cfg.MaxSteps = *maxSteps
 	cfg.MaxDepth = *maxDepth
 	cfg.Timeout = *timeout
+	cfg.Jobs = *jobs
 
 	var srcs []core.File
 	for _, name := range files {
@@ -215,7 +217,7 @@ func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-verify-ir] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-verify-ir] [-jobs n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
 
 commands:
   run    compile and execute the program

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/debug"
 	"strings"
 	"time"
@@ -41,6 +42,15 @@ type Config struct {
 	Monomorphize bool
 	Normalize    bool
 	Optimize     bool
+
+	// Jobs bounds the worker pool for the per-function pipeline stages
+	// (lowering, specialized-body copying, normalization, optimization
+	// folding, IR verification). 0 means runtime.GOMAXPROCS(0); 1 runs
+	// the exact sequential pipeline; negative is a Validate error.
+	// Whole-program phases (typechecking, the monomorphization worklist,
+	// vtable layout) are sequential barriers regardless. The compiled
+	// module is byte-for-byte identical for every valid value.
+	Jobs int
 
 	// VerifyIR runs the typed IR verifier (ir.Verify) after every
 	// pipeline stage, converting stage-local IR corruption into a
@@ -94,7 +104,7 @@ func (c Config) Name() string {
 	}
 }
 
-// Validate checks stage dependencies.
+// Validate checks stage dependencies and resource fields.
 func (c Config) Validate() error {
 	if c.Normalize && !c.Monomorphize {
 		return fmt.Errorf("core: Normalize requires Monomorphize (§4.2)")
@@ -102,7 +112,28 @@ func (c Config) Validate() error {
 	if c.Optimize && !c.Normalize {
 		return fmt.Errorf("core: Optimize requires Normalize")
 	}
+	if c.Jobs < 0 {
+		return fmt.Errorf("core: Jobs must be >= 0 (0 selects GOMAXPROCS), got %d", c.Jobs)
+	}
+	if c.MaxSteps < 0 {
+		return fmt.Errorf("core: MaxSteps must be >= 0, got %d", c.MaxSteps)
+	}
+	if c.MaxDepth < 0 {
+		return fmt.Errorf("core: MaxDepth must be >= 0, got %d", c.MaxDepth)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("core: Timeout must be >= 0, got %v", c.Timeout)
+	}
 	return nil
+}
+
+// jobs resolves the configured worker count: 0 defaults to the
+// machine's GOMAXPROCS.
+func (c Config) jobs() int {
+	if c.Jobs == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Jobs
 }
 
 // Timings records wall-clock duration of each stage (E7).
@@ -165,7 +196,7 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 		if !cfg.VerifyIR {
 			return nil
 		}
-		err := guard("verify-"+stage, func() error { return mod.Verify() })
+		err := guard("verify-"+stage, func() error { return mod.VerifyConcurrent(cfg.jobs()) })
 		if err == nil {
 			return nil
 		}
@@ -215,8 +246,9 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	t0 = time.Now()
 	var mod *ir.Module
 	if err := guard("lower", func() error {
-		mod = lower.Lower(prog)
-		return nil
+		var err error
+		mod, err = lower.Lower(prog, cfg.jobs())
+		return err
 	}); err != nil {
 		return nil, err
 	}
@@ -228,7 +260,7 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	if cfg.Monomorphize {
 		t0 = time.Now()
 		if err := guard("mono", func() error {
-			monoMod, stats, err := mono.Monomorphize(mod, mono.Config{})
+			monoMod, stats, err := mono.Monomorphize(mod, mono.Config{Jobs: cfg.jobs()})
 			if err != nil {
 				return err
 			}
@@ -246,7 +278,7 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	if cfg.Normalize {
 		t0 = time.Now()
 		if err := guard("norm", func() error {
-			normMod, stats, err := norm.Normalize(mod)
+			normMod, stats, err := norm.Normalize(mod, cfg.jobs())
 			if err != nil {
 				return err
 			}
@@ -264,7 +296,7 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	if cfg.Optimize {
 		t0 = time.Now()
 		if err := guard("opt", func() error {
-			comp.OptStats = opt.Optimize(mod, opt.Config{})
+			comp.OptStats = opt.Optimize(mod, opt.Config{Jobs: cfg.jobs()})
 			return nil
 		}); err != nil {
 			return nil, err

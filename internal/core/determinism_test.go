@@ -1,0 +1,119 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/testprogs"
+)
+
+// detCase is one source program compared across worker counts.
+type detCase struct {
+	name   string
+	source string
+}
+
+// determinismCorpus is every program in the test corpus plus the
+// checked-in example files, plus a few deliberately broken sources so
+// the jobs=1 and jobs=N pipelines are also compared on their
+// diagnostics, not just on successful output.
+func determinismCorpus(t *testing.T) []detCase {
+	t.Helper()
+	var cases []detCase
+	for _, p := range testprogs.All() {
+		cases = append(cases, detCase{name: "testprogs/" + p.Name, source: p.Source})
+	}
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "virgil", "*.v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatal("no example programs found; expected examples/virgil/*.v")
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, detCase{name: "examples/" + filepath.Base(p), source: string(src)})
+	}
+	cases = append(cases,
+		detCase{name: "err/type-mismatch", source: `
+def f(x: int) -> bool { return x; }
+def g(y: bool) -> int { return y; }
+def main() { f(1); g(true); }
+`},
+		detCase{name: "err/unknown-names", source: `
+def main() {
+	var a = missing(1);
+	var b: NoSuchClass;
+	undeclared = 3;
+}
+`},
+		detCase{name: "err/bad-generics", source: `
+class Box<T> { def get() -> T; }
+def main() {
+	var b = Box<int, bool>.new();
+	var c: Box;
+}
+`},
+	)
+	return cases
+}
+
+// compileOutcome flattens everything observable about a compilation
+// into comparable strings.
+type compileOutcome struct {
+	compileErr string
+	dump       string
+	runOut     string
+	runErr     string
+}
+
+func outcomeAt(tc detCase, cfg Config, jobs int) compileOutcome {
+	cfg.Jobs = jobs
+	comp, err := Compile(tc.name+".v", tc.source, cfg)
+	if err != nil {
+		return compileOutcome{compileErr: err.Error()}
+	}
+	o := compileOutcome{dump: comp.Module.String()}
+	res := comp.Run()
+	o.runOut = res.Output
+	if res.Err != nil {
+		o.runErr = res.Err.Error()
+	}
+	return o
+}
+
+// TestParallelDeterminism compiles the entire corpus under every
+// ablation configuration at jobs=1 (the sequential reference path) and
+// jobs=8, asserting byte-identical IR dumps, diagnostics, and
+// interpreter output. This is the contract the parallel pipeline
+// promises: worker count changes wall-clock time and nothing else.
+func TestParallelDeterminism(t *testing.T) {
+	for _, tc := range determinismCorpus(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for ci, cfg := range Configs() {
+				seq := outcomeAt(tc, cfg, 1)
+				parl := outcomeAt(tc, cfg, 8)
+				if seq.compileErr != parl.compileErr {
+					t.Errorf("config %d: diagnostics differ\njobs=1: %s\njobs=8: %s", ci, seq.compileErr, parl.compileErr)
+					continue
+				}
+				if seq.dump != parl.dump {
+					t.Errorf("config %d: IR dump differs between jobs=1 and jobs=8", ci)
+				}
+				if seq.runOut != parl.runOut {
+					t.Errorf("config %d: run output differs\njobs=1: %q\njobs=8: %q", ci, seq.runOut, parl.runOut)
+				}
+				if seq.runErr != parl.runErr {
+					t.Errorf("config %d: run error differs\njobs=1: %q\njobs=8: %q", ci, seq.runErr, parl.runErr)
+				}
+			}
+		})
+	}
+}

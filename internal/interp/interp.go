@@ -126,6 +126,13 @@ type Interp struct {
 	maxDepth int
 	deadline time.Time
 	frames   []Frame // active Virgil call stack, outermost first
+
+	// regPool recycles register frames across calls: without it a hot
+	// interpreter spends most of its allocations on the per-call
+	// register slice. Frames are cleared on release so values from a
+	// finished call are neither observed by the next one nor retained
+	// from collection.
+	regPool [][]Value
 }
 
 // New creates an interpreter for mod.
@@ -328,12 +335,34 @@ func (i *Interp) call(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 	return res, err
 }
 
+// getRegs takes a register frame of length n from the pool, or
+// allocates one. The pool never grows past the call depth, because
+// frames are only released when a call returns.
+func (i *Interp) getRegs(n int) []Value {
+	if k := len(i.regPool) - 1; k >= 0 {
+		regs := i.regPool[k]
+		i.regPool[k] = nil
+		i.regPool = i.regPool[:k]
+		if cap(regs) >= n {
+			return regs[:n]
+		}
+	}
+	return make([]Value, n)
+}
+
+// putRegs clears a frame and returns it to the pool.
+func (i *Interp) putRegs(regs []Value) {
+	clear(regs)
+	i.regPool = append(i.regPool, regs[:0])
+}
+
 // exec runs f's body. It must only be called by call, which maintains
 // the frame stack around it.
 func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, error) {
 	fi := len(i.frames) - 1
 	e := i.bindEnv(f, targs)
-	regs := make([]Value, f.NumRegs())
+	regs := i.getRegs(f.NumRegs())
+	defer i.putRegs(regs)
 	if len(args) != len(f.Params) {
 		return nil, &VirgilError{Name: "!CallArityException", Msg: fmt.Sprintf("%s: got %d args, want %d", f.Name, len(args), len(f.Params))}
 	}
@@ -504,11 +533,14 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			i.globals[in.Global.Index] = get(in.Args[0])
 
 		case ir.OpCallStatic:
-			args := make([]Value, len(in.Args))
+			// The argument slice is dead once the callee's exec copies
+			// it into registers, so it can come from the frame pool.
+			args := i.getRegs(len(in.Args))
 			for k, a := range in.Args {
 				args[k] = get(a)
 			}
 			res, err := i.call(in.Fn, args, i.substAll(in.TypeArgs, e))
+			i.putRegs(args)
 			if err != nil {
 				return nil, err
 			}
@@ -552,11 +584,12 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			}
 			storeResults(regs, in.Dst, res)
 		case ir.OpCallBuiltin:
-			args := make([]Value, len(in.Args))
+			args := i.getRegs(len(in.Args))
 			for k, a := range in.Args {
 				args[k] = get(a)
 			}
 			res, err := i.callBuiltin(in.SVal, args)
+			i.putRegs(args)
 			if err != nil {
 				return nil, err
 			}

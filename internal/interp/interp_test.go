@@ -24,7 +24,11 @@ func compileRef(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	return lower.Lower(prog)
+	mod, err := lower.Lower(prog, 1)
+	if err != nil {
+		t.Fatalf("lower error: %v", err)
+	}
+	return mod
 }
 
 // runRef runs source in reference mode and returns its System output.

@@ -9,9 +9,12 @@ package lower
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/ir"
+	"repro/internal/par"
 	"repro/internal/src"
 	"repro/internal/token"
 	"repro/internal/typecheck"
@@ -31,11 +34,21 @@ type Lowerer struct {
 	globalOf map[*typecheck.GlobalSym]*ir.Global
 	// wrappers caches synthesized functions (operators, builtins,
 	// unbound methods, the generic $eq/$cast/$query/$Array.new) by name.
+	// Bodies are lowered concurrently, so access goes through wmu; the
+	// synthesized functions are appended to the module sorted by name
+	// after all bodies finish, keeping the function order identical for
+	// every job count.
+	wmu      sync.Mutex
 	wrappers map[string]*ir.Func
 }
 
-// Lower converts prog into an IR module.
-func Lower(prog *typecheck.Program) *ir.Module {
+// Lower converts prog into an IR module, lowering function bodies on up
+// to jobs workers (jobs <= 1 lowers sequentially). The resulting module
+// is byte-for-byte identical for every jobs value. A panic while
+// lowering one body surfaces as a *src.ICE error when jobs > 1 and
+// propagates as a panic when sequential — both are absorbed by the
+// caller's stage boundary in core.
+func Lower(prog *typecheck.Program, jobs int) (*ir.Module, error) {
 	lw := &Lowerer{
 		prog:     prog,
 		tc:       prog.Types,
@@ -48,8 +61,10 @@ func Lower(prog *typecheck.Program) *ir.Module {
 		wrappers: map[string]*ir.Func{},
 	}
 	lw.declareAll()
-	lw.lowerAll()
-	return lw.mod
+	if err := lw.lowerAll(jobs); err != nil {
+		return nil, err
+	}
+	return lw.mod, nil
 }
 
 func (lw *Lowerer) addFunc(f *ir.Func) *ir.Func {
@@ -172,22 +187,46 @@ func (lw *Lowerer) declareAll() {
 	}
 }
 
-// lowerAll fills in every function body.
-func (lw *Lowerer) lowerAll() {
+// lowerAll fills in every function body. Bodies only read the shared
+// declaration maps (frozen by declareAll) and write their own function,
+// so they fan out on the worker pool; wrapper synthesis, the one shared
+// mutation, is serialized behind wmu. $init and the name-sorted wrapper
+// functions are appended after the fan-out, a deterministic order no
+// matter which worker first demanded each wrapper.
+func (lw *Lowerer) lowerAll(jobs int) error {
+	var tasks []func()
 	for _, cls := range lw.prog.Classes {
+		cls := cls
 		for _, m := range cls.Methods {
-			lw.lowerMethodBody(cls, m)
+			m := m
+			tasks = append(tasks, func() { lw.lowerMethodBody(cls, m) })
 		}
-		lw.lowerCtor(cls)
-		lw.lowerAlloc(cls)
+		tasks = append(tasks, func() { lw.lowerCtor(cls) })
+		tasks = append(tasks, func() { lw.lowerAlloc(cls) })
 	}
 	for _, fn := range lw.prog.Funcs {
-		lw.lowerMethodBody(nil, fn)
+		fn := fn
+		tasks = append(tasks, func() { lw.lowerMethodBody(nil, fn) })
+	}
+	if err := par.Run("lower", jobs, len(tasks), func(i int) error {
+		tasks[i]()
+		return nil
+	}); err != nil {
+		return err
 	}
 	lw.lowerInit()
+	names := make([]string, 0, len(lw.wrappers))
+	for name := range lw.wrappers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lw.addFunc(lw.wrappers[name])
+	}
 	if m := lw.prog.Main; m != nil {
 		lw.mod.Main = lw.funcOf[m]
 	}
+	return nil
 }
 
 // builder carries per-function lowering state.

@@ -22,7 +22,10 @@ func lowerSrc(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	mod := Lower(prog)
+	mod, err := Lower(prog, 1)
+	if err != nil {
+		t.Fatalf("lower error: %v", err)
+	}
 	if err := mod.Validate(); err != nil {
 		t.Fatalf("invalid IR: %v\n%s", err, mod.String())
 	}

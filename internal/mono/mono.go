@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/ir"
+	"repro/internal/par"
 	"repro/internal/types"
 )
 
@@ -54,6 +55,10 @@ type Config struct {
 	// exceeding it indicates polymorphic recursion, which Virgil
 	// disallows (§4.3). 0 means the default of 10000.
 	MaxInstances int
+	// Jobs bounds the worker pool for the body-copy phase (<= 1 copies
+	// sequentially). The discovery fixpoint is inherently sequential and
+	// unaffected; the output module is identical for every value.
+	Jobs int
 }
 
 type funcKey struct {
@@ -92,7 +97,25 @@ type monomorphizer struct {
 	origByDef map[*types.ClassDef]*ir.Class
 	hiers     map[*types.ClassDef]*hierarchy
 	work      []func() error
+	plans     []*bodyPlan
 	err       error
+}
+
+// bodyPlan is one specialized function body scheduled for copying. The
+// sequential discovery fixpoint (planBody) resolves everything that
+// touches shared monomorphizer state — call targets, vtable slots,
+// class instances — and records the per-instruction resolutions here,
+// in traversal order; copyBody then rebuilds the body from the plan
+// with no shared mutable state, so plans fan out across workers.
+type bodyPlan struct {
+	src, dst *ir.Func
+	env      map[*types.TypeParamDef]types.Type
+	// fns are the specialized targets of OpCallStatic/OpMakeClosure
+	// instructions, in block/instruction order.
+	fns []*ir.Func
+	// slots are the specialized vtable slots of OpCallVirtual/OpMakeBound
+	// instructions, in block/instruction order.
+	slots []int
 }
 
 // Monomorphize specializes mod into a new, fully monomorphic module.
@@ -128,7 +151,8 @@ func Monomorphize(mod *ir.Module, cfg Config) (*ir.Module, *Stats, error) {
 		m.out.Main = m.instance(mod.Main, nil)
 	}
 	// Drain the worklist: vtable fills may create new instances and new
-	// vtable entries.
+	// vtable entries. This fixpoint is the whole-program barrier — it
+	// fixes the identity and order of every output function and class.
 	for len(m.work) > 0 && m.err == nil {
 		w := m.work[0]
 		m.work = m.work[1:]
@@ -138,6 +162,13 @@ func Monomorphize(mod *ir.Module, cfg Config) (*ir.Module, *Stats, error) {
 	}
 	if m.err != nil {
 		return nil, nil, m.err
+	}
+	// Copy the planned bodies; every cross-function fact was resolved
+	// during the fixpoint, so the copies are independent.
+	if err := par.Run("mono", cfg.Jobs, len(m.plans), func(i int) error {
+		return m.copyBody(m.plans[i])
+	}); err != nil {
+		return nil, nil, err
 	}
 	stats := m.stats()
 	return m.out, stats, nil
@@ -229,7 +260,7 @@ func (m *monomorphizer) instance(f *ir.Func, targs []types.Type) *ir.Func {
 	m.funcInst[key] = g
 	m.out.Funcs = append(m.out.Funcs, g)
 	env := types.BindParams(f.TypeParams, targs)
-	m.work = append(m.work, func() error { return m.specializeBody(f, g, env) })
+	m.work = append(m.work, func() error { return m.planBody(f, g, env) })
 	// Params must exist immediately: callers consult arity and types.
 	for _, p := range f.Params {
 		g.Params = append(g.Params, g.NewReg(m.tc.Subst(p.Type, env), p.Name))
@@ -362,12 +393,63 @@ func (m *monomorphizer) fillSlot(c *ir.Class, e vtEntry) {
 	c.Vtable[e.newSlot] = inst
 }
 
-// specializeBody copies f's blocks into g, substituting types and
-// resolving calls to specialized instances.
-func (m *monomorphizer) specializeBody(f, g *ir.Func, env map[*types.TypeParamDef]types.Type) error {
+// planBody walks f's instructions in order, resolving everything the
+// specialized body needs from shared state: call targets become
+// instances (which enqueue their own plans), virtual dispatches get
+// specialized vtable slots, and referenced classes are materialized.
+// The traversal order is exactly the order the pre-parallel
+// specializer used, so the output module's function and class order is
+// unchanged. The resolutions are recorded on a bodyPlan for copyBody.
+func (m *monomorphizer) planBody(f, g *ir.Func, env map[*types.TypeParamDef]types.Type) error {
+	p := &bodyPlan{src: f, dst: g, env: env}
+	subst := func(t types.Type) types.Type {
+		if t == nil {
+			return nil
+		}
+		return m.tc.Subst(t, env)
+	}
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case ir.OpNewObject:
+				ct := subst(in.Type).(*types.Class)
+				m.classInstance(ct)
+			case ir.OpCallStatic, ir.OpMakeClosure:
+				targs := m.substAll(in.TypeArgs, env)
+				p.fns = append(p.fns, m.instance(in.Fn, targs))
+			case ir.OpCallVirtual, ir.OpMakeBound:
+				recvType, ok := subst(in.Type).(*types.Class)
+				if !ok {
+					return fmt.Errorf("mono: virtual dispatch on non-class type %s in %s", subst(in.Type), f.Name)
+				}
+				margs := m.substAll(in.TypeArgs, env)
+				p.slots = append(p.slots, m.dispatchSlot(recvType.Def, in.FieldSlot, margs))
+				// Make sure the static receiver class itself exists so
+				// statically-typed allocations elsewhere dispatch.
+				m.classInstance(recvType)
+			case ir.OpFieldLoad, ir.OpFieldStore:
+				// Normalization computes field layouts from the static
+				// receiver class, which must therefore be materialized.
+				if ct, ok := subst(in.Args[0].Type).(*types.Class); ok {
+					m.classInstance(ct)
+				}
+			}
+		}
+	}
+	m.plans = append(m.plans, p)
+	return nil
+}
+
+// copyBody copies the planned body from p.src into p.dst, substituting
+// types and installing the resolutions planBody recorded. It touches
+// only p.dst and the (concurrency-safe) type cache, so plans run on
+// parallel workers.
+func (m *monomorphizer) copyBody(p *bodyPlan) error {
+	f, g, env := p.src, p.dst, p.env
+	fi, si := 0, 0
 	regMap := map[*ir.Reg]*ir.Reg{}
-	for i, p := range f.Params {
-		regMap[p] = g.Params[i]
+	for i, pr := range f.Params {
+		regMap[pr] = g.Params[i]
 	}
 	mapReg := func(r *ir.Reg) *ir.Reg {
 		if nr, ok := regMap[r]; ok {
@@ -411,28 +493,12 @@ func (m *monomorphizer) specializeBody(f, g *ir.Func, env map[*types.TypeParamDe
 				// the specialized type may be a primitive or tuple.
 				m.emitDefault(g, nb, ni.Dst[0], ni.Type)
 				continue
-			case ir.OpNewObject:
-				ct := ni.Type.(*types.Class)
-				m.classInstance(ct)
 			case ir.OpCallStatic, ir.OpMakeClosure:
-				targs := m.substAll(in.TypeArgs, env)
-				ni.Fn = m.instance(in.Fn, targs)
+				ni.Fn = p.fns[fi]
+				fi++
 			case ir.OpCallVirtual, ir.OpMakeBound:
-				recvType, ok := ni.Type.(*types.Class)
-				if !ok {
-					return fmt.Errorf("mono: virtual dispatch on non-class type %s in %s", ni.Type, f.Name)
-				}
-				margs := m.substAll(in.TypeArgs, env)
-				ni.FieldSlot = m.dispatchSlot(recvType.Def, in.FieldSlot, margs)
-				// Make sure the static receiver class itself exists so
-				// statically-typed allocations elsewhere dispatch.
-				m.classInstance(recvType)
-			case ir.OpFieldLoad, ir.OpFieldStore:
-				// Normalization computes field layouts from the static
-				// receiver class, which must therefore be materialized.
-				if ct, ok := ni.Args[0].Type.(*types.Class); ok {
-					m.classInstance(ct)
-				}
+				ni.FieldSlot = p.slots[si]
+				si++
 			}
 			nb.Instrs = append(nb.Instrs, ni)
 		}

@@ -26,7 +26,11 @@ func compile(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	return lower.Lower(prog)
+	mod, err := lower.Lower(prog, 1)
+	if err != nil {
+		t.Fatalf("lower error: %v", err)
+	}
+	return mod
 }
 
 func run(t *testing.T, mod *ir.Module) string {

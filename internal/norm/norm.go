@@ -18,8 +18,10 @@ package norm
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ir"
+	"repro/internal/par"
 	"repro/internal/src"
 	"repro/internal/types"
 )
@@ -44,11 +46,20 @@ type normalizer struct {
 	fieldMap map[*ir.Class][][2]int
 	inByType map[*types.Class]*ir.Class
 	stats    Stats
+
+	// flat memoizes scalar expansions. Types are interned, so the
+	// pointer is the key; bodies normalize concurrently, hence the
+	// read-mostly lock. Callers must not mutate returned slices.
+	flatMu sync.RWMutex
+	flat   map[types.Type][]types.Type
 }
 
 // Normalize flattens all tuples in a monomorphic module, returning a
-// new module.
-func Normalize(mod *ir.Module) (*ir.Module, *Stats, error) {
+// new module. Function bodies are rewritten on up to jobs workers
+// (jobs <= 1 is sequential); the declaration phases and vtable layout
+// are whole-program barriers and always run sequentially. The output
+// is identical for every jobs value.
+func Normalize(mod *ir.Module, jobs int) (*ir.Module, *Stats, error) {
 	if !mod.Monomorphic {
 		return nil, nil, fmt.Errorf("norm: module must be monomorphized first (§4.2)")
 	}
@@ -65,6 +76,7 @@ func Normalize(mod *ir.Module) (*ir.Module, *Stats, error) {
 		globalMap: map[*ir.Global][]*ir.Global{},
 		fieldMap:  map[*ir.Class][][2]int{},
 		inByType:  map[*types.Class]*ir.Class{},
+		flat:      map[types.Type][]types.Type{},
 	}
 	for _, c := range mod.Classes {
 		n.inByType[c.Type] = c
@@ -73,10 +85,18 @@ func Normalize(mod *ir.Module) (*ir.Module, *Stats, error) {
 	n.declareClasses()
 	n.declareFuncs()
 	n.fillVtables()
-	for _, f := range mod.Funcs {
-		if err := n.normalizeBody(f); err != nil {
-			return nil, nil, err
-		}
+	// Bodies read only the frozen declaration maps and write their own
+	// destination function; per-body statistics merge in function order.
+	tuples := make([]int, len(mod.Funcs))
+	if err := par.Run("norm", jobs, len(mod.Funcs), func(i int) error {
+		c, err := n.normalizeBody(mod.Funcs[i])
+		tuples[i] = c
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, c := range tuples {
+		n.stats.TuplesEliminated += c
 	}
 	if mod.Init != nil {
 		n.out.Init = n.funcMap[mod.Init]
@@ -87,9 +107,19 @@ func Normalize(mod *ir.Module) (*ir.Module, *Stats, error) {
 	return n.out, &n.stats, nil
 }
 
-// flatten returns the scalar expansion of t.
+// flatten returns the scalar expansion of t, memoized per module.
 func (n *normalizer) flatten(t types.Type) []types.Type {
-	return types.Flatten(n.tc, t, nil)
+	n.flatMu.RLock()
+	fs, ok := n.flat[t]
+	n.flatMu.RUnlock()
+	if ok {
+		return fs
+	}
+	fs = types.Flatten(n.tc, t, nil)
+	n.flatMu.Lock()
+	n.flat[t] = fs
+	n.flatMu.Unlock()
+	return fs
 }
 
 func (n *normalizer) declareGlobals() {
@@ -205,9 +235,12 @@ type bodyNormalizer struct {
 	// pos is the source position of the instruction being normalized;
 	// emit stamps it so flattened code keeps source-level traces.
 	pos src.Pos
+	// tuples counts MakeTuple eliminations in this body alone; bodies
+	// run concurrently, so the totals merge after the fan-out.
+	tuples int
 }
 
-func (n *normalizer) normalizeBody(f *ir.Func) error {
+func (n *normalizer) normalizeBody(f *ir.Func) (int, error) {
 	nf := n.funcMap[f]
 	b := &bodyNormalizer{n: n, f: f, nf: nf, regMap: map[*ir.Reg][]*ir.Reg{}, blkMap: map[*ir.Block]*ir.Block{}}
 	// Parameter registers map to the already-created flattened params.
@@ -224,11 +257,11 @@ func (n *normalizer) normalizeBody(f *ir.Func) error {
 		b.cur = b.blkMap[blk]
 		for _, in := range blk.Instrs {
 			if err := b.instr(in); err != nil {
-				return fmt.Errorf("%s: %w", f.Name, err)
+				return b.tuples, fmt.Errorf("%s: %w", f.Name, err)
 			}
 		}
 	}
-	return nil
+	return b.tuples, nil
 }
 
 // regs returns the flattened registers for a source register, creating
@@ -337,7 +370,7 @@ func (b *bodyNormalizer) instr(in *ir.Instr) error {
 
 	case ir.OpMakeTuple:
 		// (§4.2 q1'): the tuple's registers are its elements' registers.
-		b.n.stats.TuplesEliminated++
+		b.tuples++
 		return b.moveAll(b.regs(in.Dst[0]), b.flatArgs(in.Args))
 	case ir.OpTupleGet:
 		src := b.regs(in.Args[0])

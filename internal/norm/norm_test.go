@@ -26,7 +26,10 @@ func compileMono(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	mod := lower.Lower(prog)
+	mod, err := lower.Lower(prog, 1)
+	if err != nil {
+		t.Fatalf("lower error: %v", err)
+	}
 	monoMod, _, err := mono.Monomorphize(mod, mono.Config{})
 	if err != nil {
 		t.Fatalf("mono error: %v", err)
@@ -51,7 +54,7 @@ func TestCorpusEquivalence(t *testing.T) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			monoMod := compileMono(t, p.Source)
-			normMod, _, err := Normalize(monoMod)
+			normMod, _, err := Normalize(monoMod, 1)
 			if err != nil {
 				t.Fatalf("norm error: %v", err)
 			}
@@ -68,7 +71,7 @@ func TestCorpusEquivalence(t *testing.T) {
 func TestNoTuplesRemain(t *testing.T) {
 	for _, p := range testprogs.All() {
 		monoMod := compileMono(t, p.Source)
-		normMod, _, err := Normalize(monoMod)
+		normMod, _, err := Normalize(monoMod, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +92,7 @@ func TestNoTuplesRemain(t *testing.T) {
 func TestNoBoxedTuplesAtRuntime(t *testing.T) {
 	for _, p := range testprogs.All() {
 		monoMod := compileMono(t, p.Source)
-		normMod, _, err := Normalize(monoMod)
+		normMod, _, err := Normalize(monoMod, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +125,7 @@ def main() {
 	System.puti(p.pos.0 + p.pos.1);
 }
 `)
-	normMod, stats, err := Normalize(monoMod)
+	normMod, stats, err := Normalize(monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +164,7 @@ def main() {
 	var x = c.v;
 }
 `)
-	normMod, _, err := Normalize(monoMod)
+	normMod, _, err := Normalize(monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +184,7 @@ def main() {
 	v[5];
 }
 `)
-	normMod, _, err := Normalize(monoMod)
+	normMod, _, err := Normalize(monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,8 +203,11 @@ func TestRequiresMonomorphic(t *testing.T) {
 	if !errs.Empty() {
 		t.Fatal(errs.Error())
 	}
-	mod := lower.Lower(prog)
-	if _, _, err := Normalize(mod); err == nil {
+	mod, err := lower.Lower(prog, 1)
+	if err != nil {
+		t.Fatalf("lower error: %v", err)
+	}
+	if _, _, err := Normalize(mod, 1); err == nil {
 		t.Fatal("expected an error normalizing a polymorphic module")
 	}
 }

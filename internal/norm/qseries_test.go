@@ -27,7 +27,7 @@ def main() {
 	System.puti(s.0);
 }
 `)
-	normMod, _, err := Normalize(monoMod)
+	normMod, _, err := Normalize(monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ def main() {
 			t.Errorf("pre-norm pair returns one (tuple) value, got %d", len(fn.Results))
 		}
 	}
-	normMod, _, err := Normalize(monoMod)
+	normMod, _, err := Normalize(monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package opt
 
 import (
 	"repro/internal/ir"
+	"repro/internal/par"
 	"repro/internal/types"
 )
 
@@ -35,9 +36,20 @@ type Config struct {
 	InlineLimit int
 	// Rounds bounds the fold/inline fixpoint; 0 means the default of 4.
 	Rounds int
+	// Jobs bounds the worker pool for the per-function folding passes
+	// (<= 1 folds sequentially). Devirtualization and inlining read
+	// whole-program state and always run sequentially; the optimized
+	// module and statistics are identical for every value.
+	Jobs int
 }
 
 // Optimize runs all passes over the module in place.
+//
+// Each round folds every function — a pass that reads and writes only
+// that function, so the folds fan out on the worker pool with
+// per-worker statistics merged in function order — and then inlines
+// sequentially, since inlining reads callee bodies across the module.
+// The loop between fold and inline is a barrier in both modes.
 func Optimize(mod *ir.Module, cfg Config) *Stats {
 	if cfg.InlineLimit == 0 {
 		cfg.InlineLimit = 16
@@ -48,10 +60,27 @@ func Optimize(mod *ir.Module, cfg Config) *Stats {
 	st := &Stats{InstrsBefore: mod.NumInstrs()}
 	o := &optimizer{mod: mod, tc: mod.Types, cfg: cfg, st: st}
 	o.devirtualize()
+	folded := make([]bool, len(mod.Funcs))
+	foldStats := make([]Stats, len(mod.Funcs))
 	for r := 0; r < cfg.Rounds; r++ {
 		changed := false
-		for _, f := range mod.Funcs {
-			changed = o.foldFunc(f) || changed
+		// par.Run never returns an error here: foldFunc is error-free and
+		// a panic in it propagates through the caller's stage boundary in
+		// sequential mode or comes back as the lowest-index ICE.
+		if err := par.Run("opt", cfg.Jobs, len(mod.Funcs), func(i int) error {
+			w := &optimizer{mod: mod, tc: o.tc, cfg: cfg, st: &foldStats[i]}
+			folded[i] = w.foldFunc(mod.Funcs[i])
+			return nil
+		}); err != nil {
+			panic(err)
+		}
+		for i := range mod.Funcs {
+			changed = changed || folded[i]
+			st.QueriesFolded += foldStats[i].QueriesFolded
+			st.CastsElided += foldStats[i].CastsElided
+			st.BranchesFolded += foldStats[i].BranchesFolded
+			st.InstrsRemoved += foldStats[i].InstrsRemoved
+			foldStats[i] = Stats{}
 		}
 		for _, f := range mod.Funcs {
 			changed = o.inlineCalls(f) || changed

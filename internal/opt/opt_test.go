@@ -29,12 +29,15 @@ func compileNorm(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	mod := lower.Lower(prog)
+	mod, err := lower.Lower(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	monoMod, _, err := mono.Monomorphize(mod, mono.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	normMod, _, err := norm.Normalize(monoMod)
+	normMod, _, err := norm.Normalize(monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,111 @@
+// Package par is the compiler's bounded fan-out primitive. Each
+// per-function pipeline stage (lower bodies, mono body copies, norm,
+// opt folding, IR verification) hands Run an indexed work list; Run
+// executes it either inline (jobs <= 1) or on a fixed pool of worker
+// goroutines (jobs > 1).
+//
+// The contract that keeps parallel compilation byte-for-byte
+// deterministic: workers may only write into pre-sized slots indexed
+// by their item index, and Run reports the error (or recovered panic,
+// as a *src.ICE) with the LOWEST index, so diagnostics are independent
+// of goroutine scheduling. Whole-program phases stay outside Run as
+// sequential barriers.
+package par
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/src"
+)
+
+// Run invokes fn(i) for every i in [0, n).
+//
+// With jobs <= 1 the calls run inline in index order and Run returns
+// at the first error — exactly the pre-parallel sequential pipeline,
+// with panics propagating to the caller's recovery boundary.
+//
+// With jobs > 1, min(jobs, n) workers claim indices from a shared
+// atomic counter. A panic inside fn is recovered in the worker and
+// recorded as a *src.ICE tagged with stage. After all workers drain,
+// Run returns the recorded error with the lowest index. Workers only
+// skip indices ABOVE the lowest failure recorded so far — an index
+// below it always runs, so the lowest failing index is always reached
+// and the winning error is independent of goroutine scheduling.
+func Run(stage string, jobs, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if jobs <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if jobs > n {
+		jobs = n
+	}
+	var (
+		next   atomic.Int64
+		lowest atomic.Int64 // lowest failing index so far; n = none
+		mu     sync.Mutex
+		errAt  = -1
+		first  error
+	)
+	lowest.Store(int64(n))
+	record := func(i int, err error) {
+		for {
+			cur := lowest.Load()
+			if int64(i) >= cur || lowest.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+		mu.Lock()
+		if errAt < 0 || i < errAt {
+			errAt, first = i, err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				// Indices are claimed in increasing order, so once i
+				// passes the lowest recorded failure every later claim
+				// would too: cancel this worker. Indices below a failure
+				// still run and may record a lower one.
+				if i >= n || int64(i) > lowest.Load() {
+					return
+				}
+				if err := protect(stage, i, fn); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// protect runs fn(i) converting a panic into a structured ICE, so one
+// corrupt function cannot take down sibling workers or the process.
+func protect(stage string, i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &src.ICE{
+				Stage: stage,
+				Msg:   fmt.Sprint(r),
+				Stack: src.TrimStack(debug.Stack(), 40),
+			}
+		}
+	}()
+	return fn(i)
+}

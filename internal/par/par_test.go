@@ -1,0 +1,119 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/src"
+)
+
+func TestRunSequentialOrder(t *testing.T) {
+	var got []int
+	if err := Run("test", 1, 5, func(i int) error {
+		got = append(got, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", got)
+		}
+	}
+}
+
+func TestRunSequentialStopsAtFirstError(t *testing.T) {
+	var ran []int
+	boom := errors.New("boom")
+	err := Run("test", 1, 5, func(i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if len(ran) != 3 {
+		t.Fatalf("sequential run must stop at the first error; ran %v", ran)
+	}
+}
+
+func TestRunParallelCoversAllItems(t *testing.T) {
+	const n = 100
+	var done [n]atomic.Bool
+	if err := Run("test", 8, n, func(i int) error {
+		if done[i].Swap(true) {
+			t.Errorf("item %d claimed twice", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range done {
+		if !done[i].Load() {
+			t.Fatalf("item %d never ran", i)
+		}
+	}
+}
+
+func TestRunParallelReportsLowestIndexError(t *testing.T) {
+	// Repeat to exercise different schedules: every failing index may
+	// race to record, but the winner must always be the lowest that ran.
+	for trial := 0; trial < 20; trial++ {
+		err := Run("test", 4, 50, func(i int) error {
+			if i%7 == 3 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if got := err.Error(); got != "fail-3" {
+			t.Fatalf("trial %d: want deterministic fail-3, got %s", trial, got)
+		}
+	}
+}
+
+func TestRunParallelPanicBecomesICE(t *testing.T) {
+	err := Run("lower", 4, 10, func(i int) error {
+		if i == 0 {
+			panic("corrupt function")
+		}
+		return nil
+	})
+	var ice *src.ICE
+	if !errors.As(err, &ice) {
+		t.Fatalf("want *src.ICE, got %T: %v", err, err)
+	}
+	if ice.Stage != "lower" || !strings.Contains(ice.Msg, "corrupt function") {
+		t.Fatalf("unexpected ICE: %v", ice)
+	}
+}
+
+func TestRunSequentialPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("jobs=1 must preserve the pre-parallel panic behavior")
+		}
+	}()
+	_ = Run("test", 1, 1, func(i int) error { panic("through") })
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	if err := Run("test", 8, 0, func(i int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := Run("test", 8, 1, func(i int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("single item ran %d times", calls)
+	}
+}

@@ -8,6 +8,7 @@ package types
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Type is the interface satisfied by all Virgil-core types. Types are
@@ -162,7 +163,15 @@ func (e *Enum) isType() {}
 func (e *Enum) String() string { return e.Def.Name }
 
 // Cache interns types so structural equality is pointer equality.
+//
+// All exported methods are safe for concurrent use: the parallel
+// pipeline stages (lower bodies, mono body copies, normalization,
+// optimization, verification) share one cache, so every method that
+// reads or writes the interning tables takes mu and delegates to an
+// unexported, lock-free twin. The unexported twins may call each other
+// but never an exported method — the lock is not reentrant.
 type Cache struct {
+	mu                              sync.Mutex
 	void, boolT, byteT, intT, nullT *Prim
 	tuples                          map[string]*Tuple
 	enums                           map[*EnumDef]*Enum
@@ -208,6 +217,13 @@ func (c *Cache) Null() Type { return c.nullT }
 // String returns the string type, an alias for Array<byte>.
 func (c *Cache) String() Type { return c.ArrayOf(c.byteT) }
 
+// lock acquires the interning lock for one exported entry point. The
+// unexported twins below assume it is held.
+func (c *Cache) lock() func() {
+	c.mu.Lock()
+	return c.mu.Unlock
+}
+
 func (c *Cache) key(t Type) string {
 	switch t := t.(type) {
 	case *Prim:
@@ -239,6 +255,11 @@ func (c *Cache) key(t Type) string {
 // TupleOf interns a tuple type, applying the degenerate equivalences:
 // zero elements is void, one element is the element itself.
 func (c *Cache) TupleOf(elems []Type) Type {
+	defer c.lock()()
+	return c.tupleOf(elems)
+}
+
+func (c *Cache) tupleOf(elems []Type) Type {
 	switch len(elems) {
 	case 0:
 		return c.void
@@ -258,6 +279,11 @@ func (c *Cache) TupleOf(elems []Type) Type {
 
 // FuncOf interns the function type param -> ret.
 func (c *Cache) FuncOf(param, ret Type) *Func {
+	defer c.lock()()
+	return c.funcOf(param, ret)
+}
+
+func (c *Cache) funcOf(param, ret Type) *Func {
 	k := [2]Type{param, ret}
 	if got, ok := c.funcs[k]; ok {
 		return got
@@ -269,6 +295,11 @@ func (c *Cache) FuncOf(param, ret Type) *Func {
 
 // ArrayOf interns the array type Array<elem>.
 func (c *Cache) ArrayOf(elem Type) *Array {
+	defer c.lock()()
+	return c.arrayOf(elem)
+}
+
+func (c *Cache) arrayOf(elem Type) *Array {
 	if got, ok := c.arrays[elem]; ok {
 		return got
 	}
@@ -279,12 +310,14 @@ func (c *Cache) ArrayOf(elem Type) *Array {
 
 // NewEnumDef allocates a fresh enum definition.
 func (c *Cache) NewEnumDef(name string, cases []string, decl any) *EnumDef {
+	defer c.lock()()
 	c.nextID++
 	return &EnumDef{Name: name, Cases: cases, Decl: decl, id: c.nextID}
 }
 
 // EnumOf interns the type of an enum definition's values.
 func (c *Cache) EnumOf(def *EnumDef) *Enum {
+	defer c.lock()()
 	if e, ok := c.enums[def]; ok {
 		return e
 	}
@@ -295,12 +328,18 @@ func (c *Cache) EnumOf(def *EnumDef) *Enum {
 
 // NewTypeParamDef allocates a fresh type parameter declaration.
 func (c *Cache) NewTypeParamDef(name string, index int, owner any) *TypeParamDef {
+	defer c.lock()()
 	c.nextID++
 	return &TypeParamDef{Name: name, Index: index, Owner: owner, id: c.nextID}
 }
 
 // ParamRef interns the type-use of a type parameter declaration.
 func (c *Cache) ParamRef(def *TypeParamDef) *TypeParam {
+	defer c.lock()()
+	return c.paramRef(def)
+}
+
+func (c *Cache) paramRef(def *TypeParamDef) *TypeParam {
 	if got, ok := c.params[def]; ok {
 		return got
 	}
@@ -311,6 +350,7 @@ func (c *Cache) ParamRef(def *TypeParamDef) *TypeParam {
 
 // NewClassDef allocates a fresh class definition.
 func (c *Cache) NewClassDef(name string, params []*TypeParamDef, decl any) *ClassDef {
+	defer c.lock()()
 	c.nextID++
 	return &ClassDef{Name: name, TypeParams: params, Decl: decl, id: c.nextID}
 }
@@ -318,6 +358,11 @@ func (c *Cache) NewClassDef(name string, params []*TypeParamDef, decl any) *Clas
 // ClassOf interns the instantiation def<args>. len(args) must equal
 // len(def.TypeParams).
 func (c *Cache) ClassOf(def *ClassDef, args []Type) *Class {
+	defer c.lock()()
+	return c.classOf(def, args)
+}
+
+func (c *Cache) classOf(def *ClassDef, args []Type) *Class {
 	if len(args) != len(def.TypeParams) {
 		panic(fmt.Sprintf("types: class %s expects %d args, got %d", def.Name, len(def.TypeParams), len(args)))
 	}
@@ -335,16 +380,25 @@ func (c *Cache) ClassOf(def *ClassDef, args []Type) *Class {
 // SelfType returns def instantiated with its own type parameters, i.e.
 // the type of `this` inside the class body.
 func (c *Cache) SelfType(def *ClassDef) *Class {
+	defer c.lock()()
 	args := make([]Type, len(def.TypeParams))
 	for i, p := range def.TypeParams {
-		args[i] = c.ParamRef(p)
+		args[i] = c.paramRef(p)
 	}
-	return c.ClassOf(def, args)
+	return c.classOf(def, args)
 }
 
 // Subst applies the type-parameter bindings in env to t, interning the
 // result. Unbound parameters are left in place.
 func (c *Cache) Subst(t Type, env map[*TypeParamDef]Type) Type {
+	if len(env) == 0 {
+		return t // closed substitution: no cache access, no lock needed
+	}
+	defer c.lock()()
+	return c.subst(t, env)
+}
+
+func (c *Cache) subst(t Type, env map[*TypeParamDef]Type) Type {
 	if len(env) == 0 {
 		return t
 	}
@@ -360,37 +414,37 @@ func (c *Cache) Subst(t Type, env map[*TypeParamDef]Type) Type {
 		elems := make([]Type, len(t.Elems))
 		changed := false
 		for i, e := range t.Elems {
-			elems[i] = c.Subst(e, env)
+			elems[i] = c.subst(e, env)
 			changed = changed || elems[i] != e
 		}
 		if !changed {
 			return t
 		}
-		return c.TupleOf(elems)
+		return c.tupleOf(elems)
 	case *Func:
-		p := c.Subst(t.Param, env)
-		r := c.Subst(t.Ret, env)
+		p := c.subst(t.Param, env)
+		r := c.subst(t.Ret, env)
 		if p == t.Param && r == t.Ret {
 			return t
 		}
-		return c.FuncOf(p, r)
+		return c.funcOf(p, r)
 	case *Array:
-		e := c.Subst(t.Elem, env)
+		e := c.subst(t.Elem, env)
 		if e == t.Elem {
 			return t
 		}
-		return c.ArrayOf(e)
+		return c.arrayOf(e)
 	case *Class:
 		args := make([]Type, len(t.Args))
 		changed := false
 		for i, a := range t.Args {
-			args[i] = c.Subst(a, env)
+			args[i] = c.subst(a, env)
 			changed = changed || args[i] != a
 		}
 		if !changed {
 			return t
 		}
-		return c.ClassOf(t.Def, args)
+		return c.classOf(t.Def, args)
 	}
 	panic("types: unknown type in Subst")
 }
@@ -399,12 +453,20 @@ func (c *Cache) Subst(t Type, env map[*TypeParamDef]Type) Type {
 // cl's class is a hierarchy root. The parent's type arguments are
 // substituted with cl's own arguments.
 func (c *Cache) ParentOf(cl *Class) *Class {
+	if cl.Def.ParentType == nil {
+		return nil
+	}
+	defer c.lock()()
+	return c.parentOf(cl)
+}
+
+func (c *Cache) parentOf(cl *Class) *Class {
 	pt := cl.Def.ParentType
 	if pt == nil {
 		return nil
 	}
 	env := BindParams(cl.Def.TypeParams, cl.Args)
-	return c.Subst(pt, env).(*Class)
+	return c.subst(pt, env).(*Class)
 }
 
 // BindParams zips type parameter defs with type arguments into a
@@ -462,6 +524,11 @@ func HasTypeParams(t Type) bool {
 // class type arguments are invariant; class subtyping follows the parent
 // chain; null is a subtype of every reference type.
 func (c *Cache) IsSubtype(sub, sup Type) bool {
+	defer c.lock()()
+	return c.isSubtype(sub, sup)
+}
+
+func (c *Cache) isSubtype(sub, sup Type) bool {
 	if sub == sup {
 		return true
 	}
@@ -475,7 +542,7 @@ func (c *Cache) IsSubtype(sub, sup Type) bool {
 			return false
 		}
 		for i := range sup.Elems {
-			if !c.IsSubtype(st.Elems[i], sup.Elems[i]) {
+			if !c.isSubtype(st.Elems[i], sup.Elems[i]) {
 				return false
 			}
 		}
@@ -485,13 +552,13 @@ func (c *Cache) IsSubtype(sub, sup Type) bool {
 		if !ok {
 			return false
 		}
-		return c.IsSubtype(sup.Param, sf.Param) && c.IsSubtype(sf.Ret, sup.Ret)
+		return c.isSubtype(sup.Param, sf.Param) && c.isSubtype(sf.Ret, sup.Ret)
 	case *Class:
 		sc, ok := sub.(*Class)
 		if !ok {
 			return false
 		}
-		for w := sc; w != nil; w = c.ParentOf(w) {
+		for w := sc; w != nil; w = c.parentOf(w) {
 			if w == sup {
 				return true
 			}
@@ -516,6 +583,11 @@ func (c *Cache) IsAssignable(from, to Type) bool { return c.IsSubtype(from, to) 
 // typing: equal types, null vs reference, a common class ancestor, or
 // structural lubs through tuples/functions. Returns nil when none exists.
 func (c *Cache) Lub(a, b Type) Type {
+	defer c.lock()()
+	return c.lub(a, b)
+}
+
+func (c *Cache) lub(a, b Type) Type {
 	if a == b {
 		return a
 	}
@@ -532,8 +604,8 @@ func (c *Cache) Lub(a, b Type) Type {
 			return nil
 		}
 		// Find the first ancestor of a that is a supertype of b.
-		for w := at; w != nil; w = c.ParentOf(w) {
-			if c.IsSubtype(bt, w) {
+		for w := at; w != nil; w = c.parentOf(w) {
+			if c.isSubtype(bt, w) {
 				return w
 			}
 		}
@@ -545,24 +617,24 @@ func (c *Cache) Lub(a, b Type) Type {
 		}
 		elems := make([]Type, len(at.Elems))
 		for i := range at.Elems {
-			e := c.Lub(at.Elems[i], bt.Elems[i])
+			e := c.lub(at.Elems[i], bt.Elems[i])
 			if e == nil {
 				return nil
 			}
 			elems[i] = e
 		}
-		return c.TupleOf(elems)
+		return c.tupleOf(elems)
 	case *Func:
 		bt, ok := b.(*Func)
 		if !ok {
 			return nil
 		}
-		p := c.Glb(at.Param, bt.Param)
-		r := c.Lub(at.Ret, bt.Ret)
+		p := c.glb(at.Param, bt.Param)
+		r := c.lub(at.Ret, bt.Ret)
 		if p == nil || r == nil {
 			return nil
 		}
-		return c.FuncOf(p, r)
+		return c.funcOf(p, r)
 	}
 	return nil
 }
@@ -570,6 +642,11 @@ func (c *Cache) Lub(a, b Type) Type {
 // Glb computes a greatest lower bound (dual of Lub), used for function
 // parameter positions.
 func (c *Cache) Glb(a, b Type) Type {
+	defer c.lock()()
+	return c.glb(a, b)
+}
+
+func (c *Cache) glb(a, b Type) Type {
 	if a == b {
 		return a
 	}
@@ -585,10 +662,10 @@ func (c *Cache) Glb(a, b Type) Type {
 		if !ok {
 			return nil
 		}
-		if c.IsSubtype(at, bt) {
+		if c.isSubtype(at, bt) {
 			return at
 		}
-		if c.IsSubtype(bt, at) {
+		if c.isSubtype(bt, at) {
 			return bt
 		}
 		return nil
@@ -599,24 +676,24 @@ func (c *Cache) Glb(a, b Type) Type {
 		}
 		elems := make([]Type, len(at.Elems))
 		for i := range at.Elems {
-			e := c.Glb(at.Elems[i], bt.Elems[i])
+			e := c.glb(at.Elems[i], bt.Elems[i])
 			if e == nil {
 				return nil
 			}
 			elems[i] = e
 		}
-		return c.TupleOf(elems)
+		return c.tupleOf(elems)
 	case *Func:
 		bt, ok := b.(*Func)
 		if !ok {
 			return nil
 		}
-		p := c.Lub(at.Param, bt.Param)
-		r := c.Glb(at.Ret, bt.Ret)
+		p := c.lub(at.Param, bt.Param)
+		r := c.glb(at.Ret, bt.Ret)
 		if p == nil || r == nil {
 			return nil
 		}
-		return c.FuncOf(p, r)
+		return c.funcOf(p, r)
 	}
 	return nil
 }
@@ -639,6 +716,11 @@ const (
 // checks along a shared hierarchy; tuple casts distribute elementwise;
 // open types always yield CastDynamic since instantiation decides (§2.2).
 func (c *Cache) Castable(from, to Type) CastRel {
+	defer c.lock()()
+	return c.castable(from, to)
+}
+
+func (c *Cache) castable(from, to Type) CastRel {
 	if HasTypeParams(from) || HasTypeParams(to) {
 		return CastDynamic
 	}
@@ -675,7 +757,7 @@ func (c *Cache) Castable(from, to Type) CastRel {
 		}
 		rel := CastTrue
 		for i := range ft.Elems {
-			switch c.Castable(ft.Elems[i], tt.Elems[i]) {
+			switch c.castable(ft.Elems[i], tt.Elems[i]) {
 			case CastFalse:
 				return CastFalse
 			case CastDynamic:
@@ -688,10 +770,10 @@ func (c *Cache) Castable(from, to Type) CastRel {
 		if !ok {
 			return CastFalse
 		}
-		if c.IsSubtype(ft, tc) {
+		if c.isSubtype(ft, tc) {
 			return CastTrue
 		}
-		if c.IsSubtype(tc, ft) {
+		if c.isSubtype(tc, ft) {
 			return CastDynamic // downcast
 		}
 		return CastFalse
@@ -700,14 +782,14 @@ func (c *Cache) Castable(from, to Type) CastRel {
 		if !ok {
 			return CastFalse
 		}
-		if c.IsSubtype(ft, tf) {
+		if c.isSubtype(ft, tf) {
 			return CastTrue
 		}
 		// A function value's dynamic type may be a subtype of its static
 		// type, so a cast to an unrelated-but-compatible function type is
 		// a dynamic check when the target is a subtype direction;
 		// otherwise it can never succeed.
-		if c.IsSubtype(tf, ft) {
+		if c.isSubtype(tf, ft) {
 			return CastDynamic
 		}
 		return CastFalse
