@@ -17,18 +17,23 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/progen"
+	"repro/internal/serve"
 	"repro/internal/testprogs"
 )
 
@@ -128,7 +133,78 @@ func table(short bool) []bench {
 		cfg.Jobs = j
 		add(fmt.Sprintf("CompileParallel/jobs=%d", j), compileSrc(src, cfg))
 	}
+	for _, c := range concCounts() {
+		add(fmt.Sprintf("ServeThroughput/conc=%d", c), serveThroughput(c, scale))
+	}
 	return t
+}
+
+// serveThroughput measures end-to-end requests through the HTTP
+// service — admission, JSON decode, compile, JSON encode — with c
+// concurrent clients against an in-process server. One benchmark op is
+// one completed /compile request.
+func serveThroughput(c, scale int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := serve.New(serve.Config{MaxConcurrent: c, QueueDepth: 2 * c})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		body, err := json.Marshal(serve.Request{
+			Files: []serve.FileJSON{{Name: "gen.v", Source: progen.Generate(progen.Scale(scale / 2))}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		var (
+			wg       sync.WaitGroup
+			firstErr error
+			errOnce  sync.Once
+		)
+		work := make(chan struct{})
+		for w := 0; w < c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range work {
+					resp, err := http.Post(ts.URL+"/compile", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						continue
+					}
+					if resp.StatusCode != http.StatusOK {
+						errOnce.Do(func() { firstErr = fmt.Errorf("status %d", resp.StatusCode) })
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}()
+		}
+		for i := 0; i < b.N; i++ {
+			work <- struct{}{}
+		}
+		close(work)
+		wg.Wait()
+		if firstErr != nil {
+			b.Fatal(firstErr)
+		}
+	}
+}
+
+// concCounts is the client-concurrency ladder for ServeThroughput: 1,
+// 4, NumCPU, deduplicated and ordered.
+func concCounts() []int {
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range counts {
+		if !seen[c] && c >= 1 {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // jobCounts is the worker ladder: 1, 2, 4, GOMAXPROCS, deduplicated

@@ -2,11 +2,12 @@
 //
 // Usage:
 //
-//	virgil run [-config ref|mono|norm|full] [-verify-ir] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+//	virgil run [-config ref|mono|norm|full] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
 //	virgil check [-config ...] [-verify-ir] file.v...
 //	virgil dump [-config ...] [-verify-ir] file.v...
 //	virgil lint file.v...
 //	virgil stats file.v...
+//	virgil serve [-addr host:port] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
 //
 // run executes the program; check compiles under the selected config
 // without executing; dump prints the IR after the selected pipeline
@@ -14,9 +15,12 @@
 // code, locals read before initialization, unused locals, fields,
 // private functions and type parameters, statically-decided casts);
 // stats prints monomorphization, normalization and optimization
-// statistics. -verify-ir runs the typed IR verifier after every
-// pipeline stage (also enabled by the VIRGIL_VERIFY_IR environment
-// variable).
+// statistics; serve runs the compiler as an HTTP JSON service
+// (endpoints /compile, /run, /healthz, /stats) until SIGINT/SIGTERM,
+// then drains in-flight requests and exits. -verify-ir runs the typed
+// IR verifier after every pipeline stage (also enabled by the
+// VIRGIL_VERIFY_IR environment variable). -max-errors caps reported
+// diagnostics (0 = default cap).
 //
 // Exit codes: 0 success; 1 source diagnostics, lint findings, Virgil
 // trap, or resource exhaustion; 2 usage error; 3 internal compiler
@@ -59,6 +63,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	cmd := argv[0]
 	switch cmd {
 	case "run", "check", "dump", "lint", "stats":
+	case "serve":
+		return serveCmd(argv[1:], stdout, stderr)
 	default:
 		usage(stderr)
 		return exitUsage
@@ -71,6 +77,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	maxDepth := fs.Int("max-depth", 0, "call-depth limit for execution (0 = default)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for execution (0 = none)")
 	jobs := fs.Int("jobs", 0, "worker count for per-function pipeline stages (0 = GOMAXPROCS, 1 = sequential)")
+	maxErrors := fs.Int("max-errors", 0, "cap on reported diagnostics (0 = default cap)")
 	if err := fs.Parse(argv[1:]); err != nil {
 		return exitUsage
 	}
@@ -89,6 +96,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	cfg.MaxDepth = *maxDepth
 	cfg.Timeout = *timeout
 	cfg.Jobs = *jobs
+	cfg.MaxErrors = *maxErrors
 
 	var srcs []core.File
 	for _, name := range files {
@@ -217,7 +225,8 @@ func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-verify-ir] [-jobs n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+       virgil serve [-addr host:port] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
 
 commands:
   run    compile and execute the program
@@ -225,6 +234,7 @@ commands:
   dump   print the IR after the selected pipeline stages
   lint   report advisory diagnostics (unused code, bad casts, ...)
   stats  print per-stage compilation statistics
+  serve  run the compiler as an HTTP JSON service (/compile, /run, /healthz, /stats)
 
 exit codes: 0 ok; 1 diagnostics, lint findings, trap, or resource limit; 2 usage; 3 internal compiler error`)
 }

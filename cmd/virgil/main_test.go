@@ -1,10 +1,16 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // write saves a temp source file and returns its path.
@@ -246,5 +252,134 @@ def main() {
 	code, out, stderr := exec("run", "-verify-ir", p)
 	if code != exitOK || out != "42\n" {
 		t.Errorf("run -verify-ir: exit %d out %q stderr %q", code, out, stderr)
+	}
+}
+
+// TestMaxErrorsFlag: -max-errors caps reported diagnostics and appends
+// the sentinel line carrying the true total; -max-errors 0 keeps the
+// default cap; negative values are a usage error.
+func TestMaxErrorsFlag(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("def main() {\n")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b, "\tbogus%d();\n", i)
+	}
+	b.WriteString("}\n")
+	p := write(t, "many.v", b.String())
+
+	code, _, stderr := exec("check", "-max-errors", "3", p)
+	if code != exitDiag {
+		t.Fatalf("exit %d, want %d", code, exitDiag)
+	}
+	// The sentinel line is positioned too: 3 diagnostics + sentinel.
+	if n := strings.Count(stderr, "many.v:"); n != 4 {
+		t.Errorf("-max-errors 3: %d positioned lines, want 4 (3 + sentinel):\n%s", n, stderr)
+	}
+	if !strings.Contains(stderr, "too many errors (60 total)") {
+		t.Errorf("missing truncation sentinel:\n%s", stderr)
+	}
+
+	code, _, stderr = exec("check", p)
+	if code != exitDiag {
+		t.Fatalf("default cap: exit %d, want %d", code, exitDiag)
+	}
+	if n := strings.Count(stderr, "many.v:"); n != 21 {
+		t.Errorf("default cap: %d positioned lines, want 21 (20 + sentinel):\n%s", n, stderr)
+	}
+
+	if code, _, _ = exec("check", "-max-errors", "-1", p); code != exitDiag {
+		t.Errorf("-max-errors -1: exit %d, want %d (config validation)", code, exitDiag)
+	}
+}
+
+// syncBuffer is a goroutine-safe writer: the drain test reads the
+// daemon's output while the daemon goroutine is still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeSubcommandUsage: serve rejects stray arguments and bad
+// listen addresses without starting a server.
+func TestServeSubcommandUsage(t *testing.T) {
+	if code, _, _ := exec("serve", "extra.v"); code != exitUsage {
+		t.Errorf("stray args: exit %d, want %d", code, exitUsage)
+	}
+	if code, _, stderr := exec("serve", "-addr", "256.0.0.1:bogus"); code != exitUsage || stderr == "" {
+		t.Errorf("bad addr: exit %d stderr %q, want usage error", code, stderr)
+	}
+}
+
+// TestServeSubcommandDrains starts the real daemon on an ephemeral
+// port, issues a request, sends it SIGTERM, and asserts a clean drain
+// and exit 0 — the in-process version of the CI smoke job.
+func TestServeSubcommandDrains(t *testing.T) {
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"serve", "-addr", "127.0.0.1:0"}, &out, &errb) }()
+
+	// The daemon prints its resolved address once listening.
+	var url string
+	deadline := time.Now().Add(5 * time.Second)
+	for url == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; out=%q err=%q", out.String(), errb.String())
+		}
+		if _, rest, ok := strings.Cut(out.String(), "listening on "); ok {
+			url = strings.TrimSpace(strings.Split(rest, "\n")[0])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Post(url+"/compile", "application/json",
+		strings.NewReader(`{"files":[{"name":"ok.v","source":"def main() { }"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok":true`) {
+		t.Fatalf("/compile: status=%d body=%s", resp.StatusCode, body)
+	}
+	hz, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: status=%d", hz.StatusCode)
+	}
+
+	// SIGTERM must drain and exit 0.
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != exitOK {
+			t.Fatalf("exit %d after SIGTERM; out=%q err=%q", code, out.String(), errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("missing drain confirmation:\n%s", out.String())
 	}
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// serveCmd runs the compiler as an HTTP JSON service until SIGINT or
+// SIGTERM, then drains in-flight requests (bounded by -drain-timeout)
+// and exits 0 on a clean drain.
+func serveCmd(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max concurrently compiling requests (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission wait-queue depth (0 = 2x max-concurrent)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "per-request deadline when the client sets none (0 = 10s)")
+	maxTimeout := fs.Duration("max-timeout", 0, "ceiling on client-requested deadlines (0 = 60s)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	jobs := fs.Int("jobs", 0, "worker count per compilation (0 = 1; the service parallelizes across requests)")
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "virgil serve: unexpected arguments:", fs.Args())
+		return exitUsage
+	}
+
+	s := serve.New(serve.Config{
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queue,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Jobs:           *jobs,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "virgil serve:", err)
+		return exitUsage
+	}
+	fmt.Fprintf(stdout, "virgil serve: listening on http://%s\n", l.Addr())
+	if faultinject.Enabled() {
+		fmt.Fprintln(stdout, "virgil serve: WARNING: fault injection armed via VIRGIL_FAULT")
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(stdout, "virgil serve: received %v; draining (up to %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "virgil serve: drain incomplete:", err)
+			<-serveErr
+			return exitDiag
+		}
+		<-serveErr
+		fmt.Fprintln(stdout, "virgil serve: drained cleanly")
+		return exitOK
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "virgil serve:", err)
+		return exitICE
+	}
+}

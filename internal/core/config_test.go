@@ -23,6 +23,9 @@ func TestConfigValidate(t *testing.T) {
 		{name: "norm without mono", cfg: Config{Normalize: true}, wantErr: "Normalize requires Monomorphize"},
 		{name: "opt without norm", cfg: Config{Monomorphize: true, Optimize: true}, wantErr: "Optimize requires Normalize"},
 		{name: "negative jobs", cfg: Config{Jobs: -1}, wantErr: "Jobs must be >= 0"},
+		{name: "default max errors", cfg: Config{MaxErrors: 0}},
+		{name: "explicit max errors", cfg: Config{MaxErrors: 5}},
+		{name: "negative max errors", cfg: Config{MaxErrors: -1}, wantErr: "MaxErrors must be >= 0"},
 		{name: "negative max steps", cfg: Config{MaxSteps: -5}, wantErr: "MaxSteps must be >= 0"},
 		{name: "negative max depth", cfg: Config{MaxDepth: -1}, wantErr: "MaxDepth must be >= 0"},
 		{name: "negative timeout", cfg: Config{Timeout: -time.Second}, wantErr: "Timeout must be >= 0"},

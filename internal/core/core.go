@@ -15,6 +15,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/lower"
@@ -57,6 +60,12 @@ type Config struct {
 	// stage-tagged ICE at the earliest point it is observable. The
 	// VIRGIL_VERIFY_IR environment variable force-enables it.
 	VerifyIR bool
+
+	// MaxErrors caps the independent diagnostics reported from one
+	// compilation before the "too many errors" sentinel replaces the
+	// overflow (0 = the default cap, src.MaxReported; negative is a
+	// Validate error).
+	MaxErrors int
 
 	// MaxSteps bounds executed IR instructions (0 = interpreter default).
 	MaxSteps int64
@@ -115,6 +124,9 @@ func (c Config) Validate() error {
 	if c.Jobs < 0 {
 		return fmt.Errorf("core: Jobs must be >= 0 (0 selects GOMAXPROCS), got %d", c.Jobs)
 	}
+	if c.MaxErrors < 0 {
+		return fmt.Errorf("core: MaxErrors must be >= 0 (0 selects the default cap %d), got %d", src.MaxReported, c.MaxErrors)
+	}
 	if c.MaxSteps < 0 {
 		return fmt.Errorf("core: MaxSteps must be >= 0, got %d", c.MaxSteps)
 	}
@@ -134,6 +146,14 @@ func (c Config) jobs() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.Jobs
+}
+
+// maxErrors resolves the diagnostic cap: 0 defaults to src.MaxReported.
+func (c Config) maxErrors() int {
+	if c.MaxErrors == 0 {
+		return src.MaxReported
+	}
+	return c.MaxErrors
 }
 
 // Timings records wall-clock duration of each stage (E7).
@@ -173,14 +193,34 @@ func Compile(name, source string, cfg Config) (*Compilation, error) {
 	return CompileFiles([]File{{Name: name, Source: source}}, cfg)
 }
 
-// CompileFiles runs the pipeline on several files as one program.
+// CompileFiles runs the pipeline on several files as one program with
+// no external cancellation. See CompileFilesContext.
+func CompileFiles(files []File, cfg Config) (*Compilation, error) {
+	return CompileFilesContext(context.Background(), files, cfg)
+}
+
+// stageStart is the common prologue of every pipeline stage: it stops
+// the compilation as soon as the caller's ctx ends (wrapping the cause
+// so errors.Is(err, context.Canceled/DeadlineExceeded) holds) and
+// carries the stage's fault-injection point.
+func stageStart(ctx context.Context, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s: compilation cancelled: %w", stage, err)
+	}
+	return faultinject.Point(ctx, stage)
+}
+
+// CompileFilesContext runs the pipeline on several files as one
+// program, stopping at the first stage boundary (or mid-fan-out item
+// claim) after ctx ends.
 //
 // Diagnostics in the input are returned as a *src.ErrorList carrying
-// every independent error (capped at src.MaxReported with a "too many
+// every independent error (capped at Config.MaxErrors with a "too many
 // errors" sentinel). A panic in any stage is recovered at the stage
-// boundary and returned as a *src.ICE — CompileFiles never panics on
-// malformed input.
-func CompileFiles(files []File, cfg Config) (*Compilation, error) {
+// boundary and returned as a *src.ICE — CompileFilesContext never
+// panics on malformed input. Cancellation surfaces as an error
+// satisfying errors.Is(err, ctx.Err()).
+func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compilation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -196,11 +236,16 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 		if !cfg.VerifyIR {
 			return nil
 		}
-		err := guard("verify-"+stage, func() error { return mod.VerifyConcurrent(cfg.jobs()) })
+		err := guard("verify-"+stage, func() error {
+			if err := stageStart(ctx, "verify-"+stage); err != nil {
+				return err
+			}
+			return mod.VerifyConcurrent(ctx, cfg.jobs())
+		})
 		if err == nil {
 			return nil
 		}
-		if _, ok := err.(*src.ICE); !ok {
+		if !isStructured(err) {
 			err = &src.ICE{Stage: "verify-" + stage, Msg: fmt.Sprintf("invalid IR after %s: %v", stage, err)}
 		}
 		return err
@@ -209,13 +254,16 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	errs := &src.ErrorList{}
 	diags := func() error {
 		errs.Sort()
-		errs.Truncate(src.MaxReported)
+		errs.Truncate(cfg.maxErrors())
 		return errs
 	}
 
 	t0 := time.Now()
 	var parsed []*ast.File
 	if err := guard("parse", func() error {
+		if err := stageStart(ctx, "parse"); err != nil {
+			return err
+		}
 		for _, f := range files {
 			parsed = append(parsed, parser.Parse(f.Name, f.Source, errs))
 			comp.Timings.SourceLen += len(f.Source)
@@ -232,6 +280,9 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	t0 = time.Now()
 	var prog *typecheck.Program
 	if err := guard("check", func() error {
+		if err := stageStart(ctx, "check"); err != nil {
+			return err
+		}
 		prog = typecheck.Check(parsed, errs)
 		return nil
 	}); err != nil {
@@ -246,8 +297,11 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	t0 = time.Now()
 	var mod *ir.Module
 	if err := guard("lower", func() error {
+		if err := stageStart(ctx, "lower"); err != nil {
+			return err
+		}
 		var err error
-		mod, err = lower.Lower(prog, cfg.jobs())
+		mod, err = lower.Lower(ctx, prog, cfg.jobs())
 		return err
 	}); err != nil {
 		return nil, err
@@ -260,7 +314,10 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	if cfg.Monomorphize {
 		t0 = time.Now()
 		if err := guard("mono", func() error {
-			monoMod, stats, err := mono.Monomorphize(mod, mono.Config{Jobs: cfg.jobs()})
+			if err := stageStart(ctx, "mono"); err != nil {
+				return err
+			}
+			monoMod, stats, err := mono.Monomorphize(ctx, mod, mono.Config{Jobs: cfg.jobs()})
 			if err != nil {
 				return err
 			}
@@ -278,7 +335,10 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	if cfg.Normalize {
 		t0 = time.Now()
 		if err := guard("norm", func() error {
-			normMod, stats, err := norm.Normalize(mod, cfg.jobs())
+			if err := stageStart(ctx, "norm"); err != nil {
+				return err
+			}
+			normMod, stats, err := norm.Normalize(ctx, mod, cfg.jobs())
 			if err != nil {
 				return err
 			}
@@ -296,7 +356,14 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	if cfg.Optimize {
 		t0 = time.Now()
 		if err := guard("opt", func() error {
-			comp.OptStats = opt.Optimize(mod, opt.Config{Jobs: cfg.jobs()})
+			if err := stageStart(ctx, "opt"); err != nil {
+				return err
+			}
+			stats, err := opt.Optimize(ctx, mod, opt.Config{Jobs: cfg.jobs()})
+			if err != nil {
+				return err
+			}
+			comp.OptStats = stats
 			return nil
 		}); err != nil {
 			return nil, err
@@ -306,8 +373,13 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 			return nil, err
 		}
 	}
-	if err := guard("validate", func() error { return mod.Validate() }); err != nil {
-		if _, ok := err.(*src.ICE); !ok {
+	if err := guard("validate", func() error {
+		if err := stageStart(ctx, "validate"); err != nil {
+			return err
+		}
+		return mod.Validate()
+	}); err != nil {
+		if !isStructured(err) {
 			err = &src.ICE{Stage: "validate", Msg: fmt.Sprintf("invalid IR after %s: %v", cfg.Name(), err)}
 		}
 		return nil, err
@@ -315,6 +387,18 @@ func CompileFiles(files []File, cfg Config) (*Compilation, error) {
 	comp.Module = mod
 	comp.Timings.Total = time.Since(start)
 	return comp, nil
+}
+
+// isStructured reports whether err already has a user-facing shape —
+// an ICE, an injected fault, or a cancellation — and must not be
+// re-wrapped as an "invalid IR" ICE.
+func isStructured(err error) bool {
+	if _, ok := err.(*src.ICE); ok {
+		return true
+	}
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, faultinject.ErrInjected)
 }
 
 // CheckFiles parses and typechecks files as one program without
@@ -361,27 +445,35 @@ type RunResult struct {
 }
 
 // options derives interpreter options from the config's resource
-// guards.
-func (c *Compilation) options(w io.Writer) interp.Options {
+// guards and the caller's ctx.
+func (c *Compilation) options(ctx context.Context, w io.Writer) interp.Options {
 	return interp.Options{
 		Out:      w,
 		MaxSteps: c.Config.MaxSteps,
 		MaxDepth: c.Config.MaxDepth,
 		Timeout:  c.Config.Timeout,
+		Ctx:      ctx,
 	}
 }
 
 // execute runs the interpreter behind the same fault-containment
 // boundary as compilation: panics and internal interpreter errors
 // surface as *src.ICE, while Virgil traps (*interp.VirgilError) and
-// resource-guard stops (*interp.ResourceError) pass through.
-func execute(it *interp.Interp) error {
+// resource-guard stops (*interp.ResourceError) pass through. The
+// "interp" fault-injection point fires before the first instruction.
+func execute(ctx context.Context, it *interp.Interp) error {
 	err := guard("interp", func() error {
+		if err := stageStart(ctx, "interp"); err != nil {
+			return err
+		}
 		_, err := it.Run()
 		return err
 	})
 	switch err.(type) {
 	case nil, *interp.VirgilError, *interp.ResourceError, *src.ICE:
+		return err
+	}
+	if isStructured(err) {
 		return err
 	}
 	// Any other error from the interpreter is an internal inconsistency
@@ -392,28 +484,40 @@ func execute(it *interp.Interp) error {
 // Run executes the compiled module, capturing System output and
 // honoring the config's resource guards.
 func (c *Compilation) Run() RunResult {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run bounded by ctx: the interpreter's step loop polls
+// the ctx and stops with an *interp.ResourceError of Kind "cancelled"
+// once it ends.
+func (c *Compilation) RunContext(ctx context.Context) RunResult {
 	var out strings.Builder
-	it := interp.New(c.Module, c.options(&out))
-	err := execute(it)
+	it := interp.New(c.Module, c.options(ctx, &out))
+	err := execute(ctx, it)
 	return RunResult{Output: out.String(), Stats: it.Stats(), Err: err}
 }
 
 // RunTo executes the compiled module writing System output to w. A
 // nonzero maxSteps overrides the config's step budget.
 func (c *Compilation) RunTo(w io.Writer, maxSteps int64) (interp.Stats, error) {
-	o := c.options(w)
+	return c.RunToContext(context.Background(), w, maxSteps)
+}
+
+// RunToContext is RunTo bounded by ctx.
+func (c *Compilation) RunToContext(ctx context.Context, w io.Writer, maxSteps int64) (interp.Stats, error) {
+	o := c.options(ctx, w)
 	if maxSteps != 0 {
 		o.MaxSteps = maxSteps
 	}
 	it := interp.New(c.Module, o)
-	err := execute(it)
+	err := execute(ctx, it)
 	return it.Stats(), err
 }
 
 // Interp returns a fresh interpreter over the compiled module, for
 // callers that need to invoke individual functions (benchmarks).
 func (c *Compilation) Interp(w io.Writer) *interp.Interp {
-	return interp.New(c.Module, c.options(w))
+	return interp.New(c.Module, c.options(context.Background(), w))
 }
 
 // Configs returns the four ablation configurations in pipeline order.

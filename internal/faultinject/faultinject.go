@@ -1,0 +1,185 @@
+// Package faultinject is a deterministic fault-injection registry for
+// robustness testing. Production code calls Point(ctx, name) at the
+// pipeline's stage boundaries (and inside the par worker pool); with no
+// faults armed the call is a single atomic load. Tests — and operators
+// reproducing a field failure — arm faults with the VIRGIL_FAULT
+// environment variable or Set:
+//
+//	VIRGIL_FAULT=mono:panic:3        panic at the 4th mono boundary hit
+//	VIRGIL_FAULT=norm:delay:1        sleep 50ms at the 2nd norm hit
+//	VIRGIL_FAULT=par:err:0           error at the 1st pool item claim
+//	VIRGIL_FAULT=lower:delay:0:200   sleep 200ms at the 1st lower hit
+//
+// The spec grammar is a comma-separated list of point:kind:nth[:ms]
+// where kind is panic, err, or delay and nth is the 0-based occurrence
+// of that point at which the fault fires (exactly once per arming).
+// Occurrences are counted with an atomic per-fault counter, so WHICH
+// call fires is deterministic even when points are hit concurrently;
+// delays are context-aware so an injected stall never outlives the
+// caller's cancellation.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Fault kinds.
+const (
+	KindPanic = "panic"
+	KindErr   = "err"
+	KindDelay = "delay"
+)
+
+// DefaultDelay is the stall injected by a delay fault with no explicit
+// duration field.
+const DefaultDelay = 50 * time.Millisecond
+
+// ErrInjected is the sentinel wrapped by every err-kind fault, so tests
+// can errors.Is their way past message formatting.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Fault is one armed fault: at the Nth hit of Point(Name) it panics,
+// returns an error, or delays, exactly once.
+type Fault struct {
+	Point string
+	Kind  string
+	Nth   int64
+	Delay time.Duration
+
+	hits atomic.Int64
+}
+
+// Registry holds a set of armed faults.
+type Registry struct {
+	faults []*Fault
+}
+
+// Points returns the distinct point names with at least one armed
+// fault, in arming order (used by docs/stats, not on hot paths).
+func (r *Registry) Points() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, f := range r.faults {
+		if !seen[f.Point] {
+			seen[f.Point] = true
+			names = append(names, f.Point)
+		}
+	}
+	return names
+}
+
+// Parse builds a registry from a VIRGIL_FAULT spec. An empty spec
+// yields a nil registry (injection disabled).
+func Parse(spec string) (*Registry, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	r := &Registry{}
+	for _, one := range strings.Split(spec, ",") {
+		f, err := parseOne(strings.TrimSpace(one))
+		if err != nil {
+			return nil, err
+		}
+		r.faults = append(r.faults, f)
+	}
+	return r, nil
+}
+
+func parseOne(s string) (*Fault, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 && len(parts) != 4 {
+		return nil, fmt.Errorf("faultinject: bad spec %q (want point:kind:nth[:ms])", s)
+	}
+	f := &Fault{Point: parts[0], Kind: parts[1], Delay: DefaultDelay}
+	if f.Point == "" {
+		return nil, fmt.Errorf("faultinject: bad spec %q: empty point name", s)
+	}
+	switch f.Kind {
+	case KindPanic, KindErr, KindDelay:
+	default:
+		return nil, fmt.Errorf("faultinject: bad spec %q: unknown kind %q (want panic, err, or delay)", s, f.Kind)
+	}
+	nth, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil || nth < 0 {
+		return nil, fmt.Errorf("faultinject: bad spec %q: nth must be a non-negative integer", s)
+	}
+	f.Nth = nth
+	if len(parts) == 4 {
+		ms, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("faultinject: bad spec %q: ms must be a non-negative integer", s)
+		}
+		f.Delay = time.Duration(ms) * time.Millisecond
+	}
+	return f, nil
+}
+
+// current is the active registry; nil means injection is disabled and
+// Point is one atomic load.
+var current atomic.Pointer[Registry]
+
+func init() {
+	if spec := os.Getenv("VIRGIL_FAULT"); spec != "" {
+		r, err := Parse(spec)
+		if err != nil {
+			// A typo'd spec must not silently disable the experiment the
+			// operator thinks is running.
+			panic(err)
+		}
+		current.Store(r)
+	}
+}
+
+// Set installs r (nil disables injection) and returns a restore
+// function for the previous registry. Tests use it to arm faults
+// without mutating the process environment.
+func Set(r *Registry) (restore func()) {
+	prev := current.Swap(r)
+	return func() { current.Store(prev) }
+}
+
+// Enabled reports whether any faults are armed.
+func Enabled() bool { return current.Load() != nil }
+
+// Point is the injection hook. When a fault armed for name reaches its
+// Nth hit it fires: panic faults panic (to be converted by the caller's
+// recovery boundary into a structured ICE), err faults return a wrapped
+// ErrInjected, and delay faults stall for the configured duration or
+// until ctx is cancelled, returning ctx.Err() in the latter case.
+func Point(ctx context.Context, name string) error {
+	r := current.Load()
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.faults {
+		if f.Point != name {
+			continue
+		}
+		if f.hits.Add(1)-1 != f.Nth {
+			continue
+		}
+		switch f.Kind {
+		case KindPanic:
+			panic(fmt.Sprintf("faultinject: injected panic at %s (occurrence %d)", name, f.Nth))
+		case KindErr:
+			return fmt.Errorf("%w at %s (occurrence %d)", ErrInjected, name, f.Nth)
+		case KindDelay:
+			t := time.NewTimer(f.Delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	return nil
+}

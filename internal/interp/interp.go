@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -63,11 +64,12 @@ func (e *VirgilError) TraceString() string {
 }
 
 // A ResourceError reports that execution exceeded a configured resource
-// guard (step budget or wall-clock deadline). It is not a Virgil-level
-// exception — the program did not misbehave, the host bounded it — so
-// it is a distinct type that drivers report as such.
+// guard (step budget or wall-clock deadline) or was cancelled by the
+// caller's context. It is not a Virgil-level exception — the program
+// did not misbehave, the host bounded it — so it is a distinct type
+// that drivers report as such.
 type ResourceError struct {
-	Kind string // "steps" or "deadline"
+	Kind string // "steps", "deadline", or "cancelled"
 	Func string // function executing when the guard fired
 	Msg  string
 }
@@ -104,10 +106,11 @@ const DefaultMaxDepth = 10_000
 
 // Options configure an interpreter.
 type Options struct {
-	Out      io.Writer     // System output; nil discards
-	MaxSteps int64         // step budget; 0 means the default (1e9)
-	MaxDepth int           // call-depth limit; 0 means DefaultMaxDepth
-	Timeout  time.Duration // wall-clock budget; 0 means none
+	Out      io.Writer       // System output; nil discards
+	MaxSteps int64           // step budget; 0 means the default (1e9)
+	MaxDepth int             // call-depth limit; 0 means DefaultMaxDepth
+	Timeout  time.Duration   // wall-clock budget; 0 means none
+	Ctx      context.Context // cancellation; nil means never cancelled
 }
 
 // Interp executes one module.
@@ -125,7 +128,8 @@ type Interp struct {
 	maxSteps int64
 	maxDepth int
 	deadline time.Time
-	frames   []Frame // active Virgil call stack, outermost first
+	done     <-chan struct{} // caller-context cancellation; nil means never
+	frames   []Frame         // active Virgil call stack, outermost first
 
 	// regPool recycles register frames across calls: without it a hot
 	// interpreter spends most of its allocations on the per-call
@@ -156,6 +160,9 @@ func New(mod *ir.Module, opts Options) *Interp {
 	}
 	if opts.Timeout > 0 {
 		i.deadline = time.Now().Add(opts.Timeout)
+	}
+	if opts.Ctx != nil {
+		i.done = opts.Ctx.Done()
 	}
 	for _, c := range mod.Classes {
 		if mod.Monomorphic {
@@ -382,8 +389,17 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 		if i.stats.Steps > i.maxSteps {
 			return nil, &ResourceError{Kind: "steps", Func: f.Name, Msg: fmt.Sprintf("step limit exceeded (budget %d)", i.maxSteps)}
 		}
-		if i.stats.Steps&0xFFF == 0 && !i.deadline.IsZero() && time.Now().After(i.deadline) {
-			return nil, &ResourceError{Kind: "deadline", Func: f.Name, Msg: "wall-clock deadline exceeded"}
+		if i.stats.Steps&0xFFF == 0 {
+			if !i.deadline.IsZero() && time.Now().After(i.deadline) {
+				return nil, &ResourceError{Kind: "deadline", Func: f.Name, Msg: "wall-clock deadline exceeded"}
+			}
+			if i.done != nil {
+				select {
+				case <-i.done:
+					return nil, &ResourceError{Kind: "cancelled", Func: f.Name, Msg: "execution cancelled"}
+				default:
+				}
+			}
 		}
 		switch in.Op {
 		case ir.OpNop:

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func compileRef(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	mod, err := lower.Lower(prog, 1)
+	mod, err := lower.Lower(context.Background(), prog, 1)
 	if err != nil {
 		t.Fatalf("lower error: %v", err)
 	}

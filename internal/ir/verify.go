@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/par"
@@ -26,7 +27,7 @@ import (
 // parameters); the verifier is deliberately tolerant there — any rule
 // involving an open type is deferred to the post-mono verification,
 // where every type must be closed and checks are exact.
-func (m *Module) Verify() error { return m.VerifyConcurrent(1) }
+func (m *Module) Verify() error { return m.VerifyConcurrent(context.Background(), 1) }
 
 // VerifyConcurrent is Verify with the per-function checks fanned out on
 // up to jobs workers (jobs <= 1 verifies sequentially). The verifier's
@@ -34,7 +35,7 @@ func (m *Module) Verify() error { return m.VerifyConcurrent(1) }
 // reads them, so the reported error is the same — the one for the
 // lowest-index function — for every jobs value. The module-membership
 // and vtable-shape checks are whole-program and stay sequential.
-func (m *Module) VerifyConcurrent(jobs int) error {
+func (m *Module) VerifyConcurrent(ctx context.Context, jobs int) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
@@ -45,7 +46,7 @@ func (m *Module) VerifyConcurrent(jobs int) error {
 	if m.Init != nil && !v.funcs[m.Init] {
 		return fmt.Errorf("init function %s is not in the module", m.Init.Name)
 	}
-	if err := par.Run("verify", jobs, len(m.Funcs), func(i int) error {
+	if err := par.Run(ctx, "verify", jobs, len(m.Funcs), func(i int) error {
 		f := m.Funcs[i]
 		if err := v.verifyFunc(f); err != nil {
 			return fmt.Errorf("func %s: %w", f.Name, err)

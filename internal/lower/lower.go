@@ -8,6 +8,7 @@
 package lower
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -47,8 +48,9 @@ type Lowerer struct {
 // is byte-for-byte identical for every jobs value. A panic while
 // lowering one body surfaces as a *src.ICE error when jobs > 1 and
 // propagates as a panic when sequential — both are absorbed by the
-// caller's stage boundary in core.
-func Lower(prog *typecheck.Program, jobs int) (*ir.Module, error) {
+// caller's stage boundary in core. A done ctx stops the fan-out and
+// returns ctx.Err().
+func Lower(ctx context.Context, prog *typecheck.Program, jobs int) (*ir.Module, error) {
 	lw := &Lowerer{
 		prog:     prog,
 		tc:       prog.Types,
@@ -61,7 +63,7 @@ func Lower(prog *typecheck.Program, jobs int) (*ir.Module, error) {
 		wrappers: map[string]*ir.Func{},
 	}
 	lw.declareAll()
-	if err := lw.lowerAll(jobs); err != nil {
+	if err := lw.lowerAll(ctx, jobs); err != nil {
 		return nil, err
 	}
 	return lw.mod, nil
@@ -193,7 +195,7 @@ func (lw *Lowerer) declareAll() {
 // mutation, is serialized behind wmu. $init and the name-sorted wrapper
 // functions are appended after the fan-out, a deterministic order no
 // matter which worker first demanded each wrapper.
-func (lw *Lowerer) lowerAll(jobs int) error {
+func (lw *Lowerer) lowerAll(ctx context.Context, jobs int) error {
 	var tasks []func()
 	for _, cls := range lw.prog.Classes {
 		cls := cls
@@ -208,7 +210,7 @@ func (lw *Lowerer) lowerAll(jobs int) error {
 		fn := fn
 		tasks = append(tasks, func() { lw.lowerMethodBody(nil, fn) })
 	}
-	if err := par.Run("lower", jobs, len(tasks), func(i int) error {
+	if err := par.Run(ctx, "lower", jobs, len(tasks), func(i int) error {
 		tasks[i]()
 		return nil
 	}); err != nil {

@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func lowerSrc(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	mod, err := Lower(prog, 1)
+	mod, err := Lower(context.Background(), prog, 1)
 	if err != nil {
 		t.Fatalf("lower error: %v", err)
 	}

@@ -12,6 +12,7 @@
 package mono
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -119,7 +120,7 @@ type bodyPlan struct {
 }
 
 // Monomorphize specializes mod into a new, fully monomorphic module.
-func Monomorphize(mod *ir.Module, cfg Config) (*ir.Module, *Stats, error) {
+func Monomorphize(ctx context.Context, mod *ir.Module, cfg Config) (*ir.Module, *Stats, error) {
 	if mod.Monomorphic {
 		return mod, &Stats{}, nil
 	}
@@ -153,7 +154,13 @@ func Monomorphize(mod *ir.Module, cfg Config) (*ir.Module, *Stats, error) {
 	// Drain the worklist: vtable fills may create new instances and new
 	// vtable entries. This fixpoint is the whole-program barrier — it
 	// fixes the identity and order of every output function and class.
-	for len(m.work) > 0 && m.err == nil {
+	// It is also the stage's longest sequential stretch, so it polls ctx
+	// every few items to stay cancellable on explosive instantiations.
+	for drained := 0; len(m.work) > 0 && m.err == nil; drained++ {
+		if drained&0x3F == 0 && ctx.Err() != nil {
+			m.err = ctx.Err()
+			break
+		}
 		w := m.work[0]
 		m.work = m.work[1:]
 		if err := w(); err != nil {
@@ -165,7 +172,7 @@ func Monomorphize(mod *ir.Module, cfg Config) (*ir.Module, *Stats, error) {
 	}
 	// Copy the planned bodies; every cross-function fact was resolved
 	// during the fixpoint, so the copies are independent.
-	if err := par.Run("mono", cfg.Jobs, len(m.plans), func(i int) error {
+	if err := par.Run(ctx, "mono", cfg.Jobs, len(m.plans), func(i int) error {
 		return m.copyBody(m.plans[i])
 	}); err != nil {
 		return nil, nil, err

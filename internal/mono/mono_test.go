@@ -1,6 +1,7 @@
 package mono
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func compile(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	mod, err := lower.Lower(prog, 1)
+	mod, err := lower.Lower(context.Background(), prog, 1)
 	if err != nil {
 		t.Fatalf("lower error: %v", err)
 	}
@@ -54,7 +55,7 @@ func TestCorpusEquivalence(t *testing.T) {
 			if got != p.Want {
 				t.Fatalf("reference mode: got %q, want %q", got, p.Want)
 			}
-			monoMod, stats, err := Monomorphize(ref, Config{})
+			monoMod, stats, err := Monomorphize(context.Background(), ref, Config{})
 			if err != nil {
 				t.Fatalf("mono error: %v", err)
 			}
@@ -75,7 +76,7 @@ func TestNoTypeParamsRemain(t *testing.T) {
 	for _, name := range []string{"generic_list_d", "matcher_km", "hashmap_i", "print1_j"} {
 		p := testprogs.Get(name)
 		mod := compile(t, p.Source)
-		monoMod, _, err := Monomorphize(mod, Config{})
+		monoMod, _, err := Monomorphize(context.Background(), mod, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func TestNoTypeParamsRemain(t *testing.T) {
 func TestExpansionStats(t *testing.T) {
 	p := testprogs.Get("generic_list_d")
 	mod := compile(t, p.Source)
-	_, stats, err := Monomorphize(mod, Config{})
+	_, stats, err := Monomorphize(context.Background(), mod, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestReachabilityPruning(t *testing.T) {
 def unused<T>(x: T) -> T { return x; }
 def main() { System.puti(1); }
 `)
-	monoMod, _, err := Monomorphize(mod, Config{})
+	monoMod, _, err := Monomorphize(context.Background(), mod, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ def poly<T>(x: T, n: int) -> int {
 }
 def main() { System.puti(poly(1, 100000)); }
 `)
-	_, _, err := Monomorphize(mod, Config{MaxInstances: 64})
+	_, _, err := Monomorphize(context.Background(), mod, Config{MaxInstances: 64})
 	if err == nil {
 		t.Fatal("expected polymorphic recursion error")
 	}
@@ -190,7 +191,7 @@ func TestRuntimeTypeArgsGone(t *testing.T) {
 		t.Fatal("reference mode should bind runtime type environments")
 	}
 
-	monoMod, _, err := Monomorphize(mod, Config{})
+	monoMod, _, err := Monomorphize(context.Background(), mod, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

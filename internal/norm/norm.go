@@ -17,6 +17,7 @@
 package norm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -59,7 +60,7 @@ type normalizer struct {
 // (jobs <= 1 is sequential); the declaration phases and vtable layout
 // are whole-program barriers and always run sequentially. The output
 // is identical for every jobs value.
-func Normalize(mod *ir.Module, jobs int) (*ir.Module, *Stats, error) {
+func Normalize(ctx context.Context, mod *ir.Module, jobs int) (*ir.Module, *Stats, error) {
 	if !mod.Monomorphic {
 		return nil, nil, fmt.Errorf("norm: module must be monomorphized first (§4.2)")
 	}
@@ -88,7 +89,7 @@ func Normalize(mod *ir.Module, jobs int) (*ir.Module, *Stats, error) {
 	// Bodies read only the frozen declaration maps and write their own
 	// destination function; per-body statistics merge in function order.
 	tuples := make([]int, len(mod.Funcs))
-	if err := par.Run("norm", jobs, len(mod.Funcs), func(i int) error {
+	if err := par.Run(ctx, "norm", jobs, len(mod.Funcs), func(i int) error {
 		c, err := n.normalizeBody(mod.Funcs[i])
 		tuples[i] = c
 		return err

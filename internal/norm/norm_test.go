@@ -1,6 +1,7 @@
 package norm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,11 +27,11 @@ func compileMono(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	mod, err := lower.Lower(prog, 1)
+	mod, err := lower.Lower(context.Background(), prog, 1)
 	if err != nil {
 		t.Fatalf("lower error: %v", err)
 	}
-	monoMod, _, err := mono.Monomorphize(mod, mono.Config{})
+	monoMod, _, err := mono.Monomorphize(context.Background(), mod, mono.Config{})
 	if err != nil {
 		t.Fatalf("mono error: %v", err)
 	}
@@ -54,7 +55,7 @@ func TestCorpusEquivalence(t *testing.T) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			monoMod := compileMono(t, p.Source)
-			normMod, _, err := Normalize(monoMod, 1)
+			normMod, _, err := Normalize(context.Background(), monoMod, 1)
 			if err != nil {
 				t.Fatalf("norm error: %v", err)
 			}
@@ -71,7 +72,7 @@ func TestCorpusEquivalence(t *testing.T) {
 func TestNoTuplesRemain(t *testing.T) {
 	for _, p := range testprogs.All() {
 		monoMod := compileMono(t, p.Source)
-		normMod, _, err := Normalize(monoMod, 1)
+		normMod, _, err := Normalize(context.Background(), monoMod, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func TestNoTuplesRemain(t *testing.T) {
 func TestNoBoxedTuplesAtRuntime(t *testing.T) {
 	for _, p := range testprogs.All() {
 		monoMod := compileMono(t, p.Source)
-		normMod, _, err := Normalize(monoMod, 1)
+		normMod, _, err := Normalize(context.Background(), monoMod, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +126,7 @@ def main() {
 	System.puti(p.pos.0 + p.pos.1);
 }
 `)
-	normMod, stats, err := Normalize(monoMod, 1)
+	normMod, stats, err := Normalize(context.Background(), monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ def main() {
 	var x = c.v;
 }
 `)
-	normMod, _, err := Normalize(monoMod, 1)
+	normMod, _, err := Normalize(context.Background(), monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ def main() {
 	v[5];
 }
 `)
-	normMod, _, err := Normalize(monoMod, 1)
+	normMod, _, err := Normalize(context.Background(), monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,11 +204,11 @@ func TestRequiresMonomorphic(t *testing.T) {
 	if !errs.Empty() {
 		t.Fatal(errs.Error())
 	}
-	mod, err := lower.Lower(prog, 1)
+	mod, err := lower.Lower(context.Background(), prog, 1)
 	if err != nil {
 		t.Fatalf("lower error: %v", err)
 	}
-	if _, _, err := Normalize(mod, 1); err == nil {
+	if _, _, err := Normalize(context.Background(), mod, 1); err == nil {
 		t.Fatal("expected an error normalizing a polymorphic module")
 	}
 }

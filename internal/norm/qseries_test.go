@@ -1,6 +1,7 @@
 package norm
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ir"
@@ -27,7 +28,7 @@ def main() {
 	System.puti(s.0);
 }
 `)
-	normMod, _, err := Normalize(monoMod, 1)
+	normMod, _, err := Normalize(context.Background(), monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ def main() {
 			t.Errorf("pre-norm pair returns one (tuple) value, got %d", len(fn.Results))
 		}
 	}
-	normMod, _, err := Normalize(monoMod, 1)
+	normMod, _, err := Normalize(context.Background(), monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ def main() {
 	System.puti(a.m());
 }
 `)
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if st.Devirtualized == 0 {
 		t.Error("expected the unique-target call to devirtualize")
 	}
@@ -57,7 +58,7 @@ def main() {
 	System.puti(pick(false).m());
 }
 `)
-	Optimize(mod, Config{})
+	Optimize(context.Background(), mod, Config{})
 	if got := run(t, mod); got != "12" {
 		t.Fatalf("got %q", got)
 	}
@@ -73,7 +74,7 @@ def main() {
 	System.puti(a.m());
 }
 `)
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if st.Devirtualized == 0 {
 		t.Fatal("expected devirtualization")
 	}
@@ -96,7 +97,7 @@ def main() {
 	System.puti(b.m());
 }
 `)
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if st.Devirtualized == 0 {
 		t.Error("inherited unique method should devirtualize")
 	}
@@ -111,7 +112,7 @@ func TestCorpusPreservedWithDevirt(t *testing.T) {
 	for _, name := range []string{"variants_n", "override_ambiguity_p", "matcher_km", "components"} {
 		p := testprogs.Get(name)
 		mod := compileNorm(t, p.Source)
-		Optimize(mod, Config{})
+		Optimize(context.Background(), mod, Config{})
 		if err := mod.Validate(); err != nil {
 			t.Fatalf("%s: invalid IR: %v", name, err)
 		}

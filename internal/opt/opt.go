@@ -12,6 +12,7 @@
 package opt
 
 import (
+	"context"
 	"repro/internal/ir"
 	"repro/internal/par"
 	"repro/internal/types"
@@ -50,7 +51,7 @@ type Config struct {
 // per-worker statistics merged in function order — and then inlines
 // sequentially, since inlining reads callee bodies across the module.
 // The loop between fold and inline is a barrier in both modes.
-func Optimize(mod *ir.Module, cfg Config) *Stats {
+func Optimize(ctx context.Context, mod *ir.Module, cfg Config) (*Stats, error) {
 	if cfg.InlineLimit == 0 {
 		cfg.InlineLimit = 16
 	}
@@ -64,15 +65,14 @@ func Optimize(mod *ir.Module, cfg Config) *Stats {
 	foldStats := make([]Stats, len(mod.Funcs))
 	for r := 0; r < cfg.Rounds; r++ {
 		changed := false
-		// par.Run never returns an error here: foldFunc is error-free and
-		// a panic in it propagates through the caller's stage boundary in
-		// sequential mode or comes back as the lowest-index ICE.
-		if err := par.Run("opt", cfg.Jobs, len(mod.Funcs), func(i int) error {
+		if err := par.Run(ctx, "opt", cfg.Jobs, len(mod.Funcs), func(i int) error {
 			w := &optimizer{mod: mod, tc: o.tc, cfg: cfg, st: &foldStats[i]}
 			folded[i] = w.foldFunc(mod.Funcs[i])
 			return nil
 		}); err != nil {
-			panic(err)
+			// foldFunc is error-free, so any error here is a recovered
+			// worker panic (an ICE) or the ctx ending mid-fan-out.
+			return st, err
 		}
 		for i := range mod.Funcs {
 			changed = changed || folded[i]
@@ -90,7 +90,7 @@ func Optimize(mod *ir.Module, cfg Config) *Stats {
 		}
 	}
 	st.InstrsAfter = mod.NumInstrs()
-	return st
+	return st, nil
 }
 
 type optimizer struct {

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,15 +30,15 @@ func compileNorm(t *testing.T, source string) *ir.Module {
 	if !errs.Empty() {
 		t.Fatalf("check errors:\n%s", errs.Error())
 	}
-	mod, err := lower.Lower(prog, 1)
+	mod, err := lower.Lower(context.Background(), prog, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	monoMod, _, err := mono.Monomorphize(mod, mono.Config{})
+	monoMod, _, err := mono.Monomorphize(context.Background(), mod, mono.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	normMod, _, err := norm.Normalize(monoMod, 1)
+	normMod, _, err := norm.Normalize(context.Background(), monoMod, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestCorpusPreserved(t *testing.T) {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			mod := compileNorm(t, p.Source)
-			st := Optimize(mod, Config{})
+			st, _ := Optimize(context.Background(), mod, Config{})
 			if err := mod.Validate(); err != nil {
 				t.Fatalf("invalid IR after optimization: %v", err)
 			}
@@ -86,7 +87,7 @@ def f() -> int {
 }
 def main() { System.puti(f()); }
 `)
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if got := run(t, mod); got != "55" {
 		t.Fatalf("got %q", got)
 	}
@@ -127,7 +128,7 @@ def main() {
 	System.putb(B.?(a));
 }
 `)
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if st.QueriesFolded == 0 {
 		t.Error("expected primitive queries to fold")
 	}
@@ -163,7 +164,7 @@ def main() {
 	System.puti(a.id());
 }
 `)
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if st.CastsElided == 0 {
 		t.Error("upcast should be elided")
 	}
@@ -178,7 +179,7 @@ func TestInlining(t *testing.T) {
 def add3(x: int) -> int { return x + 3; }
 def main() { System.puti(add3(add3(1))); }
 `)
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if st.Inlined == 0 {
 		t.Error("expected inlining")
 	}
@@ -212,7 +213,7 @@ def main() {
 	System.puti(a);
 }
 `)
-	Optimize(mod, Config{})
+	Optimize(context.Background(), mod, Config{})
 	if got := run(t, mod); got != "65" {
 		t.Fatalf("got %q (caller register clobbered?)", got)
 	}
@@ -227,7 +228,7 @@ def main() {
 	else System.puts("no");
 }
 `)
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if st.BranchesFolded == 0 {
 		t.Error("expected the constant branch to fold")
 	}
@@ -249,9 +250,9 @@ def main() {
 func TestOptimizeIdempotent(t *testing.T) {
 	p := testprogs.Get("print1_j")
 	mod := compileNorm(t, p.Source)
-	Optimize(mod, Config{})
+	Optimize(context.Background(), mod, Config{})
 	before := mod.NumInstrs()
-	st := Optimize(mod, Config{})
+	st, _ := Optimize(context.Background(), mod, Config{})
 	if mod.NumInstrs() != before {
 		t.Errorf("second optimize changed size: %d -> %d", before, mod.NumInstrs())
 	}

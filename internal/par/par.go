@@ -10,22 +10,32 @@
 // as a *src.ICE) with the LOWEST index, so diagnostics are independent
 // of goroutine scheduling. Whole-program phases stay outside Run as
 // sequential barriers.
+//
+// Run is cancellation-safe: once ctx is done, or once any worker has
+// recorded a failure, workers stop claiming new items (an item below
+// the lowest recorded failure still runs, preserving the lowest-index
+// contract), so one failure or an abandoned request no longer pays for
+// the whole fan-out. Cancellation wins only when no item failed first:
+// a recorded item error is reported in preference to ctx.Err().
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/src"
 )
 
-// Run invokes fn(i) for every i in [0, n).
+// Run invokes fn(i) for every i in [0, n), or until ctx is cancelled.
 //
 // With jobs <= 1 the calls run inline in index order and Run returns
-// at the first error — exactly the pre-parallel sequential pipeline,
-// with panics propagating to the caller's recovery boundary.
+// at the first error or cancellation — exactly the pre-parallel
+// sequential pipeline, with panics propagating to the caller's
+// recovery boundary.
 //
 // With jobs > 1, min(jobs, n) workers claim indices from a shared
 // atomic counter. A panic inside fn is recovered in the worker and
@@ -33,14 +43,32 @@ import (
 // Run returns the recorded error with the lowest index. Workers only
 // skip indices ABOVE the lowest failure recorded so far — an index
 // below it always runs, so the lowest failing index is always reached
-// and the winning error is independent of goroutine scheduling.
-func Run(stage string, jobs, n int, fn func(i int) error) error {
+// and the winning error is independent of goroutine scheduling. A done
+// ctx stops all claiming outright; if nothing failed first, Run
+// returns ctx.Err().
+//
+// The pool carries the "par" fault-injection point: with a fault armed
+// (e.g. VIRGIL_FAULT=par:err:0) each claimed item passes through
+// faultinject.Point before fn runs.
+func Run(ctx context.Context, stage string, jobs, n int, fn func(i int) error) error {
 	if n == 0 {
-		return nil
+		return ctx.Err()
+	}
+	item := fn
+	if faultinject.Enabled() {
+		item = func(i int) error {
+			if err := faultinject.Point(ctx, "par"); err != nil {
+				return err
+			}
+			return fn(i)
+		}
 	}
 	if jobs <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := item(i); err != nil {
 				return err
 			}
 		}
@@ -70,12 +98,18 @@ func Run(stage string, jobs, n int, fn func(i int) error) error {
 		}
 		mu.Unlock()
 	}
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	wg.Add(jobs)
 	for w := 0; w < jobs; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				// Indices are claimed in increasing order, so once i
 				// passes the lowest recorded failure every later claim
@@ -84,7 +118,7 @@ func Run(stage string, jobs, n int, fn func(i int) error) error {
 				if i >= n || int64(i) > lowest.Load() {
 					return
 				}
-				if err := protect(stage, i, fn); err != nil {
+				if err := protect(stage, i, item); err != nil {
 					record(i, err)
 					return
 				}
@@ -92,7 +126,10 @@ func Run(stage string, jobs, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return first
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
 }
 
 // protect runs fn(i) converting a panic into a structured ICE, so one

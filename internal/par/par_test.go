@@ -1,18 +1,23 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/src"
 )
 
+var bg = context.Background()
+
 func TestRunSequentialOrder(t *testing.T) {
 	var got []int
-	if err := Run("test", 1, 5, func(i int) error {
+	if err := Run(bg, "test", 1, 5, func(i int) error {
 		got = append(got, i)
 		return nil
 	}); err != nil {
@@ -28,7 +33,7 @@ func TestRunSequentialOrder(t *testing.T) {
 func TestRunSequentialStopsAtFirstError(t *testing.T) {
 	var ran []int
 	boom := errors.New("boom")
-	err := Run("test", 1, 5, func(i int) error {
+	err := Run(bg, "test", 1, 5, func(i int) error {
 		ran = append(ran, i)
 		if i == 2 {
 			return boom
@@ -46,7 +51,7 @@ func TestRunSequentialStopsAtFirstError(t *testing.T) {
 func TestRunParallelCoversAllItems(t *testing.T) {
 	const n = 100
 	var done [n]atomic.Bool
-	if err := Run("test", 8, n, func(i int) error {
+	if err := Run(bg, "test", 8, n, func(i int) error {
 		if done[i].Swap(true) {
 			t.Errorf("item %d claimed twice", i)
 		}
@@ -65,7 +70,7 @@ func TestRunParallelReportsLowestIndexError(t *testing.T) {
 	// Repeat to exercise different schedules: every failing index may
 	// race to record, but the winner must always be the lowest that ran.
 	for trial := 0; trial < 20; trial++ {
-		err := Run("test", 4, 50, func(i int) error {
+		err := Run(bg, "test", 4, 50, func(i int) error {
 			if i%7 == 3 {
 				return fmt.Errorf("fail-%d", i)
 			}
@@ -81,7 +86,7 @@ func TestRunParallelReportsLowestIndexError(t *testing.T) {
 }
 
 func TestRunParallelPanicBecomesICE(t *testing.T) {
-	err := Run("lower", 4, 10, func(i int) error {
+	err := Run(bg, "lower", 4, 10, func(i int) error {
 		if i == 0 {
 			panic("corrupt function")
 		}
@@ -102,18 +107,128 @@ func TestRunSequentialPanicPropagates(t *testing.T) {
 			t.Fatal("jobs=1 must preserve the pre-parallel panic behavior")
 		}
 	}()
-	_ = Run("test", 1, 1, func(i int) error { panic("through") })
+	_ = Run(bg, "test", 1, 1, func(i int) error { panic("through") })
 }
 
 func TestRunEmptyAndSingle(t *testing.T) {
-	if err := Run("test", 8, 0, func(i int) error { return errors.New("never") }); err != nil {
+	if err := Run(bg, "test", 8, 0, func(i int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
 	}
 	calls := 0
-	if err := Run("test", 8, 1, func(i int) error { calls++; return nil }); err != nil {
+	if err := Run(bg, "test", 8, 1, func(i int) error { calls++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 1 {
 		t.Fatalf("single item ran %d times", calls)
+	}
+}
+
+// TestRunBoundedWastedWorkAfterError is the regression test for the
+// fan-out's wasted-work bound: after the first error is recorded,
+// workers must stop claiming items above it, so a failure at index 0
+// costs at most one in-flight item per worker — never the whole queue.
+func TestRunBoundedWastedWorkAfterError(t *testing.T) {
+	const (
+		n    = 1000
+		jobs = 4
+	)
+	var executed atomic.Int64
+	boom := errors.New("boom")
+	err := Run(bg, "test", jobs, n, func(i int) error {
+		executed.Add(1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Each of the jobs workers may have claimed one item before the
+	// failure at index 0 was recorded, and the claim check races the
+	// record by at most one more item per worker.
+	if got := executed.Load(); got > 2*jobs {
+		t.Fatalf("executed %d items after an index-0 failure; want <= %d (bounded wasted work)", got, 2*jobs)
+	}
+}
+
+// TestRunCancelledBeforeStart pins the fast path: a ctx that is done on
+// entry runs nothing in either mode.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, jobs := range []int{1, 8} {
+		ran := atomic.Int64{}
+		err := Run(ctx, "test", jobs, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+		// Parallel workers may each claim one item before observing the
+		// done channel.
+		if ran.Load() > int64(jobs) {
+			t.Fatalf("jobs=%d: %d items ran under a pre-cancelled ctx", jobs, ran.Load())
+		}
+	}
+}
+
+// TestRunStopsClaimingOnCancel cancels mid-run and asserts the pool
+// abandons the remaining queue promptly instead of draining it.
+func TestRunStopsClaimingOnCancel(t *testing.T) {
+	const n = 10000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var executed atomic.Int64
+	err := Run(ctx, "test", 4, n, func(i int) error {
+		if executed.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got > 64 {
+		t.Fatalf("executed %d of %d items after cancellation", got, n)
+	}
+}
+
+// TestRunItemErrorBeatsCancellation: when a worker failed before the
+// ctx ended, the item error is the result — cancellation must not mask
+// a real diagnostic.
+func TestRunItemErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := Run(ctx, "test", 4, 100, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the item error", err)
+	}
+}
+
+// TestRunPoolFaultPoint verifies the "par" injection point fires inside
+// the pool in both sequential and parallel mode.
+func TestRunPoolFaultPoint(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		r, perr := faultinject.Parse("par:err:0")
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		restore := faultinject.Set(r)
+		err := Run(bg, "test", jobs, 10, func(i int) error { return nil })
+		restore()
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("jobs=%d: err = %v, want ErrInjected", jobs, err)
+		}
 	}
 }

@@ -1,0 +1,545 @@
+// Package serve runs the Virgil-core pipeline as a long-lived,
+// multi-tenant HTTP service — the compiler-daemon shape (gopls-style)
+// the ROADMAP's heavy-traffic north star asks for.
+//
+// The service is built on the cancellation-safe pipeline: every request
+// gets a context carrying (1) the client's disconnect, (2) a
+// per-request deadline clamped to Config.MaxTimeout, and (3) the
+// server's shutdown signal; core.CompileFilesContext and the
+// interpreter's step loop observe it at every stage boundary and
+// fan-out item claim, so an abandoned request frees its admission slot
+// in milliseconds instead of paying for the whole compile.
+//
+// Admission control is a bounded semaphore (Config.MaxConcurrent
+// slots) with a small wait queue (Config.QueueDepth); a request that
+// finds the queue full is load-shed immediately with 429 and a
+// Retry-After hint, so overload degrades by rejecting work, not by
+// growing latency without bound.
+//
+// Fault containment mirrors the CLI: panics anywhere in a request are
+// converted to structured ICE JSON (HTTP 500) by a per-request
+// recovery boundary; the process and its shared types.Cache keep
+// serving. The fault-injection points of internal/faultinject fire
+// inside requests exactly as they do in tests, which is how the fault
+// matrix proves those claims.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/interp"
+	"repro/internal/src"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// MaxConcurrent is the number of requests compiled at once
+	// (admission slots). Default: GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth is how many admitted-but-waiting requests may queue
+	// behind the slots before new arrivals are shed with 429.
+	// Default: 2 * MaxConcurrent.
+	QueueDepth int
+	// DefaultTimeout bounds a request that names no timeout_ms.
+	// Default: 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts. Default: 60s.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds one request body. Default: 4 MiB.
+	MaxBodyBytes int64
+	// Jobs is the per-request worker count handed to the pipeline.
+	// Default: 1 — requests are the unit of parallelism in a loaded
+	// service; raise it only for large single-tenant compiles.
+	Jobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 1
+	}
+	return c
+}
+
+// Server is the compile service. Create with New, mount via Handler or
+// run with Serve + Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	sem     chan struct{}
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	http    *http.Server
+	start   time.Time
+
+	draining  atomic.Bool
+	waiting   atomic.Int64
+	inflight  atomic.Int64
+	total     atomic.Int64
+	succeeded atomic.Int64
+	diags     atomic.Int64
+	ices      atomic.Int64
+	cancelled atomic.Int64
+	deadlines atomic.Int64
+	shed      atomic.Int64
+}
+
+// New creates a server with cfg (zero fields defaulted).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx: ctx,
+		cancel:  cancel,
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("/compile", s.guard(s.handleCompile))
+	s.mux.HandleFunc("/run", s.guard(s.handleRun))
+	s.mux.HandleFunc("/healthz", s.guard(s.handleHealthz))
+	s.mux.HandleFunc("/stats", s.guard(s.handleStats))
+	return s
+}
+
+// Handler returns the service's HTTP handler, for mounting under
+// httptest or an external server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, matching net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.http = &http.Server{Handler: s.mux}
+	return s.http.Serve(l)
+}
+
+// Shutdown drains the service: new work is rejected with 503 and
+// /healthz flips unhealthy, in-flight requests run to completion (or
+// their own deadlines) until ctx expires, and any stragglers are then
+// cancelled through the server's base context — the step every handler
+// observes. Safe to call without Serve (in-process handlers).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.http != nil {
+		err = s.http.Shutdown(ctx)
+		if err != nil {
+			// Drain deadline hit: cancel the stragglers and close.
+			s.cancel()
+			closeErr := s.http.Close()
+			if closeErr != nil && err == nil {
+				err = closeErr
+			}
+		}
+	} else {
+		// In-process mode: wait for in-flight work up to ctx.
+		for s.inflight.Load() > 0 {
+			select {
+			case <-ctx.Done():
+				err = ctx.Err()
+			case <-time.After(time.Millisecond):
+				continue
+			}
+			break
+		}
+	}
+	// Always release the base context so nothing can outlive Shutdown.
+	s.cancel()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	UptimeMs      int64 `json:"uptime_ms"`
+	InFlight      int64 `json:"in_flight"`
+	Waiting       int64 `json:"waiting"`
+	Total         int64 `json:"total"`
+	Succeeded     int64 `json:"succeeded"`
+	Diagnostics   int64 `json:"diagnostics"`
+	ICEs          int64 `json:"ices"`
+	Cancelled     int64 `json:"cancelled"`
+	Deadlines     int64 `json:"deadlines"`
+	Shed          int64 `json:"shed"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	QueueDepth    int   `json:"queue_depth"`
+	FaultsArmed   bool  `json:"faults_armed"`
+	Draining      bool  `json:"draining"`
+}
+
+// Snapshot returns the current counters.
+func (s *Server) Snapshot() Stats {
+	return Stats{
+		UptimeMs:      time.Since(s.start).Milliseconds(),
+		InFlight:      s.inflight.Load(),
+		Waiting:       s.waiting.Load(),
+		Total:         s.total.Load(),
+		Succeeded:     s.succeeded.Load(),
+		Diagnostics:   s.diags.Load(),
+		ICEs:          s.ices.Load(),
+		Cancelled:     s.cancelled.Load(),
+		Deadlines:     s.deadlines.Load(),
+		Shed:          s.shed.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		QueueDepth:    s.cfg.QueueDepth,
+		FaultsArmed:   faultinject.Enabled(),
+		Draining:      s.draining.Load(),
+	}
+}
+
+// ---- wire types ----
+
+// FileJSON is one named source file in a request.
+type FileJSON struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// Request is the body of /compile and /run.
+type Request struct {
+	Files []FileJSON `json:"files"`
+	// Config selects the pipeline: ref, mono, norm, or full (default).
+	Config string `json:"config,omitempty"`
+	// MaxErrors caps reported diagnostics (0 = server default).
+	MaxErrors int `json:"max_errors,omitempty"`
+	// TimeoutMs bounds the whole request; clamped to the server's
+	// MaxTimeout (0 = server default).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// MaxSteps bounds interpreter steps on /run (0 = default budget).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+}
+
+// ErrorInfo is the structured, stack-free form of a request failure.
+type ErrorInfo struct {
+	// Kind is one of: ice, cancelled, deadline, resource, error.
+	Kind  string `json:"kind"`
+	Stage string `json:"stage,omitempty"`
+	Msg   string `json:"msg"`
+}
+
+// Diagnostic is one user-program error.
+type Diagnostic struct {
+	Pos string `json:"pos,omitempty"`
+	Msg string `json:"msg"`
+}
+
+// TrapInfo is a Virgil-level runtime exception from /run.
+type TrapInfo struct {
+	Name  string   `json:"name"`
+	Msg   string   `json:"msg,omitempty"`
+	Trace []string `json:"trace,omitempty"`
+}
+
+// Response is the body of /compile and /run replies.
+type Response struct {
+	OK          bool         `json:"ok"`
+	Config      string       `json:"config,omitempty"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+	Error       *ErrorInfo   `json:"error,omitempty"`
+	// Compile facts (set when the pipeline completed).
+	Funcs   int     `json:"funcs,omitempty"`
+	Instrs  int     `json:"instrs,omitempty"`
+	TotalMs float64 `json:"total_ms,omitempty"`
+	// Execution facts (/run only).
+	Output string    `json:"output,omitempty"`
+	Trap   *TrapInfo `json:"trap,omitempty"`
+	Steps  int64     `json:"steps,omitempty"`
+}
+
+// ---- handlers ----
+
+// guard is the per-request panic boundary: anything escaping a handler
+// becomes structured ICE JSON, never a Go stack trace in the body, and
+// never a dead process.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.ices.Add(1)
+				writeJSON(w, http.StatusInternalServerError, Response{
+					Error: &ErrorInfo{Kind: "ice", Msg: fmt.Sprintf("internal error: %v", rec)},
+				})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.handleWork(w, r, false)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.handleWork(w, r, true)
+}
+
+// handleWork is the shared request path: decode, admit, derive the
+// request context, compile (and run), classify the outcome.
+func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, Response{Error: &ErrorInfo{Kind: "error", Msg: "POST required"}})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, Response{Error: &ErrorInfo{Kind: "error", Msg: "server is shutting down"}})
+		return
+	}
+	var req Request
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: "bad request body: " + err.Error()}})
+		return
+	}
+	if len(req.Files) == 0 {
+		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: "no input files"}})
+		return
+	}
+	cfg, err := configByName(req.Config)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: err.Error()}})
+		return
+	}
+	if req.MaxErrors < 0 || req.MaxSteps < 0 || req.TimeoutMs < 0 {
+		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: "max_errors, max_steps, and timeout_ms must be >= 0"}})
+		return
+	}
+	cfg.Jobs = s.cfg.Jobs
+	cfg.MaxErrors = req.MaxErrors
+	cfg.MaxSteps = req.MaxSteps
+
+	s.total.Add(1)
+
+	// Admission: take a slot, or wait in the bounded queue, or shed.
+	release, admitted := s.admit(r.Context())
+	if !admitted {
+		if r.Context().Err() != nil {
+			// The client gave up while queued — that's a cancellation,
+			// not an overload signal.
+			s.cancelled.Add(1)
+			writeJSON(w, http.StatusGatewayTimeout, Response{Error: &ErrorInfo{Kind: "cancelled", Msg: "request cancelled while queued"}})
+			return
+		}
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, Response{Error: &ErrorInfo{Kind: "error", Msg: "server at capacity; retry later"}})
+		return
+	}
+	defer release()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	// Request context: client disconnect + per-request deadline +
+	// server shutdown, all observed by the pipeline's stage boundaries.
+	ctx, cancelReq := context.WithCancel(r.Context())
+	defer cancelReq()
+	stop := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stop()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = min(time.Duration(req.TimeoutMs)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	ctx, cancelDeadline := context.WithTimeout(ctx, timeout)
+	defer cancelDeadline()
+
+	var files []core.File
+	for _, f := range req.Files {
+		files = append(files, core.File{Name: f.Name, Source: f.Source})
+	}
+
+	resp := Response{Config: cfg.Name()}
+	comp, err := core.CompileFilesContext(ctx, files, cfg)
+	if err != nil {
+		status := s.classify(r, ctx, err, &resp)
+		writeJSON(w, status, resp)
+		return
+	}
+	resp.Funcs = len(comp.Module.Funcs)
+	resp.Instrs = comp.Module.NumInstrs()
+	resp.TotalMs = float64(comp.Timings.Total.Microseconds()) / 1000
+
+	if !execute {
+		resp.OK = true
+		s.succeeded.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	if comp.Module.Main == nil {
+		resp.Error = &ErrorInfo{Kind: "error", Msg: "program has no main function"}
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	res := comp.RunContext(ctx)
+	resp.Output = res.Output
+	resp.Steps = res.Stats.Steps
+	if res.Err != nil {
+		var ve *interp.VirgilError
+		if errors.As(res.Err, &ve) {
+			// A trap is a successful execution of a misbehaving program:
+			// the service did its job, the program threw.
+			resp.Trap = &TrapInfo{Name: ve.Name, Msg: ve.Msg, Trace: traceLines(ve)}
+			s.succeeded.Add(1)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		status := s.classify(r, ctx, res.Err, &resp)
+		writeJSON(w, status, resp)
+		return
+	}
+	resp.OK = true
+	s.succeeded.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// admit takes an admission slot, waiting in the bounded queue if the
+// slots are busy. It reports false — load shed — when the queue is
+// full or the client gives up while waiting.
+func (s *Server) admit(ctx context.Context) (release func(), admitted bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+		s.waiting.Add(-1)
+		return nil, false
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	case <-ctx.Done():
+		return nil, false
+	case <-s.baseCtx.Done():
+		return nil, false
+	}
+}
+
+// classify maps a pipeline or interpreter error to its structured wire
+// form and HTTP status, bumping the matching counter. It never exposes
+// a Go stack trace.
+func (s *Server) classify(r *http.Request, ctx context.Context, err error, resp *Response) int {
+	var list *src.ErrorList
+	if errors.As(err, &list) {
+		s.diags.Add(1)
+		for _, e := range list.Errors {
+			d := Diagnostic{Msg: e.Msg}
+			if e.Pos.IsValid() {
+				d.Pos = e.Pos.String()
+			}
+			resp.Diagnostics = append(resp.Diagnostics, d)
+		}
+		return http.StatusOK
+	}
+	var ice *src.ICE
+	if errors.As(err, &ice) {
+		s.ices.Add(1)
+		resp.Error = &ErrorInfo{Kind: "ice", Stage: ice.Stage, Msg: ice.Error()}
+		return http.StatusInternalServerError
+	}
+	var re *interp.ResourceError
+	isCancel := errors.Is(err, context.Canceled)
+	isDeadline := errors.Is(err, context.DeadlineExceeded)
+	if errors.As(err, &re) && re.Kind == "cancelled" {
+		// The step loop saw the ctx end; attribute it like a ctx error.
+		if r.Context().Err() != nil || ctx.Err() == context.Canceled {
+			isCancel = true
+		} else {
+			isDeadline = true
+		}
+	}
+	switch {
+	case isCancel:
+		s.cancelled.Add(1)
+		resp.Error = &ErrorInfo{Kind: "cancelled", Msg: "request cancelled"}
+		// The client is usually gone; the status is for logs and tests.
+		return http.StatusGatewayTimeout
+	case isDeadline:
+		s.deadlines.Add(1)
+		resp.Error = &ErrorInfo{Kind: "deadline", Msg: "request deadline exceeded"}
+		return http.StatusGatewayTimeout
+	}
+	if errors.As(err, &re) {
+		// Step budget / interpreter deadline: the program was bounded.
+		s.diags.Add(1)
+		resp.Error = &ErrorInfo{Kind: "resource", Msg: re.Error()}
+		return http.StatusOK
+	}
+	s.diags.Add(1)
+	resp.Error = &ErrorInfo{Kind: "error", Msg: err.Error()}
+	return http.StatusUnprocessableEntity
+}
+
+func traceLines(ve *interp.VirgilError) []string {
+	var out []string
+	for _, f := range ve.Trace {
+		out = append(out, f.String())
+	}
+	if ve.Elided > 0 {
+		out = append(out, fmt.Sprintf("... %d more frames elided ...", ve.Elided))
+	}
+	return out
+}
+
+func configByName(name string) (core.Config, error) {
+	switch name {
+	case "", "full":
+		return core.Compiled(), nil
+	case "ref", "reference":
+		return core.Reference(), nil
+	case "mono":
+		return core.Config{Monomorphize: true}, nil
+	case "norm":
+		return core.Config{Monomorphize: true, Normalize: true}, nil
+	}
+	return core.Config{}, fmt.Errorf("unknown config %q (want ref, mono, norm, or full)", name)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// The connection is gone; nothing useful to do.
+		_ = err
+	}
+}

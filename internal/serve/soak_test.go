@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestSoak drives the server with concurrent clients issuing a mix of
+// valid, erroneous, and trapping programs while faults are armed and a
+// deterministic subset of clients cancel mid-request. It asserts that
+// every request produces exactly one well-formed response (or a clean
+// client-side cancellation) and that no goroutines leak. Run under
+// -race in CI, this is the data-race and leak soak for the service.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	before := stableGoroutines(t)
+
+	// Arm a sprinkling of faults deep enough into the run that early
+	// requests exercise the clean path too. Delays are short so the soak
+	// stays fast; panics and errors prove containment under load.
+	reg, err := faultinject.Parse(strings.Join([]string{
+		"mono:delay:5:5",
+		"check:err:7",
+		"opt:panic:3",
+		"par:err:11",
+		"interp:delay:9:5",
+	}, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faultinject.Set(reg)
+	defer restore()
+
+	s := New(Config{MaxConcurrent: 4, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	progs := []struct {
+		path string
+		req  Request
+	}{
+		{"/run", Request{Files: files("ok.v", okProg)}},
+		{"/compile", Request{Files: files("ok.v", okProg), Config: "ref"}},
+		{"/compile", Request{Files: files("bad.v", diagProg)}},
+		{"/run", Request{Files: files("trap.v", trapProg)}},
+		{"/run", Request{Files: files("loop.v", loopProg), MaxSteps: 50000}},
+		{"/compile", Request{}}, // no files: 400
+	}
+
+	const (
+		clients          = 8
+		requestsPerCl    = 30
+		cancelEveryNth   = 7 // deterministic: every 7th request per client is cancelled
+		cancelAfterDelay = 2 * time.Millisecond
+	)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*requestsPerCl)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < requestsPerCl; i++ {
+				p := progs[(c+i)%len(progs)]
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if i%cancelEveryNth == cancelEveryNth-1 {
+					ctx, cancel = context.WithTimeout(ctx, cancelAfterDelay)
+				}
+				status, resp, err := postCtx(ctx, ts.URL+p.path, p.req)
+				if cancel != nil {
+					cancel()
+					if err != nil {
+						// Client-side cancellation is the expected outcome
+						// for this request; the server-side slot release is
+						// asserted after the drain below.
+						continue
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %v", c, i, err)
+					continue
+				}
+				// Every non-cancelled request must carry exactly one
+				// well-formed response: either OK with payload, or a
+				// diagnostic/error body matching its status.
+				switch {
+				case resp.OK:
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("client %d req %d: OK body with status %d", c, i, status)
+					}
+				case len(resp.Diagnostics) > 0 || resp.Trap != nil:
+					if status != http.StatusOK {
+						errs <- fmt.Errorf("client %d req %d: diagnostics with status %d", c, i, status)
+					}
+				case resp.Error != nil:
+					if resp.Error.Kind == "" || resp.Error.Msg == "" {
+						errs <- fmt.Errorf("client %d req %d: empty error info %+v", c, i, resp.Error)
+					}
+				default:
+					errs <- fmt.Errorf("client %d req %d: response carries no outcome: %+v (status %d)", c, i, resp, status)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// All slots must be free and the books must balance: every admitted
+	// request is accounted for in exactly one terminal counter.
+	waitFor(t, 2*time.Second, func() bool {
+		st := s.Snapshot()
+		return st.InFlight == 0 && st.Waiting == 0
+	})
+	st := s.Snapshot()
+	if st.Total == 0 {
+		t.Fatal("soak recorded no requests")
+	}
+	accounted := st.Succeeded + st.Diagnostics + st.ICEs + st.Cancelled + st.Deadlines
+	if accounted > st.Total {
+		t.Fatalf("counters exceed total: %+v", st)
+	}
+
+	// The server must still be healthy and serve a clean request.
+	restore() // disarm faults before the final probe
+	status, resp := post(t, ts.URL+"/run", Request{Files: files("ok.v", okProg)})
+	if status != http.StatusOK || !resp.OK || resp.Output != "hello\n" {
+		t.Fatalf("post-soak clean request: status=%d resp=%+v", status, resp)
+	}
+
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+	assertNoGoroutineLeaks(t, before)
+}
