@@ -303,3 +303,35 @@ func TestBenchWorkloadsAgree(t *testing.T) {
 		}
 	}
 }
+
+// ------------------------------------------------------------- Engine
+
+// BenchmarkEngine compares the two execution engines — the register
+// bytecode compiler/evaluator (the default) against the switch
+// interpreter (the reference semantics) — on the paper's hot
+// workloads. The two are observably identical (engine_diff_test.go
+// proves it); this measures what the bytecode translation buys:
+// unboxed scalar registers, fused superinstructions, and monomorphic
+// inline caches at virtual and indirect call sites.
+func BenchmarkEngine(b *testing.B) {
+	workloads := []testprogs.Prog{
+		testprogs.BenchTupleSmall(benchN),
+		testprogs.BenchHashMap(benchN / 2),
+		testprogs.BenchPrint1(benchN),
+		testprogs.BenchMatcher(benchN / 2),
+	}
+	for _, p := range workloads {
+		for _, eng := range []string{core.EngineSwitch, core.EngineBytecode} {
+			cfg := core.Compiled()
+			cfg.Engine = eng
+			b.Run(p.Name+"/"+eng, func(b *testing.B) {
+				comp := mustCompile(b, p, cfg)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runProg(b, comp)
+				}
+			})
+		}
+	}
+}

@@ -14,6 +14,10 @@
 // speed anything up on a single-core machine, so the required
 // jobs=4-vs-jobs=1 ratio scales with runtime.NumCPU. What it always
 // catches is a parallel path that got SLOWER than the sequential one.
+// -check also enforces the bytecode engine's E5 speedup floor over the
+// switch interpreter (the Engine_* series) and compares the execution
+// rows against the newest committed BENCH_*.json snapshot, failing on
+// a >1.5x slowdown when the machine shape matches.
 package main
 
 import (
@@ -25,7 +29,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -44,6 +50,9 @@ type result struct {
 	AllocsPerOp    int64   `json:"allocs_per_op"`
 	BytesPerOp     int64   `json:"bytes_per_op"`
 	SpeedupVsJobs1 float64 `json:"speedup_vs_jobs1,omitempty"`
+	// EngineSpeedup is set on Engine_*/bytecode rows: the matching
+	// switch-interpreter time divided by the bytecode time.
+	EngineSpeedup float64 `json:"engine_speedup,omitempty"`
 }
 
 type report struct {
@@ -125,6 +134,21 @@ func table(short bool) []bench {
 	add("E5_DirectBaseline/compiled", runProg(testprogs.BenchDirect(n), comp))
 	add("E6_Matcher/reference", runProg(testprogs.BenchMatcher(n/2), ref))
 	add("E6_Matcher/compiled", runProg(testprogs.BenchMatcher(n/2), comp))
+
+	// Engine series: switch interpreter vs register bytecode on the hot
+	// workloads, both over fully compiled IR. The switch row runs first
+	// so the bytecode row can carry EngineSpeedup.
+	swCfg, bcCfg := comp, comp
+	swCfg.Engine = core.EngineSwitch
+	bcCfg.Engine = core.EngineBytecode
+	addEngine := func(label string, p testprogs.Prog) {
+		add("Engine_"+label+"/switch", runProg(p, swCfg))
+		add("Engine_"+label+"/bytecode", runProg(p, bcCfg))
+	}
+	addEngine("E1_TupleSmall", testprogs.BenchTupleSmall(n))
+	addEngine("E3_HashMap", testprogs.BenchHashMap(n/2))
+	addEngine("E5_Print1", testprogs.BenchPrint1(n))
+	addEngine("E6_Matcher", testprogs.BenchMatcher(n/2))
 
 	src := progen.Generate(progen.Scale(scale))
 	add("E7_CompileSpeed/largest", compileSrc(src, comp))
@@ -285,6 +309,11 @@ func main() {
 			entry.name != "CompileParallel/jobs=1" && strings.HasPrefix(entry.name, "CompileParallel/") {
 			res.SpeedupVsJobs1 = base / res.NsPerOp
 		}
+		if tail, ok := strings.CutSuffix(entry.name, "/bytecode"); ok && res.NsPerOp > 0 {
+			if sw, ok := nsByName[tail+"/switch"]; ok {
+				res.EngineSpeedup = sw / res.NsPerOp
+			}
+		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
 		fmt.Printf("%-34s %12.0f ns/op %9d allocs/op\n", entry.name, res.NsPerOp, res.AllocsPerOp)
 	}
@@ -292,6 +321,12 @@ func main() {
 	path := *out
 	if path == "" {
 		path = "BENCH_" + rep.Date + ".json"
+	}
+	// Load the committed baseline before the output overwrites it (the
+	// same-day case).
+	var baseline *report
+	if *check {
+		baseline = loadBaseline(path)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -319,7 +354,101 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: FAIL: parallel compile regressed below the %.2fx floor\n", need)
 			os.Exit(1)
 		}
+		if !checkEngine(nsByName) || !checkBaseline(baseline, rep) {
+			os.Exit(1)
+		}
 	}
+}
+
+// engineSpeedupFloor is the E5 bytecode-vs-switch ratio -check
+// enforces. E5 (the print1 query chain) is the workload the engine was
+// built to win: a tight scalar loop of calls, global loads, fused
+// arithmetic and compare-branches.
+const engineSpeedupFloor = 2.0
+
+// checkEngine gates the bytecode engine's E5 speedup over the switch
+// interpreter.
+func checkEngine(ns map[string]float64) bool {
+	sw, bc := ns["Engine_E5_Print1/switch"], ns["Engine_E5_Print1/bytecode"]
+	if sw == 0 || bc == 0 {
+		fmt.Fprintln(os.Stderr, "bench: -check: missing Engine_E5_Print1 results")
+		return false
+	}
+	speedup := sw / bc
+	fmt.Printf("check: Engine_E5_Print1 bytecode speedup vs switch = %.2fx (need >= %.2fx)\n",
+		speedup, engineSpeedupFloor)
+	if speedup < engineSpeedupFloor {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: bytecode engine below the %.2fx floor on E5\n", engineSpeedupFloor)
+		return false
+	}
+	return true
+}
+
+// baselineVariance is how much slower than the committed snapshot a
+// benchmark may run before -check calls it a regression. Benchmarks on
+// shared runners are noisy; 1.5x catches order-of-magnitude slips, not
+// scheduler jitter.
+const baselineVariance = 1.5
+
+// loadBaseline reads the newest committed BENCH_*.json other than the
+// current output path. A missing or unreadable baseline is not an
+// error — the first run on a machine has nothing to compare against.
+func loadBaseline(outPath string) *report {
+	names, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names) // BENCH_<ISO date>.json sorts chronologically
+	for i := len(names) - 1; i >= 0; i-- {
+		if names[i] == outPath {
+			continue
+		}
+		data, err := os.ReadFile(names[i])
+		if err != nil {
+			continue
+		}
+		var rep report
+		if json.Unmarshal(data, &rep) != nil {
+			continue
+		}
+		fmt.Printf("check: baseline %s (%s, %d CPUs)\n", names[i], rep.Date, rep.NumCPU)
+		return &rep
+	}
+	return nil
+}
+
+// checkBaseline compares the execution-speed rows against the committed
+// snapshot, failing on a > baselineVariance slowdown. Rows are only
+// comparable when the machine shape and workload size match.
+func checkBaseline(base *report, cur report) bool {
+	if base == nil {
+		fmt.Println("check: no committed baseline; skipping regression comparison")
+		return true
+	}
+	if base.Short != cur.Short || base.GOARCH != cur.GOARCH || base.NumCPU != cur.NumCPU {
+		fmt.Println("check: baseline machine/workload shape differs; skipping regression comparison")
+		return true
+	}
+	baseNs := map[string]float64{}
+	for _, r := range base.Benchmarks {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	ok := true
+	for _, r := range cur.Benchmarks {
+		old, exists := baseNs[r.Name]
+		if !exists || old == 0 || !strings.HasPrefix(r.Name, "E") && !strings.HasPrefix(r.Name, "Engine_") {
+			continue
+		}
+		if r.NsPerOp > old*baselineVariance {
+			fmt.Fprintf(os.Stderr, "bench: FAIL: %s regressed %.2fx vs baseline (%.0f -> %.0f ns/op, allowed %.1fx)\n",
+				r.Name, r.NsPerOp/old, old, r.NsPerOp, baselineVariance)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("check: no execution benchmark regressed more than %.1fx vs baseline\n", baselineVariance)
+	}
+	return ok
 }
 
 // pickGate selects the jobs=4 point when present, else the largest

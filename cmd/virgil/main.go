@@ -2,12 +2,12 @@
 //
 // Usage:
 //
-//	virgil run [-config ref|mono|norm|full] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+//	virgil run [-config ref|mono|norm|full] [-engine bytecode|switch] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
 //	virgil check [-config ...] [-verify-ir] file.v...
 //	virgil dump [-config ...] [-verify-ir] file.v...
 //	virgil lint file.v...
 //	virgil stats file.v...
-//	virgil serve [-addr host:port] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
+//	virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
 //
 // run executes the program; check compiles under the selected config
 // without executing; dump prints the IR after the selected pipeline
@@ -17,7 +17,11 @@
 // stats prints monomorphization, normalization and optimization
 // statistics; serve runs the compiler as an HTTP JSON service
 // (endpoints /compile, /run, /healthz, /stats) until SIGINT/SIGTERM,
-// then drains in-flight requests and exits. -verify-ir runs the typed
+// then drains in-flight requests and exits. -engine selects the
+// execution engine: bytecode (the default; compiles IR to register
+// bytecode with unboxed scalars and inline caches) or switch (the
+// direct tree-walking interpreter, kept as reference semantics) — the
+// two are observably identical. -verify-ir runs the typed
 // IR verifier after every pipeline stage (also enabled by the
 // VIRGIL_VERIFY_IR environment variable). -max-errors caps reported
 // diagnostics (0 = default cap).
@@ -72,6 +76,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	cfgName := fs.String("config", "full", "pipeline config: ref, mono, norm, or full")
+	engine := fs.String("engine", "", "execution engine: bytecode (default) or switch")
 	verifyIR := fs.Bool("verify-ir", false, "run the typed IR verifier after every pipeline stage")
 	maxSteps := fs.Int64("max-steps", 0, "step budget for execution (0 = default)")
 	maxDepth := fs.Int("max-depth", 0, "call-depth limit for execution (0 = default)")
@@ -91,6 +96,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "virgil:", err)
 		return exitUsage
 	}
+	cfg.Engine = *engine
 	cfg.VerifyIR = *verifyIR
 	cfg.MaxSteps = *maxSteps
 	cfg.MaxDepth = *maxDepth
@@ -225,8 +231,8 @@ func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
-       virgil serve [-addr host:port] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
+	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-engine bytecode|switch] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+       virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
 
 commands:
   run    compile and execute the program

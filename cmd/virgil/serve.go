@@ -28,6 +28,8 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 	maxTimeout := fs.Duration("max-timeout", 0, "ceiling on client-requested deadlines (0 = 60s)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	jobs := fs.Int("jobs", 0, "worker count per compilation (0 = 1; the service parallelizes across requests)")
+	engine := fs.String("engine", "", "execution engine for /run: bytecode (default) or switch")
+	cacheSize := fs.Int("cache-size", 0, "warm-compilation cache entries (0 = 64, negative disables)")
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
 	}
@@ -42,6 +44,8 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		Jobs:           *jobs,
+		Engine:         *engine,
+		CacheSize:      *cacheSize,
 	})
 
 	l, err := net.Listen("tcp", *addr)

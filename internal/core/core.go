@@ -23,9 +23,11 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/engine"
 	"repro/internal/faultinject"
 	"repro/internal/interp"
 	"repro/internal/ir"
@@ -45,6 +47,14 @@ type Config struct {
 	Monomorphize bool
 	Normalize    bool
 	Optimize     bool
+
+	// Engine selects the execution engine: "bytecode" (the default,
+	// also selected by "") compiles the post-pipeline IR to register
+	// bytecode with unboxed scalars and inline caches; "switch" runs
+	// the reference switch interpreter directly on the IR. The two are
+	// observably identical — output, traps, stack traces, step
+	// accounting, and Stats — differing only in speed.
+	Engine string
 
 	// Jobs bounds the worker pool for the per-function pipeline stages
 	// (lowering, specialized-body copying, normalization, optimization
@@ -136,7 +146,27 @@ func (c Config) Validate() error {
 	if c.Timeout < 0 {
 		return fmt.Errorf("core: Timeout must be >= 0, got %v", c.Timeout)
 	}
+	switch c.Engine {
+	case "", EngineBytecode, EngineSwitch:
+	default:
+		return fmt.Errorf("core: Engine must be %q or %q, got %q", EngineBytecode, EngineSwitch, c.Engine)
+	}
 	return nil
+}
+
+// Execution engine names for Config.Engine.
+const (
+	EngineBytecode = "bytecode"
+	EngineSwitch   = "switch"
+)
+
+// EngineKind resolves the configured engine name, defaulting the empty
+// string to the bytecode engine.
+func (c Config) EngineKind() string {
+	if c.Engine == "" {
+		return EngineBytecode
+	}
+	return c.Engine
 }
 
 // jobs resolves the configured worker count: 0 defaults to the
@@ -180,6 +210,22 @@ type Compilation struct {
 	// OptStats is set when optimization ran.
 	OptStats *opt.Stats
 	Timings  Timings
+
+	// engOnce/engProg lazily hold the register-bytecode translation of
+	// Module. The Program is immutable and shared by every Run on this
+	// Compilation (and across concurrent runs), so a warm Compilation
+	// pays translation once.
+	engOnce sync.Once
+	engProg *engine.Program
+}
+
+// engineProgram translates Module to register bytecode once per
+// Compilation. Callers must hold the execution panic guard: a
+// translation panic on corrupt IR surfaces as an interp-stage ICE,
+// like the switch interpreter's own panic on the same IR.
+func (c *Compilation) engineProgram() *engine.Program {
+	c.engOnce.Do(func() { c.engProg = engine.Compile(c.Module) })
+	return c.engProg
 }
 
 // File is one named source file.
@@ -456,29 +502,41 @@ func (c *Compilation) options(ctx context.Context, w io.Writer) interp.Options {
 	}
 }
 
-// execute runs the interpreter behind the same fault-containment
-// boundary as compilation: panics and internal interpreter errors
-// surface as *src.ICE, while Virgil traps (*interp.VirgilError) and
-// resource-guard stops (*interp.ResourceError) pass through. The
-// "interp" fault-injection point fires before the first instruction.
-func execute(ctx context.Context, it *interp.Interp) error {
+// execute runs the configured execution engine behind the same
+// fault-containment boundary as compilation: panics and internal
+// engine errors surface as *src.ICE, while Virgil traps
+// (*interp.VirgilError) and resource-guard stops
+// (*interp.ResourceError) pass through. The "interp" fault-injection
+// point fires before the first instruction — and, for the bytecode
+// engine, before translation, so injected faults and cancellation
+// behave identically under both engines. Stats are captured in a
+// defer so a panicking run still reports the work done so far.
+func (c *Compilation) execute(ctx context.Context, o interp.Options) (stats interp.Stats, _ error) {
 	err := guard("interp", func() error {
 		if err := stageStart(ctx, "interp"); err != nil {
 			return err
 		}
-		_, err := it.Run()
+		if c.Config.EngineKind() == EngineSwitch {
+			it := interp.New(c.Module, o)
+			defer func() { stats = it.Stats() }()
+			_, err := it.Run()
+			return err
+		}
+		e := engine.New(c.engineProgram(), o)
+		defer func() { stats = e.Stats() }()
+		_, err := e.Run()
 		return err
 	})
 	switch err.(type) {
 	case nil, *interp.VirgilError, *interp.ResourceError, *src.ICE:
-		return err
+		return stats, err
 	}
 	if isStructured(err) {
-		return err
+		return stats, err
 	}
-	// Any other error from the interpreter is an internal inconsistency
+	// Any other error from the engine is an internal inconsistency
 	// (bad IR reached execution), not a fault in the user's program.
-	return &src.ICE{Stage: "interp", Msg: err.Error()}
+	return stats, &src.ICE{Stage: "interp", Msg: err.Error()}
 }
 
 // Run executes the compiled module, capturing System output and
@@ -487,14 +545,13 @@ func (c *Compilation) Run() RunResult {
 	return c.RunContext(context.Background())
 }
 
-// RunContext is Run bounded by ctx: the interpreter's step loop polls
-// the ctx and stops with an *interp.ResourceError of Kind "cancelled"
+// RunContext is Run bounded by ctx: the engine's step loop polls the
+// ctx and stops with an *interp.ResourceError of Kind "cancelled"
 // once it ends.
 func (c *Compilation) RunContext(ctx context.Context) RunResult {
 	var out strings.Builder
-	it := interp.New(c.Module, c.options(ctx, &out))
-	err := execute(ctx, it)
-	return RunResult{Output: out.String(), Stats: it.Stats(), Err: err}
+	stats, err := c.execute(ctx, c.options(ctx, &out))
+	return RunResult{Output: out.String(), Stats: stats, Err: err}
 }
 
 // RunTo executes the compiled module writing System output to w. A
@@ -509,15 +566,26 @@ func (c *Compilation) RunToContext(ctx context.Context, w io.Writer, maxSteps in
 	if maxSteps != 0 {
 		o.MaxSteps = maxSteps
 	}
-	it := interp.New(c.Module, o)
-	err := execute(ctx, it)
-	return it.Stats(), err
+	return c.execute(ctx, o)
 }
 
-// Interp returns a fresh interpreter over the compiled module, for
-// callers that need to invoke individual functions (benchmarks).
+// Interp returns a fresh switch interpreter over the compiled module,
+// for callers that need to invoke individual functions (benchmarks).
 func (c *Compilation) Interp(w io.Writer) *interp.Interp {
 	return interp.New(c.Module, c.options(context.Background(), w))
+}
+
+// Engine returns a fresh bytecode engine over the compiled module, for
+// callers that need to invoke individual functions (benchmarks). The
+// underlying bytecode program is translated once per Compilation. A
+// translation panic on corrupt IR is returned as an interp-stage ICE.
+func (c *Compilation) Engine(w io.Writer) (*engine.Engine, error) {
+	var e *engine.Engine
+	err := guard("interp", func() error {
+		e = engine.New(c.engineProgram(), c.options(context.Background(), w))
+		return nil
+	})
+	return e, err
 }
 
 // Configs returns the four ablation configurations in pipeline order.

@@ -50,6 +50,13 @@ func FuzzPipeline(f *testing.F) {
 		fullRes := fullComp.Run()
 		checkNoICE(t, "ref run", refRes.Err)
 		checkNoICE(t, "full run", fullRes.Err)
+		// Second axis: the register-bytecode engine (the default above)
+		// versus the switch interpreter must agree exactly — output,
+		// trap identity, stack trace, and step-for-step stats. Resource
+		// stops here are deterministic (no wall-clock guard), so even
+		// those must match, unlike the cross-config comparison below.
+		fuzzDiffEngines(t, "ref", source, fuzzGuards(core.Reference()), refRes)
+		fuzzDiffEngines(t, "full", source, fuzzGuards(core.Compiled()), fullRes)
 		// Step budgets fire at different instruction counts across
 		// configs, so a resource stop on either side voids comparison.
 		var re *interp.ResourceError
@@ -64,6 +71,20 @@ func FuzzPipeline(f *testing.F) {
 			t.Fatalf("output divergence:\nref:  %q\nfull: %q\nsource:\n%s", refRes.Output, fullRes.Output, source)
 		}
 	})
+}
+
+// fuzzDiffEngines reruns source under cfg with the switch interpreter
+// and asserts full observable equality with the bytecode result. An
+// ICE on both sides (corrupt IR rejected by both engines) is the only
+// tolerated asymmetry in message text.
+func fuzzDiffEngines(t *testing.T, label, source string, cfg core.Config, bc core.RunResult) {
+	t.Helper()
+	cfg.Engine = core.EngineSwitch
+	swComp, err := core.Compile("fuzz.v", source, cfg)
+	if err != nil {
+		t.Fatalf("%s: switch-engine compile failed after bytecode compile succeeded: %v", label, err)
+	}
+	sameRun(t, label+" engines", bc, swComp.Run())
 }
 
 // trapName maps an execution result to a comparable label: "" for

@@ -27,10 +27,10 @@ func (f Frame) String() string {
 	return f.Func
 }
 
-// maxTraceFrames bounds the frames captured in one trace; deeper stacks
+// MaxTraceFrames bounds the frames captured in one trace; deeper stacks
 // (a !StackOverflow has thousands of frames) record the overflow count
 // in Elided instead.
-const maxTraceFrames = 64
+const MaxTraceFrames = 64
 
 // VirgilError is a runtime exception thrown by the executed program
 // (e.g. !NullCheckException, !TypeCheckException). Trace holds the
@@ -137,6 +137,45 @@ type Interp struct {
 	// finished call are neither observed by the next one nor retained
 	// from collection.
 	regPool [][]Value
+
+	// constStrs caches the decoded element template of each
+	// OpConstString instruction; objTemplates caches the field-default
+	// template of each instantiated class. Both are copied into the
+	// fresh (mutable) value on use, so caching is unobservable.
+	constStrs    map[*ir.Instr][]Value
+	objTemplates map[*types.Class][]Value
+}
+
+// constString returns the decoded byte-element template for a
+// const-string instruction, computing it on first use.
+func (i *Interp) constString(in *ir.Instr) []Value {
+	if tmpl, ok := i.constStrs[in]; ok {
+		return tmpl
+	}
+	tmpl := make([]Value, len(in.SVal))
+	for k := 0; k < len(in.SVal); k++ {
+		tmpl[k] = ByteVal(in.SVal[k])
+	}
+	i.constStrs[in] = tmpl
+	return tmpl
+}
+
+// fieldTemplate returns the default field values of an instantiated
+// class, computing BindParams + per-field defaults once per class
+// instead of once per allocation. Default values are immutable
+// (scalars, nulls, enum case 0, tuples of those), so sharing template
+// entries across objects is unobservable.
+func (i *Interp) fieldTemplate(cls *ir.Class, ct *types.Class) []Value {
+	if tmpl, ok := i.objTemplates[ct]; ok {
+		return tmpl
+	}
+	tmpl := make([]Value, len(cls.Fields))
+	cenv := types.BindParams(cls.Def.TypeParams, ct.Args)
+	for k, fd := range cls.Fields {
+		tmpl[k] = DefaultValue(i.tc, i.tc.Subst(fd.Type, cenv))
+	}
+	i.objTemplates[ct] = tmpl
+	return tmpl
 }
 
 // New creates an interpreter for mod.
@@ -150,6 +189,9 @@ func New(mod *ir.Module, opts Options) *Interp {
 		classByDef: map[*types.ClassDef]*ir.Class{},
 		classByTyp: map[*types.Class]*ir.Class{},
 		maxSteps:   opts.MaxSteps,
+
+		constStrs:    map[*ir.Instr][]Value{},
+		objTemplates: map[*types.Class][]Value{},
 	}
 	if i.maxSteps == 0 {
 		i.maxSteps = 1_000_000_000
@@ -172,7 +214,7 @@ func New(mod *ir.Module, opts Options) *Interp {
 		}
 	}
 	for gi, g := range mod.Globals {
-		i.globals[gi] = defaultValue(i.tc, g.Type)
+		i.globals[gi] = DefaultValue(i.tc, g.Type)
 	}
 	return i
 }
@@ -246,63 +288,19 @@ func (i *Interp) bindEnv(f *ir.Func, targs []types.Type) env {
 	return e
 }
 
-// classArgsFromRecv computes the type arguments of the class declaring
-// fn, as seen from the dynamic receiver (pre-monomorphization virtual
-// dispatch; §4.3).
-func (i *Interp) classArgsFromRecv(fn *ir.Func, recv *ObjVal) []types.Type {
-	if fn.NumClassParams == 0 {
-		return nil
-	}
-	w := i.tc.ClassOf(recv.Class.Def, recv.Args)
-	for w != nil && w.Def != fn.Class.Def {
-		w = i.tc.ParentOf(w)
-	}
-	if w == nil {
-		return nil
-	}
-	return w.Args
-}
-
-// adapt performs the paper's dynamic calling-convention check (§4.1):
-// the callee may declare n scalar parameters or one tuple parameter for
-// the same function type, so provided values are packed or unpacked to
-// match. In normalized code the shapes always agree.
+// adapt performs the paper's dynamic calling-convention check (§4.1)
+// via the shared kernel.
 func (i *Interp) adapt(provided []Value, params []*ir.Reg) ([]Value, error) {
-	i.stats.AdaptChecks++
-	n, m := len(provided), len(params)
-	if n == m {
-		return provided, nil
-	}
-	i.stats.AdaptPacks++
-	switch {
-	case m == 1:
-		if n == 0 {
-			return []Value{VoidVal{}}, nil
-		}
-		i.stats.TupleAllocs++
-		return []Value{TupleVal(provided)}, nil
-	case n == 1:
-		if m == 0 {
-			return nil, nil
-		}
-		tv, ok := provided[0].(TupleVal)
-		if !ok || len(tv) != m {
-			return nil, &VirgilError{Name: "!CallArityException", Msg: fmt.Sprintf("cannot adapt %d value(s) to %d parameter(s)", n, m)}
-		}
-		return tv, nil
-	case n == 0 && m == 0:
-		return nil, nil
-	}
-	return nil, &VirgilError{Name: "!CallArityException", Msg: fmt.Sprintf("cannot adapt %d value(s) to %d parameter(s)", n, m)}
+	return Adapt(&i.stats, provided, params)
 }
 
 // traceSnapshot captures the current Virgil call stack, innermost frame
-// first, bounded at maxTraceFrames.
+// first, bounded at MaxTraceFrames.
 func (i *Interp) traceSnapshot() ([]Frame, int) {
 	n := len(i.frames)
 	keep := n
-	if keep > maxTraceFrames {
-		keep = maxTraceFrames
+	if keep > MaxTraceFrames {
+		keep = MaxTraceFrames
 	}
 	out := make([]Frame, keep)
 	for k := 0; k < keep; k++ {
@@ -415,12 +413,14 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			// The "null" of a type: the default value. Lowering emits
 			// this for locals of (possibly open) type-parameter type, so
 			// the runtime type environment decides the representation.
-			regs[in.Dst[0].ID] = defaultValue(i.tc, i.subst(in.Type, e))
+			regs[in.Dst[0].ID] = DefaultValue(i.tc, i.subst(in.Type, e))
 		case ir.OpConstString:
-			elems := make([]Value, len(in.SVal))
-			for k := 0; k < len(in.SVal); k++ {
-				elems[k] = ByteVal(in.SVal[k])
-			}
+			// Arrays are mutable, so each execution gets a fresh element
+			// slice — but decoding the string constant happens once per
+			// instruction, not once per execution.
+			tmpl := i.constString(in)
+			elems := make([]Value, len(tmpl))
+			copy(elems, tmpl)
 			regs[in.Dst[0].ID] = &ArrVal{Elem: i.tc.Byte(), Elems: elems}
 		case ir.OpMove:
 			regs[in.Dst[0].ID] = get(in.Args[0])
@@ -432,31 +432,40 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			if !ok1 || !ok2 {
 				return nil, fmt.Errorf("interp: %s: non-int operands to %s", f.Name, in.Op)
 			}
-			v, err := intArith(in.Op, int32(a), int32(b))
+			v, err := IntArith(in.Op, int32(a), int32(b))
 			if err != nil {
 				return nil, err
 			}
 			regs[in.Dst[0].ID] = IntVal(v)
 		case ir.OpNeg:
-			a := get(in.Args[0]).(IntVal)
+			a, ok := get(in.Args[0]).(IntVal)
+			if !ok {
+				return nil, fmt.Errorf("interp: %s: non-int operand to %s", f.Name, in.Op)
+			}
 			regs[in.Dst[0].ID] = IntVal(-int32(a))
 		case ir.OpNot:
-			a := get(in.Args[0]).(BoolVal)
+			a, ok := get(in.Args[0]).(BoolVal)
+			if !ok {
+				return nil, fmt.Errorf("interp: %s: non-bool operand to %s", f.Name, in.Op)
+			}
 			regs[in.Dst[0].ID] = BoolVal(!a)
-		case ir.OpBoolAnd:
-			a := get(in.Args[0]).(BoolVal)
-			b := get(in.Args[1]).(BoolVal)
-			regs[in.Dst[0].ID] = a && b
-		case ir.OpBoolOr:
-			a := get(in.Args[0]).(BoolVal)
-			b := get(in.Args[1]).(BoolVal)
-			regs[in.Dst[0].ID] = a || b
+		case ir.OpBoolAnd, ir.OpBoolOr:
+			a, ok1 := get(in.Args[0]).(BoolVal)
+			b, ok2 := get(in.Args[1]).(BoolVal)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("interp: %s: non-bool operands to %s", f.Name, in.Op)
+			}
+			if in.Op == ir.OpBoolAnd {
+				regs[in.Dst[0].ID] = a && b
+			} else {
+				regs[in.Dst[0].ID] = a || b
+			}
 		case ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
-			regs[in.Dst[0].ID] = BoolVal(compare(in.Op, get(in.Args[0]), get(in.Args[1])))
+			regs[in.Dst[0].ID] = BoolVal(CompareVals(in.Op, get(in.Args[0]), get(in.Args[1])))
 		case ir.OpEq:
-			regs[in.Dst[0].ID] = BoolVal(valueEq(get(in.Args[0]), get(in.Args[1])))
+			regs[in.Dst[0].ID] = BoolVal(ValueEq(get(in.Args[0]), get(in.Args[1])))
 		case ir.OpNe:
-			regs[in.Dst[0].ID] = BoolVal(!valueEq(get(in.Args[0]), get(in.Args[1])))
+			regs[in.Dst[0].ID] = BoolVal(!ValueEq(get(in.Args[0]), get(in.Args[1])))
 
 		case ir.OpMakeTuple:
 			vs := make(TupleVal, len(in.Args))
@@ -478,11 +487,9 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			if err != nil {
 				return nil, err
 			}
-			fields := make([]Value, len(cls.Fields))
-			cenv := types.BindParams(cls.Def.TypeParams, ct.Args)
-			for k, fd := range cls.Fields {
-				fields[k] = defaultValue(i.tc, i.tc.Subst(fd.Type, cenv))
-			}
+			tmpl := i.fieldTemplate(cls, ct)
+			fields := make([]Value, len(tmpl))
+			copy(fields, tmpl)
 			regs[in.Dst[0].ID] = &ObjVal{Class: cls, Args: ct.Args, Fields: fields}
 		case ir.OpFieldLoad:
 			obj, err := i.objArg(f, in, get(in.Args[0]))
@@ -510,7 +517,7 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			av := &ArrVal{Elem: at.Elem, Len: n}
 			if at.Elem != i.tc.Void() {
 				av.Elems = make([]Value, n)
-				d := defaultValue(i.tc, at.Elem)
+				d := DefaultValue(i.tc, at.Elem)
 				for k := range av.Elems {
 					av.Elems[k] = d
 				}
@@ -604,7 +611,7 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			for k, a := range in.Args {
 				args[k] = get(a)
 			}
-			res, err := i.callBuiltin(in.SVal, args)
+			res, err := CallBuiltin(i.out, in.SVal, args, i.stats.Steps)
 			i.putRegs(args)
 			if err != nil {
 				return nil, err
@@ -619,7 +626,7 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			if ft, ok := i.subst(in.Type2, e).(*types.Func); ok {
 				fv.Type = ft // the recorded source-level closure type
 			} else {
-				fv.Type = i.closureType(in.Fn, nil, targsClosed)
+				fv.Type = ClosureType(i.tc, in.Fn, nil, targsClosed)
 			}
 			regs[in.Dst[0].ID] = fv
 		case ir.OpMakeBound:
@@ -633,7 +640,7 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			if ft, ok := i.subst(in.Type2, e).(*types.Func); ok {
 				fv.Type = ft
 			} else {
-				fv.Type = i.closureType(target, recv, targsClosed)
+				fv.Type = ClosureType(i.tc, target, recv, targsClosed)
 			}
 			regs[in.Dst[0].ID] = fv
 
@@ -663,14 +670,14 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 
 		case ir.OpTypeCast:
 			to := i.subst(in.Type, e)
-			v, err := i.evalCast(get(in.Args[0]), to)
+			v, err := EvalCast(i.tc, get(in.Args[0]), to)
 			if err != nil {
 				return nil, err
 			}
 			regs[in.Dst[0].ID] = v
 		case ir.OpTypeQuery:
 			to := i.subst(in.Type, e)
-			regs[in.Dst[0].ID] = BoolVal(i.evalQuery(get(in.Args[0]), to))
+			regs[in.Dst[0].ID] = BoolVal(EvalQuery(i.tc, get(in.Args[0]), to))
 
 		case ir.OpRet:
 			out := make([]Value, len(in.Args))
@@ -736,7 +743,7 @@ func (i *Interp) invokeClosure(fv *FuncVal, provided []Value) ([]Value, error) {
 	targs := fv.TypeArgs
 	if fv.HasRecv && fv.Fn.NumClassParams > 0 {
 		recv := fv.Recv.(*ObjVal)
-		targs = append(i.classArgsFromRecv(fv.Fn, recv), fv.TypeArgs...)
+		targs = append(ClassArgsFromRecv(i.tc, fv.Fn, recv), fv.TypeArgs...)
 	}
 	return i.call(fv.Fn, callArgs, targs)
 }
@@ -747,45 +754,8 @@ func (i *Interp) virtualTypeArgs(target *ir.Func, recv *ObjVal, margs []types.Ty
 	if len(target.TypeParams) == 0 {
 		return nil
 	}
-	cargs := i.classArgsFromRecv(target, recv)
+	cargs := ClassArgsFromRecv(i.tc, target, recv)
 	return append(cargs, margs...)
-}
-
-// closureType computes the closed dynamic function type of a closure.
-func (i *Interp) closureType(fn *ir.Func, recv *ObjVal, targs []types.Type) *types.Func {
-	tc := i.tc
-	var env map[*types.TypeParamDef]types.Type
-	if len(fn.TypeParams) > 0 {
-		env = map[*types.TypeParamDef]types.Type{}
-		all := targs
-		if recv != nil && fn.NumClassParams > 0 {
-			all = append(i.classArgsFromRecv(fn, recv), targs...)
-		}
-		for k, p := range fn.TypeParams {
-			if k < len(all) {
-				env[p] = all[k]
-			}
-		}
-	}
-	start := 0
-	if recv != nil {
-		start = 1
-	}
-	elems := make([]types.Type, 0, len(fn.Params)-start)
-	for _, p := range fn.Params[start:] {
-		elems = append(elems, tc.Subst(p.Type, env))
-	}
-	var ret types.Type = tc.Void()
-	if len(fn.Results) == 1 {
-		ret = tc.Subst(fn.Results[0], env)
-	} else if len(fn.Results) > 1 {
-		rs := make([]types.Type, len(fn.Results))
-		for k, r := range fn.Results {
-			rs[k] = tc.Subst(r, env)
-		}
-		ret = tc.TupleOf(rs)
-	}
-	return tc.FuncOf(tc.TupleOf(elems), ret)
 }
 
 // classFor resolves a closed class type to its IR class.
@@ -823,194 +793,6 @@ func (i *Interp) arrayArgs(av, iv Value) (*ArrVal, int, error) {
 		return nil, 0, &VirgilError{Name: "!BoundsCheckException"}
 	}
 	return arr, int(idx), nil
-}
-
-// intArith implements 32-bit wrapping arithmetic with Virgil shift
-// semantics (out-of-range shift counts produce 0).
-func intArith(op ir.Op, a, b int32) (int32, error) {
-	switch op {
-	case ir.OpAdd:
-		return a + b, nil
-	case ir.OpSub:
-		return a - b, nil
-	case ir.OpMul:
-		return a * b, nil
-	case ir.OpDiv:
-		if b == 0 {
-			return 0, &VirgilError{Name: "!DivideByZeroException"}
-		}
-		return a / b, nil
-	case ir.OpMod:
-		if b == 0 {
-			return 0, &VirgilError{Name: "!DivideByZeroException"}
-		}
-		return a % b, nil
-	case ir.OpShl:
-		if b < 0 || b > 31 {
-			return 0, nil
-		}
-		return a << uint(b), nil
-	case ir.OpShr:
-		if b < 0 || b > 31 {
-			return 0, nil
-		}
-		return int32(uint32(a) >> uint(b)), nil
-	case ir.OpAnd:
-		return a & b, nil
-	case ir.OpOr:
-		return a | b, nil
-	case ir.OpXor:
-		return a ^ b, nil
-	}
-	return 0, fmt.Errorf("interp: bad arithmetic op %s", op)
-}
-
-// compare implements < <= > >= on int and byte values.
-func compare(op ir.Op, a, b Value) bool {
-	var x, y int64
-	switch av := a.(type) {
-	case IntVal:
-		x, y = int64(av), int64(b.(IntVal))
-	case ByteVal:
-		x, y = int64(av), int64(b.(ByteVal))
-	}
-	switch op {
-	case ir.OpLt:
-		return x < y
-	case ir.OpLe:
-		return x <= y
-	case ir.OpGt:
-		return x > y
-	case ir.OpGe:
-		return x >= y
-	}
-	return false
-}
-
-// evalQuery implements the universal ? operator on dynamic values.
-func (i *Interp) evalQuery(v Value, to types.Type) bool {
-	if _, isNull := v.(NullVal); isNull {
-		return false
-	}
-	return i.tc.IsSubtype(dynTypeOf(i.tc, v), to)
-}
-
-// evalCast implements the universal ! operator: numeric conversions,
-// checked downcasts, recursive tuple casts (§2.3), and null
-// propagation into reference types.
-func (i *Interp) evalCast(v Value, to types.Type) (Value, error) {
-	tc := i.tc
-	if _, isNull := v.(NullVal); isNull {
-		if types.IsRefType(to) {
-			return v, nil
-		}
-		return nil, &VirgilError{Name: "!TypeCheckException", Msg: "null cast to " + to.String()}
-	}
-	if p, ok := to.(*types.Prim); ok {
-		switch p.Kind {
-		case types.KindInt:
-			switch av := v.(type) {
-			case IntVal:
-				return av, nil
-			case ByteVal:
-				return IntVal(int32(av)), nil
-			}
-		case types.KindByte:
-			switch av := v.(type) {
-			case ByteVal:
-				return av, nil
-			case IntVal:
-				if av < 0 || av > 255 {
-					return nil, &VirgilError{Name: "!TypeCheckException", Msg: fmt.Sprintf("%d does not fit in byte", int32(av))}
-				}
-				return ByteVal(byte(av)), nil
-			}
-		case types.KindBool:
-			if av, ok := v.(BoolVal); ok {
-				return av, nil
-			}
-		case types.KindVoid:
-			if av, ok := v.(VoidVal); ok {
-				return av, nil
-			}
-		}
-		return nil, &VirgilError{Name: "!TypeCheckException", Msg: "cannot cast to " + to.String()}
-	}
-	if tt, ok := to.(*types.Tuple); ok {
-		tv, isTuple := v.(TupleVal)
-		if !isTuple || len(tv) != len(tt.Elems) {
-			return nil, &VirgilError{Name: "!TypeCheckException", Msg: "cannot cast to " + to.String()}
-		}
-		out := make(TupleVal, len(tv))
-		for k := range tv {
-			cv, err := i.evalCast(tv[k], tt.Elems[k])
-			if err != nil {
-				return nil, err
-			}
-			out[k] = cv
-		}
-		return out, nil
-	}
-	if i.evalQuery(v, to) {
-		return v, nil
-	}
-	return nil, &VirgilError{Name: "!TypeCheckException", Msg: fmt.Sprintf("%s is not a %s", dynTypeOf(tc, v), to)}
-}
-
-// callBuiltin executes a component builtin.
-func (i *Interp) callBuiltin(name string, args []Value) (Value, error) {
-	switch name {
-	case "System.puts":
-		arr, ok := first(args).(*ArrVal)
-		if !ok {
-			return nil, &VirgilError{Name: "!NullCheckException"}
-		}
-		if i.out != nil {
-			buf := make([]byte, len(arr.Elems))
-			for k, e := range arr.Elems {
-				if b, ok := e.(ByteVal); ok {
-					buf[k] = byte(b)
-				}
-			}
-			fmt.Fprintf(i.out, "%s", buf)
-		}
-		return VoidVal{}, nil
-	case "System.puti":
-		if i.out != nil {
-			fmt.Fprintf(i.out, "%d", int32(first(args).(IntVal)))
-		}
-		return VoidVal{}, nil
-	case "System.putc":
-		if i.out != nil {
-			fmt.Fprintf(i.out, "%c", byte(first(args).(ByteVal)))
-		}
-		return VoidVal{}, nil
-	case "System.putb":
-		if i.out != nil {
-			fmt.Fprintf(i.out, "%v", bool(first(args).(BoolVal)))
-		}
-		return VoidVal{}, nil
-	case "System.ln":
-		if i.out != nil {
-			fmt.Fprintln(i.out)
-		}
-		return VoidVal{}, nil
-	case "System.error":
-		msg := ""
-		if arr, ok := first(args).(*ArrVal); ok {
-			buf := make([]byte, len(arr.Elems))
-			for k, e := range arr.Elems {
-				if b, ok := e.(ByteVal); ok {
-					buf[k] = byte(b)
-				}
-			}
-			msg = string(buf)
-		}
-		return nil, &VirgilError{Name: "!SystemError", Msg: msg}
-	case "clock.ticks":
-		return IntVal(int32(i.stats.Steps)), nil
-	}
-	return nil, fmt.Errorf("interp: unknown builtin %q", name)
 }
 
 func first(args []Value) Value {

@@ -138,11 +138,11 @@ func ValueString(v Value) string {
 	return "?"
 }
 
-// valueEq implements the universal == operator: primitive value
+// ValueEq implements the universal == operator: primitive value
 // equality, recursive tuple equality (§2.3), reference identity for
 // objects and arrays, and function+receiver+type-arguments identity for
 // closures.
-func valueEq(a, b Value) bool {
+func ValueEq(a, b Value) bool {
 	switch av := a.(type) {
 	case IntVal:
 		bv, ok := b.(IntVal)
@@ -165,7 +165,7 @@ func valueEq(a, b Value) bool {
 			return false
 		}
 		for i := range av {
-			if !valueEq(av[i], bv[i]) {
+			if !ValueEq(av[i], bv[i]) {
 				return false
 			}
 		}
@@ -184,7 +184,7 @@ func valueEq(a, b Value) bool {
 		if !ok || av.Fn != bv.Fn || av.HasRecv != bv.HasRecv {
 			return false
 		}
-		if av.HasRecv && !valueEq(av.Recv, bv.Recv) {
+		if av.HasRecv && !ValueEq(av.Recv, bv.Recv) {
 			return false
 		}
 		if len(av.TypeArgs) != len(bv.TypeArgs) {
@@ -200,9 +200,9 @@ func valueEq(a, b Value) bool {
 	return false
 }
 
-// dynTypeOf computes the dynamic type of a value for reified casts and
+// DynTypeOf computes the dynamic type of a value for reified casts and
 // queries (§2.2, d13-d14).
-func dynTypeOf(tc *types.Cache, v Value) types.Type {
+func DynTypeOf(tc *types.Cache, v Value) types.Type {
 	switch v := v.(type) {
 	case IntVal:
 		return tc.Int()
@@ -217,7 +217,7 @@ func dynTypeOf(tc *types.Cache, v Value) types.Type {
 	case TupleVal:
 		elems := make([]types.Type, len(v))
 		for i, e := range v {
-			elems[i] = dynTypeOf(tc, e)
+			elems[i] = DynTypeOf(tc, e)
 		}
 		return tc.TupleOf(elems)
 	case *ObjVal:
@@ -235,8 +235,8 @@ func dynTypeOf(tc *types.Cache, v Value) types.Type {
 	return tc.Void()
 }
 
-// defaultValue builds the default value of a closed type.
-func defaultValue(tc *types.Cache, t types.Type) Value {
+// DefaultValue builds the default value of a closed type.
+func DefaultValue(tc *types.Cache, t types.Type) Value {
 	switch t := t.(type) {
 	case *types.Prim:
 		switch t.Kind {
@@ -256,7 +256,7 @@ func defaultValue(tc *types.Cache, t types.Type) Value {
 	case *types.Tuple:
 		vs := make(TupleVal, len(t.Elems))
 		for i, e := range t.Elems {
-			vs[i] = defaultValue(tc, e)
+			vs[i] = DefaultValue(tc, e)
 		}
 		return vs
 	default:

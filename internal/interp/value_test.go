@@ -24,8 +24,8 @@ func TestValueEqPrimitives(t *testing.T) {
 		{IntVal(0), NullVal{}, false},
 	}
 	for _, c := range cases {
-		if got := valueEq(c.a, c.b); got != c.want {
-			t.Errorf("valueEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		if got := ValueEq(c.a, c.b); got != c.want {
+			t.Errorf("ValueEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
 		}
 	}
 }
@@ -34,13 +34,13 @@ func TestValueEqTuplesRecursive(t *testing.T) {
 	a := TupleVal{IntVal(1), TupleVal{BoolVal(true), ByteVal('x')}}
 	b := TupleVal{IntVal(1), TupleVal{BoolVal(true), ByteVal('x')}}
 	c := TupleVal{IntVal(1), TupleVal{BoolVal(false), ByteVal('x')}}
-	if !valueEq(a, b) {
+	if !ValueEq(a, b) {
 		t.Error("structurally equal tuples must be ==, 'no matter when or where' (§2.3)")
 	}
-	if valueEq(a, c) {
+	if ValueEq(a, c) {
 		t.Error("different tuples must not be ==")
 	}
-	if valueEq(a, TupleVal{IntVal(1)}) {
+	if ValueEq(a, TupleVal{IntVal(1)}) {
 		t.Error("different arity tuples must not be ==")
 	}
 }
@@ -49,12 +49,12 @@ func TestValueEqReferences(t *testing.T) {
 	cls := &ir.Class{Name: "A"}
 	o1 := &ObjVal{Class: cls, Fields: []Value{IntVal(1)}}
 	o2 := &ObjVal{Class: cls, Fields: []Value{IntVal(1)}}
-	if !valueEq(o1, o1) || valueEq(o1, o2) {
+	if !ValueEq(o1, o1) || ValueEq(o1, o2) {
 		t.Error("object equality is identity, not structure")
 	}
 	a1 := &ArrVal{Elems: []Value{IntVal(1)}}
 	a2 := &ArrVal{Elems: []Value{IntVal(1)}}
-	if !valueEq(a1, a1) || valueEq(a1, a2) {
+	if !ValueEq(a1, a1) || ValueEq(a1, a2) {
 		t.Error("array equality is identity")
 	}
 }
@@ -68,25 +68,25 @@ func TestValueEqClosures(t *testing.T) {
 	c2 := &FuncVal{Fn: f, Recv: recv, HasRecv: true}
 	c3 := &FuncVal{Fn: g, Recv: recv, HasRecv: true}
 	c4 := &FuncVal{Fn: f, Recv: &ObjVal{Class: &ir.Class{Name: "A"}}, HasRecv: true}
-	if !valueEq(c1, c2) {
+	if !ValueEq(c1, c2) {
 		t.Error("same method bound to same receiver must be ==")
 	}
-	if valueEq(c1, c3) || valueEq(c1, c4) {
+	if ValueEq(c1, c3) || ValueEq(c1, c4) {
 		t.Error("different function or receiver must not be ==")
 	}
 	// Different type arguments distinguish closures (no erasure).
 	c5 := &FuncVal{Fn: f, TypeArgs: []types.Type{tc.Int()}}
 	c6 := &FuncVal{Fn: f, TypeArgs: []types.Type{tc.Bool()}}
 	c7 := &FuncVal{Fn: f, TypeArgs: []types.Type{tc.Int()}}
-	if valueEq(c5, c6) {
+	if ValueEq(c5, c6) {
 		t.Error("closures with different type arguments must not be ==")
 	}
-	if !valueEq(c5, c7) {
+	if !ValueEq(c5, c7) {
 		t.Error("closures with equal type arguments must be ==")
 	}
 }
 
-// TestPropValueEqReflexiveSymmetric: valueEq is reflexive and symmetric
+// TestPropValueEqReflexiveSymmetric: ValueEq is reflexive and symmetric
 // on randomly built values.
 func TestPropValueEqReflexiveSymmetric(t *testing.T) {
 	cls := &ir.Class{Name: "A"}
@@ -122,7 +122,7 @@ func TestPropValueEqReflexiveSymmetric(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		a := build(r, 3)
 		b := build(r, 3)
-		return valueEq(a, a) && valueEq(b, b) && valueEq(a, b) == valueEq(b, a)
+		return ValueEq(a, a) && ValueEq(b, b) && ValueEq(a, b) == ValueEq(b, a)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
@@ -134,66 +134,66 @@ func TestDynTypeOf(t *testing.T) {
 	def := tc.NewClassDef("Box", []*types.TypeParamDef{tc.NewTypeParamDef("T", 0, nil)}, nil)
 	cls := &ir.Class{Name: "Box", Def: def}
 	obj := &ObjVal{Class: cls, Args: []types.Type{tc.Int()}}
-	if got := dynTypeOf(tc, obj); got != tc.ClassOf(def, []types.Type{tc.Int()}) {
-		t.Errorf("dynTypeOf(obj) = %v", got)
+	if got := DynTypeOf(tc, obj); got != tc.ClassOf(def, []types.Type{tc.Int()}) {
+		t.Errorf("DynTypeOf(obj) = %v", got)
 	}
 	tv := TupleVal{IntVal(1), BoolVal(true)}
-	if got := dynTypeOf(tc, tv); got != tc.TupleOf([]types.Type{tc.Int(), tc.Bool()}) {
-		t.Errorf("dynTypeOf(tuple) = %v", got)
+	if got := DynTypeOf(tc, tv); got != tc.TupleOf([]types.Type{tc.Int(), tc.Bool()}) {
+		t.Errorf("DynTypeOf(tuple) = %v", got)
 	}
-	if dynTypeOf(tc, IntVal(0)) != tc.Int() || dynTypeOf(tc, VoidVal{}) != tc.Void() {
+	if DynTypeOf(tc, IntVal(0)) != tc.Int() || DynTypeOf(tc, VoidVal{}) != tc.Void() {
 		t.Error("prim dynamic types")
 	}
 	av := &ArrVal{Elem: tc.Byte()}
-	if dynTypeOf(tc, av) != tc.ArrayOf(tc.Byte()) {
+	if DynTypeOf(tc, av) != tc.ArrayOf(tc.Byte()) {
 		t.Error("array dynamic type")
 	}
 }
 
 func TestDefaultValue(t *testing.T) {
 	tc := types.NewCache()
-	if defaultValue(tc, tc.Int()) != IntVal(0) {
+	if DefaultValue(tc, tc.Int()) != IntVal(0) {
 		t.Error("int default")
 	}
-	if defaultValue(tc, tc.Bool()) != BoolVal(false) {
+	if DefaultValue(tc, tc.Bool()) != BoolVal(false) {
 		t.Error("bool default")
 	}
-	if _, ok := defaultValue(tc, tc.Void()).(VoidVal); !ok {
+	if _, ok := DefaultValue(tc, tc.Void()).(VoidVal); !ok {
 		t.Error("void default")
 	}
 	pair := tc.TupleOf([]types.Type{tc.Int(), tc.Bool()})
-	tv, ok := defaultValue(tc, pair).(TupleVal)
+	tv, ok := DefaultValue(tc, pair).(TupleVal)
 	if !ok || len(tv) != 2 || tv[0] != IntVal(0) || tv[1] != BoolVal(false) {
 		t.Error("tuple default is elementwise defaults")
 	}
 	def := tc.NewClassDef("A", nil, nil)
-	if _, ok := defaultValue(tc, tc.ClassOf(def, nil)).(NullVal); !ok {
+	if _, ok := DefaultValue(tc, tc.ClassOf(def, nil)).(NullVal); !ok {
 		t.Error("class default is null")
 	}
 }
 
 func TestIntArithSemantics(t *testing.T) {
 	// 32-bit wrapping.
-	if v, _ := intArith(ir.OpAdd, 0x7fffffff, 1); v != -0x80000000 {
+	if v, _ := IntArith(ir.OpAdd, 0x7fffffff, 1); v != -0x80000000 {
 		t.Errorf("overflow wraps: got %d", v)
 	}
-	if v, _ := intArith(ir.OpMul, 0x10000, 0x10000); v != 0 {
+	if v, _ := IntArith(ir.OpMul, 0x10000, 0x10000); v != 0 {
 		t.Errorf("mul wraps: got %d", v)
 	}
 	// Virgil shifts: out-of-range counts produce 0.
-	if v, _ := intArith(ir.OpShl, 1, 32); v != 0 {
+	if v, _ := IntArith(ir.OpShl, 1, 32); v != 0 {
 		t.Errorf("shl 32 = %d, want 0", v)
 	}
-	if v, _ := intArith(ir.OpShr, -1, 1); v != 0x7fffffff {
+	if v, _ := IntArith(ir.OpShr, -1, 1); v != 0x7fffffff {
 		t.Errorf("shr is logical: got %d", v)
 	}
-	if _, err := intArith(ir.OpDiv, 1, 0); err == nil {
+	if _, err := IntArith(ir.OpDiv, 1, 0); err == nil {
 		t.Error("div by zero must trap")
 	}
-	if _, err := intArith(ir.OpMod, 1, 0); err == nil {
+	if _, err := IntArith(ir.OpMod, 1, 0); err == nil {
 		t.Error("mod by zero must trap")
 	}
-	if v, _ := intArith(ir.OpDiv, -7, 2); v != -3 {
+	if v, _ := IntArith(ir.OpDiv, -7, 2); v != -3 {
 		t.Errorf("division truncates toward zero: got %d", v)
 	}
 }

@@ -315,6 +315,17 @@ type Module struct {
 	Normalized bool
 }
 
+// FindFunc returns the first function named name, or nil. Declaration
+// order is the lookup order, matching the interpreter's CallFunc.
+func (m *Module) FindFunc(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
 // NumInstrs counts instructions across all functions (E4).
 func (m *Module) NumInstrs() int {
 	n := 0

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// compCache is the warm-compilation cache: an LRU over successful
+// *core.Compilation values keyed by (config, engine, jobs, sources).
+// A Compilation is immutable after a successful compile — its module,
+// type cache, and once-translated bytecode program are all shared,
+// read-only state — so one cached entry can serve concurrent requests;
+// each request still gets a fresh evaluator (with its own globals,
+// inline caches, and stats) via RunToContext. This is what makes the
+// service's steady state cheap: a repeated /run pays only execution,
+// not parse/check/lower or bytecode translation.
+type compCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[[sha256.Size]byte]*list.Element
+}
+
+type cacheEntry struct {
+	key  [sha256.Size]byte
+	comp *core.Compilation
+}
+
+func newCompCache(capacity int) *compCache {
+	return &compCache{cap: capacity, ll: list.New(), m: map[[sha256.Size]byte]*list.Element{}}
+}
+
+// cacheKey digests everything a compilation's identity depends on.
+// Run-time knobs (MaxSteps, TimeoutMs) are deliberately excluded: they
+// are applied per request at execution time, not baked into the
+// compilation.
+func cacheKey(cfg core.Config, files []FileJSON) [sha256.Size]byte {
+	h := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeStr(cfg.Name())
+	writeStr(cfg.Engine)
+	var jb [8]byte
+	binary.LittleEndian.PutUint64(jb[:], uint64(cfg.Jobs))
+	h.Write(jb[:])
+	for _, f := range files {
+		writeStr(f.Name)
+		writeStr(f.Source)
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+func (c *compCache) get(key [sha256.Size]byte) (*core.Compilation, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).comp, true
+}
+
+func (c *compCache) put(key [sha256.Size]byte, comp *core.Compilation) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).comp = comp
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, comp: comp})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *compCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

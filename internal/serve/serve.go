@@ -32,6 +32,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -61,6 +62,15 @@ type Config struct {
 	// Default: 1 — requests are the unit of parallelism in a loaded
 	// service; raise it only for large single-tenant compiles.
 	Jobs int
+	// Engine selects the execution engine for /run: "bytecode" (the
+	// default) or "switch". The two are observably identical; switch
+	// exists as the reference semantics.
+	Engine string
+	// CacheSize bounds the warm-compilation LRU: repeated requests for
+	// the same (config, engine, jobs, sources) reuse the compiled
+	// module and its translated bytecode, paying only execution.
+	// Default: 64 entries. Negative disables caching.
+	CacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.Jobs <= 0 {
 		c.Jobs = 1
 	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 64
+	}
 	return c
 }
 
@@ -95,6 +108,7 @@ type Server struct {
 	cancel  context.CancelFunc
 	http    *http.Server
 	start   time.Time
+	cache   *compCache
 
 	draining  atomic.Bool
 	waiting   atomic.Int64
@@ -106,6 +120,8 @@ type Server struct {
 	cancelled atomic.Int64
 	deadlines atomic.Int64
 	shed      atomic.Int64
+	cacheHits atomic.Int64
+	cacheMiss atomic.Int64
 }
 
 // New creates a server with cfg (zero fields defaulted).
@@ -119,6 +135,7 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 		start:   time.Now(),
+		cache:   newCompCache(cfg.CacheSize),
 	}
 	s.mux.HandleFunc("/compile", s.guard(s.handleCompile))
 	s.mux.HandleFunc("/run", s.guard(s.handleRun))
@@ -178,20 +195,24 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
-	UptimeMs      int64 `json:"uptime_ms"`
-	InFlight      int64 `json:"in_flight"`
-	Waiting       int64 `json:"waiting"`
-	Total         int64 `json:"total"`
-	Succeeded     int64 `json:"succeeded"`
-	Diagnostics   int64 `json:"diagnostics"`
-	ICEs          int64 `json:"ices"`
-	Cancelled     int64 `json:"cancelled"`
-	Deadlines     int64 `json:"deadlines"`
-	Shed          int64 `json:"shed"`
-	MaxConcurrent int   `json:"max_concurrent"`
-	QueueDepth    int   `json:"queue_depth"`
-	FaultsArmed   bool  `json:"faults_armed"`
-	Draining      bool  `json:"draining"`
+	UptimeMs      int64  `json:"uptime_ms"`
+	InFlight      int64  `json:"in_flight"`
+	Waiting       int64  `json:"waiting"`
+	Total         int64  `json:"total"`
+	Succeeded     int64  `json:"succeeded"`
+	Diagnostics   int64  `json:"diagnostics"`
+	ICEs          int64  `json:"ices"`
+	Cancelled     int64  `json:"cancelled"`
+	Deadlines     int64  `json:"deadlines"`
+	Shed          int64  `json:"shed"`
+	CacheHits     int64  `json:"cache_hits"`
+	CacheMisses   int64  `json:"cache_misses"`
+	CacheEntries  int    `json:"cache_entries"`
+	Engine        string `json:"engine"`
+	MaxConcurrent int    `json:"max_concurrent"`
+	QueueDepth    int    `json:"queue_depth"`
+	FaultsArmed   bool   `json:"faults_armed"`
+	Draining      bool   `json:"draining"`
 }
 
 // Snapshot returns the current counters.
@@ -207,6 +228,10 @@ func (s *Server) Snapshot() Stats {
 		Cancelled:     s.cancelled.Load(),
 		Deadlines:     s.deadlines.Load(),
 		Shed:          s.shed.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMiss.Load(),
+		CacheEntries:  s.cache.len(),
+		Engine:        core.Config{Engine: s.cfg.Engine}.EngineKind(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		QueueDepth:    s.cfg.QueueDepth,
 		FaultsArmed:   faultinject.Enabled(),
@@ -234,6 +259,9 @@ type Request struct {
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
 	// MaxSteps bounds interpreter steps on /run (0 = default budget).
 	MaxSteps int64 `json:"max_steps,omitempty"`
+	// Engine overrides the server's execution engine for this request:
+	// bytecode or switch ("" = server default).
+	Engine string `json:"engine,omitempty"`
 }
 
 // ErrorInfo is the structured, stack-free form of a request failure.
@@ -271,6 +299,9 @@ type Response struct {
 	Output string    `json:"output,omitempty"`
 	Trap   *TrapInfo `json:"trap,omitempty"`
 	Steps  int64     `json:"steps,omitempty"`
+	// Cached reports that the compilation was served from the warm
+	// cache (execution still ran fresh).
+	Cached bool `json:"cached,omitempty"`
 }
 
 // ---- handlers ----
@@ -344,7 +375,16 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	}
 	cfg.Jobs = s.cfg.Jobs
 	cfg.MaxErrors = req.MaxErrors
-	cfg.MaxSteps = req.MaxSteps
+	// MaxSteps stays out of the Config so the compilation is cacheable;
+	// it is applied per request at RunToContext below.
+	cfg.Engine = s.cfg.Engine
+	if req.Engine != "" {
+		cfg.Engine = req.Engine
+	}
+	if err := cfg.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: err.Error()}})
+		return
+	}
 
 	s.total.Add(1)
 
@@ -386,11 +426,21 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	}
 
 	resp := Response{Config: cfg.Name()}
-	comp, err := core.CompileFilesContext(ctx, files, cfg)
-	if err != nil {
-		status := s.classify(r, ctx, err, &resp)
-		writeJSON(w, status, resp)
-		return
+	key := cacheKey(cfg, req.Files)
+	comp, hit := s.cache.get(key)
+	if hit {
+		s.cacheHits.Add(1)
+		resp.Cached = true
+	} else {
+		s.cacheMiss.Add(1)
+		var err error
+		comp, err = core.CompileFilesContext(ctx, files, cfg)
+		if err != nil {
+			status := s.classify(r, ctx, err, &resp)
+			writeJSON(w, status, resp)
+			return
+		}
+		s.cache.put(key, comp)
 	}
 	resp.Funcs = len(comp.Module.Funcs)
 	resp.Instrs = comp.Module.NumInstrs()
@@ -408,7 +458,9 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 		writeJSON(w, http.StatusUnprocessableEntity, resp)
 		return
 	}
-	res := comp.RunContext(ctx)
+	var out strings.Builder
+	stats, runErr := comp.RunToContext(ctx, &out, req.MaxSteps)
+	res := core.RunResult{Output: out.String(), Stats: stats, Err: runErr}
 	resp.Output = res.Output
 	resp.Steps = res.Stats.Steps
 	if res.Err != nil {

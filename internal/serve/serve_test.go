@@ -538,3 +538,75 @@ func assertNoGoroutineLeaks(t *testing.T, before int) {
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after", before, after)
 }
+
+// TestWarmCacheReuse pins the warm-compilation path: a repeated request
+// for the same sources is served from the cache (Cached flag, hit
+// counter), runs fresh every time, and a different engine or config is
+// a distinct cache entry.
+func TestWarmCacheReuse(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	status, first := post(t, ts.URL+"/run", Request{Files: files("ok.v", okProg)})
+	if status != http.StatusOK || !first.OK || first.Cached {
+		t.Fatalf("cold request: status=%d resp=%+v", status, first)
+	}
+	status, second := post(t, ts.URL+"/run", Request{Files: files("ok.v", okProg)})
+	if status != http.StatusOK || !second.OK || !second.Cached {
+		t.Fatalf("warm request not cached: status=%d resp=%+v", status, second)
+	}
+	if second.Output != first.Output || second.Steps != first.Steps {
+		t.Fatalf("warm run diverged: first=%+v second=%+v", first, second)
+	}
+	// The switch engine is a different cache key, and must produce the
+	// same observable result.
+	status, sw := post(t, ts.URL+"/run", Request{Files: files("ok.v", okProg), Engine: "switch"})
+	if status != http.StatusOK || !sw.OK || sw.Cached {
+		t.Fatalf("switch-engine request: status=%d resp=%+v", status, sw)
+	}
+	if sw.Output != first.Output || sw.Steps != first.Steps {
+		t.Fatalf("engines diverged: bytecode=%+v switch=%+v", first, sw)
+	}
+	st := s.Snapshot()
+	if st.CacheHits != 1 || st.CacheMisses != 2 || st.CacheEntries != 2 {
+		t.Fatalf("cache counters: %+v", st)
+	}
+	if st.Engine != "bytecode" {
+		t.Fatalf("server engine = %q, want bytecode", st.Engine)
+	}
+	// A bogus engine name is a request error, not a server fault.
+	status, bad := post(t, ts.URL+"/run", Request{Files: files("ok.v", okProg), Engine: "jit"})
+	if status != http.StatusBadRequest || bad.Error == nil {
+		t.Fatalf("bad engine: status=%d resp=%+v", status, bad)
+	}
+}
+
+// TestCacheDisabled verifies a negative CacheSize turns the cache off.
+func TestCacheDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: -1})
+	for i := 0; i < 2; i++ {
+		status, resp := post(t, ts.URL+"/run", Request{Files: files("ok.v", okProg)})
+		if status != http.StatusOK || !resp.OK || resp.Cached {
+			t.Fatalf("request %d: status=%d resp=%+v", i, status, resp)
+		}
+	}
+	if st := s.Snapshot(); st.CacheHits != 0 || st.CacheEntries != 0 {
+		t.Fatalf("disabled cache recorded hits: %+v", st)
+	}
+}
+
+// TestCachedStepBudget verifies per-request step budgets apply to
+// cache-hit runs: the same cached compilation can be run to completion
+// or stopped by a tight budget, request by request.
+func TestCachedStepBudget(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, warm := post(t, ts.URL+"/run", Request{Files: files("loop.v", loopProg), MaxSteps: 5000})
+	if status != http.StatusOK || warm.Error == nil || warm.Error.Kind != "resource" {
+		t.Fatalf("cold bounded run: status=%d resp=%+v", status, warm)
+	}
+	status, hit := post(t, ts.URL+"/run", Request{Files: files("loop.v", loopProg), MaxSteps: 700})
+	if status != http.StatusOK || !hit.Cached || hit.Error == nil || hit.Error.Kind != "resource" {
+		t.Fatalf("warm bounded run: status=%d resp=%+v", status, hit)
+	}
+	if hit.Steps != 701 {
+		t.Fatalf("warm bounded run steps = %d, want 701", hit.Steps)
+	}
+}
