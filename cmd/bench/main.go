@@ -23,6 +23,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/interp"
 	"repro/internal/progen"
 	"repro/internal/serve"
 	"repro/internal/testprogs"
@@ -150,6 +152,12 @@ func table(short bool) []bench {
 	addEngine("E5_Print1", testprogs.BenchPrint1(n))
 	addEngine("E6_Matcher", testprogs.BenchMatcher(n/2))
 
+	// E8: containment latency — how fast the modeled heap budget stops a
+	// runaway allocator. One op is one full run ending in !HeapExhausted;
+	// informational, not gated by -check.
+	add("E8_HeapContainment/array_growth", heapContainment("array_growth", 1<<20, comp))
+	add("E8_HeapContainment/string_concat", heapContainment("string_concat", 1<<16, comp))
+
 	src := progen.Generate(progen.Scale(scale))
 	add("E7_CompileSpeed/largest", compileSrc(src, comp))
 	for _, j := range jobCounts() {
@@ -161,6 +169,27 @@ func table(short bool) []bench {
 		add(fmt.Sprintf("ServeThroughput/conc=%d", c), serveThroughput(c, scale))
 	}
 	return t
+}
+
+// heapContainment benchmarks time-to-!HeapExhausted for one of the
+// memory-hungry adversarial programs under a small modeled heap budget.
+func heapContainment(name string, maxHeap int64, cfg core.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg.MaxHeap = maxHeap
+		comp, err := core.Compile(name+".v", progen.Hungry()[name], cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, err := comp.RunTo(io.Discard, 0)
+			var ve *interp.VirgilError
+			if !errors.As(err, &ve) || ve.Name != interp.HeapExhausted {
+				b.Fatalf("want %s, got %v", interp.HeapExhausted, err)
+			}
+		}
+	}
 }
 
 // serveThroughput measures end-to-end requests through the HTTP

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	virgil run [-config ref|mono|norm|full] [-engine bytecode|switch] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+//	virgil run [-config ref|mono|norm|full] [-engine bytecode|switch] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] file.v...
 //	virgil check [-config ...] [-verify-ir] file.v...
 //	virgil dump [-config ...] [-verify-ir] file.v...
 //	virgil lint file.v...
@@ -24,7 +24,9 @@
 // two are observably identical. -verify-ir runs the typed
 // IR verifier after every pipeline stage (also enabled by the
 // VIRGIL_VERIFY_IR environment variable). -max-errors caps reported
-// diagnostics (0 = default cap).
+// diagnostics (0 = default cap). -max-heap bounds the modeled heap
+// (cumulative allocation cost in bytes) of the executed program;
+// exceeding it raises the deterministic !HeapExhausted trap.
 //
 // Exit codes: 0 success; 1 source diagnostics, lint findings, Virgil
 // trap, or resource exhaustion; 2 usage error; 3 internal compiler
@@ -80,6 +82,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	verifyIR := fs.Bool("verify-ir", false, "run the typed IR verifier after every pipeline stage")
 	maxSteps := fs.Int64("max-steps", 0, "step budget for execution (0 = default)")
 	maxDepth := fs.Int("max-depth", 0, "call-depth limit for execution (0 = default)")
+	maxHeap := fs.Int64("max-heap", 0, "modeled heap budget in bytes for execution (0 = default, 1 GiB)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for execution (0 = none)")
 	jobs := fs.Int("jobs", 0, "worker count for per-function pipeline stages (0 = GOMAXPROCS, 1 = sequential)")
 	maxErrors := fs.Int("max-errors", 0, "cap on reported diagnostics (0 = default cap)")
@@ -100,6 +103,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	cfg.VerifyIR = *verifyIR
 	cfg.MaxSteps = *maxSteps
 	cfg.MaxDepth = *maxDepth
+	cfg.MaxHeap = *maxHeap
 	cfg.Timeout = *timeout
 	cfg.Jobs = *jobs
 	cfg.MaxErrors = *maxErrors
@@ -231,7 +235,7 @@ func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-engine bytecode|switch] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-timeout d] file.v...
+	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-engine bytecode|switch] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] file.v...
        virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
 
 commands:

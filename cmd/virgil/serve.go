@@ -30,6 +30,11 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", 0, "worker count per compilation (0 = 1; the service parallelizes across requests)")
 	engine := fs.String("engine", "", "execution engine for /run: bytecode (default) or switch")
 	cacheSize := fs.Int("cache-size", 0, "warm-compilation cache entries (0 = 64, negative disables)")
+	maxHeap := fs.Int64("max-heap", 0, "modeled heap budget in bytes per /run (0 = 64 MiB)")
+	quarantineAfter := fs.Int("quarantine-after", 0, "bytecode-engine fallbacks before a program is pinned to the switch interpreter (0 = 3, negative disables)")
+	tenantConcurrent := fs.Int("tenant-concurrent", 0, "per-tenant concurrent-request cap (0 = no cap)")
+	tenantStepsPerSec := fs.Int64("tenant-steps-per-sec", 0, "per-tenant sustained step budget (0 = no cap)")
+	tenantHeapPerSec := fs.Int64("tenant-heap-per-sec", 0, "per-tenant sustained modeled-heap budget in bytes/sec (0 = no cap)")
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
 	}
@@ -39,13 +44,18 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	s := serve.New(serve.Config{
-		MaxConcurrent:  *maxConcurrent,
-		QueueDepth:     *queue,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-		Jobs:           *jobs,
-		Engine:         *engine,
-		CacheSize:      *cacheSize,
+		MaxConcurrent:       *maxConcurrent,
+		QueueDepth:          *queue,
+		DefaultTimeout:      *defaultTimeout,
+		MaxTimeout:          *maxTimeout,
+		Jobs:                *jobs,
+		Engine:              *engine,
+		CacheSize:           *cacheSize,
+		MaxHeapBytes:        *maxHeap,
+		QuarantineAfter:     *quarantineAfter,
+		TenantMaxConcurrent: *tenantConcurrent,
+		TenantStepsPerSec:   *tenantStepsPerSec,
+		TenantHeapPerSec:    *tenantHeapPerSec,
 	})
 
 	l, err := net.Listen("tcp", *addr)

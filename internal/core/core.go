@@ -82,6 +82,10 @@ type Config struct {
 	// MaxDepth bounds Virgil call depth; exceeding it raises the
 	// !StackOverflow trap (0 = interpreter default).
 	MaxDepth int
+	// MaxHeap bounds the modeled allocation cost in bytes (see
+	// interp.ChargeHeap); exceeding it raises the deterministic
+	// !HeapExhausted trap (0 = interp.DefaultMaxHeap).
+	MaxHeap int64
 	// Timeout bounds wall-clock execution time (0 = none).
 	Timeout time.Duration
 }
@@ -142,6 +146,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxDepth < 0 {
 		return fmt.Errorf("core: MaxDepth must be >= 0, got %d", c.MaxDepth)
+	}
+	if c.MaxHeap < 0 {
+		return fmt.Errorf("core: MaxHeap must be >= 0, got %d", c.MaxHeap)
 	}
 	if c.Timeout < 0 {
 		return fmt.Errorf("core: Timeout must be >= 0, got %v", c.Timeout)
@@ -497,6 +504,7 @@ func (c *Compilation) options(ctx context.Context, w io.Writer) interp.Options {
 		Out:      w,
 		MaxSteps: c.Config.MaxSteps,
 		MaxDepth: c.Config.MaxDepth,
+		MaxHeap:  c.Config.MaxHeap,
 		Timeout:  c.Config.Timeout,
 		Ctx:      ctx,
 	}
@@ -511,18 +519,36 @@ func (c *Compilation) options(ctx context.Context, w io.Writer) interp.Options {
 // engine, before translation, so injected faults and cancellation
 // behave identically under both engines. Stats are captured in a
 // defer so a panicking run still reports the work done so far.
-func (c *Compilation) execute(ctx context.Context, o interp.Options) (stats interp.Stats, _ error) {
+func (c *Compilation) execute(ctx context.Context, o interp.Options) (interp.Stats, error) {
+	return c.executeOn(ctx, c.Config.EngineKind(), o)
+}
+
+// executeOn is execute on an explicit engine kind, letting callers
+// (the serve watchdog) re-run a warm Compilation on the switch
+// interpreter without recompiling. The bytecode path carries two
+// extra fault-injection points bracketing its engine-specific work —
+// "translate" before bytecode translation and "engine" before the
+// first bytecode instruction — which the switch path never crosses,
+// so a fallback re-run cannot re-fire them.
+func (c *Compilation) executeOn(ctx context.Context, kind string, o interp.Options) (stats interp.Stats, _ error) {
 	err := guard("interp", func() error {
 		if err := stageStart(ctx, "interp"); err != nil {
 			return err
 		}
-		if c.Config.EngineKind() == EngineSwitch {
+		if kind == EngineSwitch {
 			it := interp.New(c.Module, o)
 			defer func() { stats = it.Stats() }()
 			_, err := it.Run()
 			return err
 		}
-		e := engine.New(c.engineProgram(), o)
+		if err := faultinject.Point(ctx, "translate"); err != nil {
+			return err
+		}
+		p := c.engineProgram()
+		if err := faultinject.Point(ctx, "engine"); err != nil {
+			return err
+		}
+		e := engine.New(p, o)
 		defer func() { stats = e.Stats() }()
 		_, err := e.Run()
 		return err
@@ -562,11 +588,38 @@ func (c *Compilation) RunTo(w io.Writer, maxSteps int64) (interp.Stats, error) {
 
 // RunToContext is RunTo bounded by ctx.
 func (c *Compilation) RunToContext(ctx context.Context, w io.Writer, maxSteps int64) (interp.Stats, error) {
+	return c.RunWith(ctx, w, RunOpts{MaxSteps: maxSteps})
+}
+
+// RunOpts are per-run overrides of the compiled config's execution
+// parameters; zero values keep the config's settings.
+type RunOpts struct {
+	// MaxSteps overrides the step budget when nonzero.
+	MaxSteps int64
+	// MaxHeap overrides the modeled heap budget when nonzero.
+	MaxHeap int64
+	// Engine overrides the execution engine when nonempty — the serve
+	// watchdog uses this to re-run a request on the switch interpreter
+	// after a bytecode-engine fault, and to pin quarantined programs to
+	// the reference engine.
+	Engine string
+}
+
+// RunWith executes the compiled module writing System output to w,
+// with per-run overrides applied.
+func (c *Compilation) RunWith(ctx context.Context, w io.Writer, opts RunOpts) (interp.Stats, error) {
 	o := c.options(ctx, w)
-	if maxSteps != 0 {
-		o.MaxSteps = maxSteps
+	if opts.MaxSteps != 0 {
+		o.MaxSteps = opts.MaxSteps
 	}
-	return c.execute(ctx, o)
+	if opts.MaxHeap != 0 {
+		o.MaxHeap = opts.MaxHeap
+	}
+	kind := c.Config.EngineKind()
+	if opts.Engine != "" {
+		kind = opts.Engine
+	}
+	return c.executeOn(ctx, kind, o)
 }
 
 // Interp returns a fresh switch interpreter over the compiled module,

@@ -178,6 +178,89 @@ func TestFaultMatrixEveryStage(t *testing.T) {
 	}
 }
 
+// TestBytecodeFaultPointsNthHit drives the two bytecode-only points
+// ("translate" before IR-to-bytecode translation, "engine" before the
+// first bytecode instruction) through the nth-hit protocol: with a
+// fault armed for crossing n, runs 0..n-1 are clean, run n fails with
+// the structured form of the fault (stage-tagged ICE for panics, a
+// wrapped ErrInjected for errs, nothing at all for delays), and runs
+// after n are clean again — the fault fires exactly once per arming.
+func TestBytecodeFaultPointsNthHit(t *testing.T) {
+	for _, stage := range []string{"translate", "engine"} {
+		for _, tt := range []struct {
+			kind string
+			nth  int
+		}{
+			{faultinject.KindPanic, 0},
+			{faultinject.KindPanic, 2},
+			{faultinject.KindErr, 0},
+			{faultinject.KindErr, 2},
+			{faultinject.KindDelay, 0},
+		} {
+			t.Run(fmt.Sprintf("%s/%s/nth=%d", stage, tt.kind, tt.nth), func(t *testing.T) {
+				r, perr := faultinject.Parse(fmt.Sprintf("%s:%s:%d:10", stage, tt.kind, tt.nth))
+				if perr != nil {
+					t.Fatal(perr)
+				}
+				defer faultinject.Set(r)()
+
+				comp, err := Compile("t.v", ctxProg, Compiled())
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				// Every Run crosses each execution point exactly once.
+				for run := 0; run <= tt.nth+1; run++ {
+					runErr := comp.Run().Err
+					if run != tt.nth || tt.kind == faultinject.KindDelay {
+						if runErr != nil {
+							t.Fatalf("run %d: %v, want clean (fault armed for crossing %d)", run, runErr, tt.nth)
+						}
+						continue
+					}
+					switch tt.kind {
+					case faultinject.KindErr:
+						if !errors.Is(runErr, faultinject.ErrInjected) {
+							t.Fatalf("run %d: %v, want ErrInjected", run, runErr)
+						}
+					case faultinject.KindPanic:
+						var ice *src.ICE
+						if !errors.As(runErr, &ice) {
+							t.Fatalf("run %d: %v, want *src.ICE", run, runErr)
+						}
+						if !strings.Contains(ice.Msg, "injected panic at "+stage) {
+							t.Fatalf("ICE does not name the point: %v", ice)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSwitchEngineSkipsBytecodePoints: the switch interpreter must
+// never cross translate/engine. This invariant is what makes the serve
+// watchdog's fallback re-run safe while the fault is still armed.
+func TestSwitchEngineSkipsBytecodePoints(t *testing.T) {
+	for _, stage := range []string{"translate", "engine"} {
+		func() {
+			r, perr := faultinject.Parse(stage + ":panic:0")
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			defer faultinject.Set(r)()
+			cfg := Compiled()
+			cfg.Engine = EngineSwitch
+			comp, err := Compile("t.v", ctxProg, cfg)
+			if err != nil {
+				t.Fatalf("[%s] compile: %v", stage, err)
+			}
+			if res := comp.Run(); res.Err != nil || res.Output != "45\n" {
+				t.Fatalf("[%s] switch run crossed a bytecode-only point: out=%q err=%v", stage, res.Output, res.Err)
+			}
+		}()
+	}
+}
+
 // TestMaxErrorsCap pins the configurable diagnostic cap: MaxErrors
 // diagnostics are reported followed by the sentinel carrying the true
 // total.

@@ -202,6 +202,7 @@ func TestEngineDifferentialCrashers(t *testing.T) {
 				cfg := base
 				cfg.MaxSteps = 200_000
 				cfg.MaxDepth = 256
+				cfg.MaxHeap = 4 << 20
 				bc, sw, ok := runBothEngines(t, cfg.Name(), ent.Name(), string(data), cfg)
 				if !ok {
 					continue

@@ -1,0 +1,121 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/progen"
+)
+
+// This file is the differential proof of the heap budget: a program
+// exceeding Config.MaxHeap must trap !HeapExhausted with the same
+// message, the same source-level trace, and the same Stats (including
+// the HeapBytes meter) under both engines, at every budget.
+
+// allocProg allocates through two helper frames with control flow, so
+// the !HeapExhausted trace has depth the inliner cannot collapse.
+const allocProg = `
+def alloc(n: int) -> Array<int> {
+	if (n < 0) return Array<int>.new(0);
+	return Array<int>.new(n);
+}
+def spin(chunk: int) -> int {
+	var total = 0;
+	while (true) {
+		var a = alloc(chunk);
+		total = total + a.length;
+	}
+	return total;
+}
+def main() -> int {
+	return spin(256);
+}
+`
+
+// TestHeapBudgetEquivalence sweeps heap budgets across allocation-
+// heavy programs, asserting complete observable equality — including
+// where the budget fires — between the bytecode engine and the switch
+// interpreter, under both canonical configurations.
+func TestHeapBudgetEquivalence(t *testing.T) {
+	progs := map[string]string{"alloc": allocProg}
+	for name, src := range progen.Hungry() {
+		progs[name] = src
+	}
+	for name, src := range progs {
+		t.Run(name, func(t *testing.T) {
+			for _, base := range []core.Config{core.Reference(), core.Compiled()} {
+				for shift := 6; shift <= 16; shift += 2 {
+					cfg := base
+					cfg.MaxHeap = 1 << shift
+					cfg.MaxSteps = 2_000_000
+					label := fmt.Sprintf("%s/heap=%d", cfg.Name(), cfg.MaxHeap)
+					bc, sw, ok := runBothEngines(t, label, name+".v", src, cfg)
+					if !ok {
+						t.Fatalf("%s: failed to compile", label)
+					}
+					sameRun(t, label, bc, sw)
+				}
+			}
+		})
+	}
+}
+
+// TestHeapExhaustedTrapShape pins the user-facing form of the trap:
+// name, the budget-carrying message, and a multi-frame source-level
+// trace identical across engines.
+func TestHeapExhaustedTrapShape(t *testing.T) {
+	for _, base := range []core.Config{core.Reference(), core.Compiled()} {
+		cfg := base
+		cfg.MaxHeap = 1 << 14
+		bc, sw, ok := runBothEngines(t, cfg.Name(), "alloc.v", allocProg, cfg)
+		if !ok {
+			t.Fatalf("[%s] failed to compile", cfg.Name())
+		}
+		sameRun(t, cfg.Name(), bc, sw)
+		ve, isTrap := bc.Err.(*interp.VirgilError)
+		if !isTrap || ve.Name != interp.HeapExhausted {
+			t.Fatalf("[%s] want %s, got %v", cfg.Name(), interp.HeapExhausted, bc.Err)
+		}
+		if !strings.Contains(ve.Msg, fmt.Sprintf("budget %d bytes", cfg.MaxHeap)) {
+			t.Errorf("[%s] message %q does not name the budget", cfg.Name(), ve.Msg)
+		}
+		if len(ve.Trace) == 0 {
+			t.Fatalf("[%s] trap carries no trace", cfg.Name())
+		}
+		if tr := ve.TraceString(); !strings.Contains(tr, "main") {
+			t.Errorf("[%s] trace does not reach main:\n%s", cfg.Name(), tr)
+		}
+		if bc.Stats.HeapBytes <= cfg.MaxHeap {
+			t.Errorf("[%s] HeapBytes = %d, want > %d", cfg.Name(), bc.Stats.HeapBytes, cfg.MaxHeap)
+		}
+	}
+}
+
+// TestHeapBudgetDefaultIsGenerous: with no MaxHeap configured, the
+// whole corpus runs exactly as before — the default budget exists to
+// contain runaway allocators, not to tax normal programs.
+func TestHeapBudgetDefaultIsGenerous(t *testing.T) {
+	comp, err := core.Compile("hello.v", `def main() { System.puts("hi"); }`, core.Compiled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := comp.Run()
+	if res.Err != nil {
+		t.Fatalf("default budget tripped: %v", res.Err)
+	}
+	if res.Stats.HeapBytes <= 0 {
+		t.Fatalf("HeapBytes = %d, want > 0 (the string literal is charged)", res.Stats.HeapBytes)
+	}
+}
+
+// TestConfigMaxHeapValidate: negative budgets are a config error.
+func TestConfigMaxHeapValidate(t *testing.T) {
+	cfg := core.Compiled()
+	cfg.MaxHeap = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted MaxHeap = -1")
+	}
+}

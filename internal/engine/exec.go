@@ -58,6 +58,7 @@ type Engine struct {
 	stats    interp.Stats
 	maxSteps int64
 	maxDepth int
+	maxHeap  int64
 	deadline time.Time
 	done     <-chan struct{}
 	frames   []interp.Frame
@@ -103,6 +104,10 @@ func New(p *Program, opts interp.Options) *Engine {
 	if e.maxDepth == 0 {
 		e.maxDepth = interp.DefaultMaxDepth
 	}
+	e.maxHeap = opts.MaxHeap
+	if e.maxHeap == 0 {
+		e.maxHeap = interp.DefaultMaxHeap
+	}
 	if opts.Timeout > 0 {
 		e.deadline = time.Now().Add(opts.Timeout)
 	}
@@ -114,6 +119,17 @@ func New(p *Program, opts interp.Options) *Engine {
 
 // Stats returns execution statistics so far.
 func (e *Engine) Stats() interp.Stats { return e.stats }
+
+// charge meters one allocation of n modeled bytes against the heap
+// budget, mirroring (*interp.Interp).charge so both engines trap at
+// the same allocation with the same message. The trace is stamped as
+// the bare trap unwinds through the call path.
+func (e *Engine) charge(n int64) *interp.VirgilError {
+	if interp.ChargeHeap(&e.stats, e.maxHeap, n) {
+		return interp.HeapTrap(n, e.maxHeap)
+	}
+	return nil
+}
 
 // Run executes global initializers then main, returning main's result
 // values.
@@ -662,6 +678,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 				return 0, err
 			}
 		case opConstStr:
+			if ve := e.charge(interp.StringBytes(len(ins.tmpl))); ve != nil {
+				return 0, ve
+			}
 			elems := make([]interp.Value, len(ins.tmpl))
 			copy(elems, ins.tmpl)
 			r[slotOf(ins.dst)] = &interp.ArrVal{Elem: ins.typ, Elems: elems}
@@ -812,6 +831,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			return len(ins.args), nil
 
 		case opMakeTuple:
+			if ve := e.charge(interp.TupleBytes(len(ins.args))); ve != nil {
+				return 0, ve
+			}
 			vs := make(interp.TupleVal, len(ins.args))
 			for k, a := range ins.args {
 				vs[k] = getv(s, r, a)
@@ -833,6 +855,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			if ins.xerr != nil {
 				return 0, ins.xerr
 			}
+			if ve := e.charge(interp.ObjectBytes(len(ins.tmpl))); ve != nil {
+				return 0, ve
+			}
 			fields := make([]interp.Value, len(ins.tmpl))
 			copy(fields, ins.tmpl)
 			r[slotOf(ins.dst)] = &interp.ObjVal{Class: ins.cls, Args: ins.targs, Fields: fields}
@@ -841,6 +866,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			cls, err := e.p.classFor(ct)
 			if err != nil {
 				return 0, err
+			}
+			if ve := e.charge(interp.ObjectBytes(len(cls.Fields))); ve != nil {
+				return 0, ve
 			}
 			tmpl := e.objTemplate(cls, ct)
 			fields := make([]interp.Value, len(tmpl))
@@ -884,6 +912,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			}
 			if n < 0 {
 				return 0, &interp.VirgilError{Name: "!LengthCheckException"}
+			}
+			if ve := e.charge(interp.ArrayBytes(e.tc, elem, int64(n))); ve != nil {
+				return 0, ve
 			}
 			av := &interp.ArrVal{Elem: elem, Len: n}
 			if !void {
@@ -1012,6 +1043,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			}
 
 		case opMakeClosure:
+			if ve := e.charge(interp.ClosureBytes); ve != nil {
+				return 0, ve
+			}
 			targs := ins.targs
 			var ft types.Type = ins.typ2
 			if ins.open {
@@ -1029,6 +1063,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			recv, ok := getv(s, r, ins.a).(*interp.ObjVal)
 			if !ok {
 				return 0, &interp.VirgilError{Name: "!NullCheckException"}
+			}
+			if ve := e.charge(interp.ClosureBytes); ve != nil {
+				return 0, ve
 			}
 			target := recv.Class.Vtable[ins.aux]
 			targs := ins.targs
@@ -1068,6 +1105,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			name := "?"
 			if ev.Tag >= 0 && ev.Tag < len(ev.Def.Cases) {
 				name = ev.Def.Cases[ev.Tag]
+			}
+			if ve := e.charge(interp.StringBytes(len(name))); ve != nil {
+				return 0, ve
 			}
 			elems := make([]interp.Value, len(name))
 			for k := 0; k < len(name); k++ {

@@ -17,6 +17,16 @@
 // call fires is deterministic even when points are hit concurrently;
 // delays are context-aware so an injected stall never outlives the
 // caller's cancellation.
+//
+// Point names are defined by their call sites. The catalog today:
+// the pipeline stages "parse", "check", "lower", "mono", "norm",
+// "opt", "validate", their "verify-<stage>" variants, the worker-pool
+// item claim "par", and the execution boundary "interp". The bytecode
+// path adds two engine-specific points the switch interpreter never
+// crosses: "translate" (before IR-to-bytecode translation) and
+// "engine" (after translation, before the first bytecode
+// instruction) — these drive the serve tier's engine-fallback
+// watchdog.
 package faultinject
 
 import (

@@ -97,6 +97,9 @@ type Stats struct {
 	TupleAllocs int64
 	// Calls counts function activations.
 	Calls int64
+	// HeapBytes is the cumulative modeled allocation cost (see heap.go);
+	// it is metered against the MaxHeap budget and never decreases.
+	HeapBytes int64
 }
 
 // DefaultMaxDepth bounds Virgil call depth. Each Virgil frame consumes
@@ -109,6 +112,7 @@ type Options struct {
 	Out      io.Writer       // System output; nil discards
 	MaxSteps int64           // step budget; 0 means the default (1e9)
 	MaxDepth int             // call-depth limit; 0 means DefaultMaxDepth
+	MaxHeap  int64           // modeled heap budget; 0 means DefaultMaxHeap
 	Timeout  time.Duration   // wall-clock budget; 0 means none
 	Ctx      context.Context // cancellation; nil means never cancelled
 }
@@ -127,6 +131,7 @@ type Interp struct {
 	stats    Stats
 	maxSteps int64
 	maxDepth int
+	maxHeap  int64
 	deadline time.Time
 	done     <-chan struct{} // caller-context cancellation; nil means never
 	frames   []Frame         // active Virgil call stack, outermost first
@@ -199,6 +204,10 @@ func New(mod *ir.Module, opts Options) *Interp {
 	i.maxDepth = opts.MaxDepth
 	if i.maxDepth == 0 {
 		i.maxDepth = DefaultMaxDepth
+	}
+	i.maxHeap = opts.MaxHeap
+	if i.maxHeap == 0 {
+		i.maxHeap = DefaultMaxHeap
 	}
 	if opts.Timeout > 0 {
 		i.deadline = time.Now().Add(opts.Timeout)
@@ -307,6 +316,17 @@ func (i *Interp) traceSnapshot() ([]Frame, int) {
 		out[k] = i.frames[n-1-k]
 	}
 	return out, n - keep
+}
+
+// charge meters one allocation of n modeled bytes against the heap
+// budget, returning a !HeapExhausted trap once the budget is spent.
+// The trace is stamped by call() as the trap unwinds, like every
+// other bare trap.
+func (i *Interp) charge(n int64) *VirgilError {
+	if ChargeHeap(&i.stats, i.maxHeap, n) {
+		return HeapTrap(n, i.maxHeap)
+	}
+	return nil
 }
 
 // trap builds a Virgil exception carrying the current stack trace.
@@ -419,6 +439,9 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			// slice — but decoding the string constant happens once per
 			// instruction, not once per execution.
 			tmpl := i.constString(in)
+			if ve := i.charge(StringBytes(len(tmpl))); ve != nil {
+				return nil, ve
+			}
 			elems := make([]Value, len(tmpl))
 			copy(elems, tmpl)
 			regs[in.Dst[0].ID] = &ArrVal{Elem: i.tc.Byte(), Elems: elems}
@@ -468,6 +491,9 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			regs[in.Dst[0].ID] = BoolVal(!ValueEq(get(in.Args[0]), get(in.Args[1])))
 
 		case ir.OpMakeTuple:
+			if ve := i.charge(TupleBytes(len(in.Args))); ve != nil {
+				return nil, ve
+			}
 			vs := make(TupleVal, len(in.Args))
 			for k, a := range in.Args {
 				vs[k] = get(a)
@@ -486,6 +512,9 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			cls, err := i.classFor(ct)
 			if err != nil {
 				return nil, err
+			}
+			if ve := i.charge(ObjectBytes(len(cls.Fields))); ve != nil {
+				return nil, ve
 			}
 			tmpl := i.fieldTemplate(cls, ct)
 			fields := make([]Value, len(tmpl))
@@ -513,6 +542,9 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			n := int(get(in.Args[0]).(IntVal))
 			if n < 0 {
 				return nil, &VirgilError{Name: "!LengthCheckException"}
+			}
+			if ve := i.charge(ArrayBytes(i.tc, at.Elem, int64(n))); ve != nil {
+				return nil, ve
 			}
 			av := &ArrVal{Elem: at.Elem, Len: n}
 			if at.Elem != i.tc.Void() {
@@ -621,6 +653,9 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			}
 
 		case ir.OpMakeClosure:
+			if ve := i.charge(ClosureBytes); ve != nil {
+				return nil, ve
+			}
 			targsClosed := i.substAll(in.TypeArgs, e)
 			fv := &FuncVal{Fn: in.Fn, TypeArgs: targsClosed}
 			if ft, ok := i.subst(in.Type2, e).(*types.Func); ok {
@@ -633,6 +668,9 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			recv, ok := get(in.Args[0]).(*ObjVal)
 			if !ok {
 				return nil, &VirgilError{Name: "!NullCheckException"}
+			}
+			if ve := i.charge(ClosureBytes); ve != nil {
+				return nil, ve
 			}
 			target := recv.Class.Vtable[in.FieldSlot]
 			targsClosed := i.substAll(in.TypeArgs, e)
@@ -661,6 +699,9 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			name := "?"
 			if ev.Tag >= 0 && ev.Tag < len(ev.Def.Cases) {
 				name = ev.Def.Cases[ev.Tag]
+			}
+			if ve := i.charge(StringBytes(len(name))); ve != nil {
+				return nil, ve
 			}
 			elems := make([]Value, len(name))
 			for k := 0; k < len(name); k++ {

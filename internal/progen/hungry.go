@@ -1,0 +1,56 @@
+package progen
+
+// Hungry returns the memory-hungry adversarial programs, keyed by
+// name. Each allocates without bound — fresh arrays, object + bound
+// closure chains, doubling string concatenation — so that under a
+// finite heap budget every one of them must end in the deterministic
+// !HeapExhausted trap (or a step budget, whichever the configured
+// guards reach first). The fuzz and differential suites seed these to
+// exercise the heap-accounting path in both engines; the serve soak
+// uses them to prove daemon RSS stays bounded under allocation
+// attacks.
+//
+// The first program is deliberately compute-light (a few steps per
+// 64 Ki-slot allocation) so tight step budgets do not fire before the
+// heap budget does; the other two are copy-heavy variants of the
+// crasher corpus shapes.
+func Hungry() map[string]string {
+	return map[string]string{
+		"array_growth": `
+def main() -> int {
+	var total = 0;
+	while (true) {
+		var a = Array<int>.new(65536);
+		total = total + a.length;
+	}
+	return total;
+}
+`,
+		"closure_chain": `
+class Acc {
+	var f: () -> int;
+	new(f) { }
+	def get() -> int { return f() + 1; }
+}
+def one() -> int { return 1; }
+def main() -> int {
+	var a = Acc.new(one);
+	while (true) a = Acc.new(a.get);
+	return a.get();
+}
+`,
+		"string_concat": `
+def concat(a: Array<byte>, b: Array<byte>) -> Array<byte> {
+	var r = Array<byte>.new(a.length + b.length);
+	for (i = 0; i < a.length; i++) r[i] = a[i];
+	for (i = 0; i < b.length; i++) r[a.length + i] = b[i];
+	return r;
+}
+def main() -> int {
+	var s = "virgil";
+	while (true) s = concat(s, s);
+	return s.length;
+}
+`,
+	}
+}

@@ -1,0 +1,42 @@
+package progen
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// TestHungryProgramsTrapHeapExhausted: every adversarial program
+// compiles under every configuration and, bounded by a small heap
+// budget (with steps generous enough that the heap guard fires
+// first for the compute-light shapes), ends in a deterministic
+// resource outcome — !HeapExhausted for the allocation-dominated
+// programs, never an ICE or an unbounded run.
+func TestHungryProgramsTrapHeapExhausted(t *testing.T) {
+	for name, src := range Hungry() {
+		t.Run(name, func(t *testing.T) {
+			for _, base := range core.Configs() {
+				cfg := base
+				cfg.MaxHeap = 1 << 16
+				cfg.MaxSteps = 5_000_000
+				comp, err := core.Compile(name+".v", src, cfg)
+				if err != nil {
+					t.Fatalf("[%s] compile: %v", cfg.Name(), err)
+				}
+				res := comp.Run()
+				var ve *interp.VirgilError
+				if !errors.As(res.Err, &ve) || ve.Name != interp.HeapExhausted {
+					t.Fatalf("[%s] want %s, got %v", cfg.Name(), interp.HeapExhausted, res.Err)
+				}
+				if res.Stats.HeapBytes <= cfg.MaxHeap {
+					t.Fatalf("[%s] HeapBytes = %d, want > budget %d", cfg.Name(), res.Stats.HeapBytes, cfg.MaxHeap)
+				}
+				if len(ve.Trace) == 0 {
+					t.Fatalf("[%s] %s carries no stack trace", cfg.Name(), ve.Name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// programHash identifies a program by its source files alone (name +
+// content), independent of config or engine: the quarantine decision
+// is about the program, not about one configuration of it. The short
+// hex form is what /stats exposes.
+func programHash(files []FileJSON) string {
+	h := sha256.New()
+	for _, f := range files {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(f.Name)))
+		h.Write(n[:])
+		h.Write([]byte(f.Name))
+		binary.LittleEndian.PutUint64(n[:], uint64(len(f.Source)))
+		h.Write(n[:])
+		h.Write([]byte(f.Source))
+	}
+	return fmt.Sprintf("%.8x", h.Sum(nil))
+}
+
+// maxRecentFallbacks bounds the fallback_hashes list in /stats.
+const maxRecentFallbacks = 8
+
+// fallbackTable is the engine-fallback watchdog's memory: an LRU of
+// per-program fallback counts. A program whose bytecode execution has
+// faulted (ICE or injected engine fault) `after` times is quarantined
+// — pinned to the reference switch interpreter — until its entry ages
+// out of the LRU. The table is per-daemon state, deliberately not
+// persisted: a restart gives every program a fresh chance on the fast
+// engine.
+type fallbackTable struct {
+	mu     sync.Mutex
+	cap    int
+	after  int        // fallbacks before quarantine; <0 disables quarantine
+	ll     *list.List // front = most recently faulted
+	m      map[string]*list.Element
+	recent []string // most recent offender hashes, newest first
+}
+
+type fallbackEntry struct {
+	hash  string
+	count int
+}
+
+func newFallbackTable(capacity, after int) *fallbackTable {
+	return &fallbackTable{cap: capacity, after: after, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+// record notes one bytecode-engine fallback for hash and returns the
+// program's updated fallback count.
+func (t *fallbackTable) record(hash string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.m[hash]
+	if !ok {
+		el = t.ll.PushFront(&fallbackEntry{hash: hash})
+		t.m[hash] = el
+		for t.ll.Len() > t.cap {
+			back := t.ll.Back()
+			t.ll.Remove(back)
+			delete(t.m, back.Value.(*fallbackEntry).hash)
+		}
+	} else {
+		t.ll.MoveToFront(el)
+	}
+	e := el.Value.(*fallbackEntry)
+	e.count++
+
+	t.recent = append([]string{hash}, deleteStr(t.recent, hash)...)
+	if len(t.recent) > maxRecentFallbacks {
+		t.recent = t.recent[:maxRecentFallbacks]
+	}
+	return e.count
+}
+
+// quarantined reports whether hash has accumulated enough fallbacks to
+// be pinned to the switch interpreter.
+func (t *fallbackTable) quarantined(hash string) bool {
+	if t.after < 0 {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.m[hash]
+	return ok && el.Value.(*fallbackEntry).count >= t.after
+}
+
+// snapshot returns the number of quarantined programs and the recent
+// offender hashes for /stats.
+func (t *fallbackTable) snapshot() (quarantined int, recent []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.after >= 0 {
+		for el := t.ll.Front(); el != nil; el = el.Next() {
+			if el.Value.(*fallbackEntry).count >= t.after {
+				quarantined++
+			}
+		}
+	}
+	return quarantined, append([]string(nil), t.recent...)
+}
+
+func deleteStr(ss []string, s string) []string {
+	out := ss[:0]
+	for _, v := range ss {
+		if v != s {
+			out = append(out, v)
+		}
+	}
+	return out
+}

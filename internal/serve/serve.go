@@ -22,6 +22,16 @@
 // serving. The fault-injection points of internal/faultinject fire
 // inside requests exactly as they do in tests, which is how the fault
 // matrix proves those claims.
+//
+// Self-healing and containment (see DESIGN.md "The containment
+// model"): every /run is bounded by a modeled heap budget
+// (Config.MaxHeapBytes, the interp.ChargeHeap cost model) in addition
+// to steps and wall clock; a bytecode-engine fault (ICE or injected
+// translate/engine fault) triggers a transparent re-run on the switch
+// interpreter, and programs that keep faulting are quarantined to the
+// reference engine. Requests may carry a tenant name, metered against
+// per-tenant concurrency, steps/sec, and heap-bytes/sec budgets with
+// structured 429s and per-tenant counters in /stats.
 package serve
 
 import (
@@ -32,6 +42,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -71,6 +82,23 @@ type Config struct {
 	// module and its translated bytecode, paying only execution.
 	// Default: 64 entries. Negative disables caching.
 	CacheSize int
+	// MaxHeapBytes bounds the modeled heap (interp.ChargeHeap cost
+	// model) of one /run request; a request's max_heap field may lower
+	// but not raise it. Default: 64 MiB.
+	MaxHeapBytes int64
+	// QuarantineAfter is how many bytecode-engine fallbacks a program
+	// may accumulate before it is pinned to the switch interpreter.
+	// Default: 3. Negative disables quarantine (fallback still runs).
+	QuarantineAfter int
+	// TenantMaxConcurrent caps one tenant's in-flight requests
+	// (0 = no cap). Only requests naming a tenant are metered.
+	TenantMaxConcurrent int
+	// TenantStepsPerSec is one tenant's sustained execution-step budget
+	// (0 = no cap), enforced as a token bucket with one second of burst.
+	TenantStepsPerSec int64
+	// TenantHeapPerSec is one tenant's sustained modeled-heap budget in
+	// bytes per second (0 = no cap), enforced like TenantStepsPerSec.
+	TenantHeapPerSec int64
 }
 
 func (c Config) withDefaults() Config {
@@ -95,20 +123,28 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 64
 	}
+	if c.MaxHeapBytes <= 0 {
+		c.MaxHeapBytes = 64 << 20
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
 	return c
 }
 
 // Server is the compile service. Create with New, mount via Handler or
 // run with Serve + Shutdown.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	sem     chan struct{}
-	baseCtx context.Context
-	cancel  context.CancelFunc
-	http    *http.Server
-	start   time.Time
-	cache   *compCache
+	cfg       Config
+	mux       *http.ServeMux
+	sem       chan struct{}
+	baseCtx   context.Context
+	cancel    context.CancelFunc
+	http      *http.Server
+	start     time.Time
+	cache     *compCache
+	fallbacks *fallbackTable
+	tenants   *tenantTable
 
 	draining  atomic.Bool
 	waiting   atomic.Int64
@@ -122,6 +158,12 @@ type Server struct {
 	shed      atomic.Int64
 	cacheHits atomic.Int64
 	cacheMiss atomic.Int64
+
+	engineFallbacks atomic.Int64
+	quotaRejected   atomic.Int64
+	// avgDurNs is an EWMA of request service time, feeding the
+	// Retry-After estimate for load-shed and quota rejections.
+	avgDurNs atomic.Int64
 }
 
 // New creates a server with cfg (zero fields defaulted).
@@ -129,13 +171,15 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.MaxConcurrent),
-		baseCtx: ctx,
-		cancel:  cancel,
-		start:   time.Now(),
-		cache:   newCompCache(cfg.CacheSize),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		sem:       make(chan struct{}, cfg.MaxConcurrent),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		start:     time.Now(),
+		cache:     newCompCache(cfg.CacheSize),
+		fallbacks: newFallbackTable(128, cfg.QuarantineAfter),
+		tenants:   newTenantTable(cfg),
 	}
 	s.mux.HandleFunc("/compile", s.guard(s.handleCompile))
 	s.mux.HandleFunc("/run", s.guard(s.handleRun))
@@ -195,48 +239,63 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
-	UptimeMs      int64  `json:"uptime_ms"`
-	InFlight      int64  `json:"in_flight"`
-	Waiting       int64  `json:"waiting"`
-	Total         int64  `json:"total"`
-	Succeeded     int64  `json:"succeeded"`
-	Diagnostics   int64  `json:"diagnostics"`
-	ICEs          int64  `json:"ices"`
-	Cancelled     int64  `json:"cancelled"`
-	Deadlines     int64  `json:"deadlines"`
-	Shed          int64  `json:"shed"`
-	CacheHits     int64  `json:"cache_hits"`
-	CacheMisses   int64  `json:"cache_misses"`
-	CacheEntries  int    `json:"cache_entries"`
-	Engine        string `json:"engine"`
-	MaxConcurrent int    `json:"max_concurrent"`
-	QueueDepth    int    `json:"queue_depth"`
-	FaultsArmed   bool   `json:"faults_armed"`
-	Draining      bool   `json:"draining"`
+	UptimeMs     int64 `json:"uptime_ms"`
+	InFlight     int64 `json:"in_flight"`
+	Waiting      int64 `json:"waiting"`
+	Total        int64 `json:"total"`
+	Succeeded    int64 `json:"succeeded"`
+	Diagnostics  int64 `json:"diagnostics"`
+	ICEs         int64 `json:"ices"`
+	Cancelled    int64 `json:"cancelled"`
+	Deadlines    int64 `json:"deadlines"`
+	Shed         int64 `json:"shed"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	// EngineFallbacks counts /run requests re-executed on the switch
+	// interpreter after a bytecode-engine fault; FallbackHashes lists
+	// the most recent offending program hashes, newest first.
+	EngineFallbacks     int64    `json:"engine_fallbacks"`
+	QuarantinedPrograms int      `json:"quarantined_programs"`
+	FallbackHashes      []string `json:"fallback_hashes,omitempty"`
+	// QuotaRejected counts requests shed by per-tenant quotas; Tenants
+	// holds the per-tenant counters.
+	QuotaRejected int64                 `json:"quota_rejected"`
+	Tenants       map[string]TenantStat `json:"tenants,omitempty"`
+	Engine        string                `json:"engine"`
+	MaxConcurrent int                   `json:"max_concurrent"`
+	QueueDepth    int                   `json:"queue_depth"`
+	FaultsArmed   bool                  `json:"faults_armed"`
+	Draining      bool                  `json:"draining"`
 }
 
 // Snapshot returns the current counters.
 func (s *Server) Snapshot() Stats {
-	return Stats{
-		UptimeMs:      time.Since(s.start).Milliseconds(),
-		InFlight:      s.inflight.Load(),
-		Waiting:       s.waiting.Load(),
-		Total:         s.total.Load(),
-		Succeeded:     s.succeeded.Load(),
-		Diagnostics:   s.diags.Load(),
-		ICEs:          s.ices.Load(),
-		Cancelled:     s.cancelled.Load(),
-		Deadlines:     s.deadlines.Load(),
-		Shed:          s.shed.Load(),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMiss.Load(),
-		CacheEntries:  s.cache.len(),
-		Engine:        core.Config{Engine: s.cfg.Engine}.EngineKind(),
-		MaxConcurrent: s.cfg.MaxConcurrent,
-		QueueDepth:    s.cfg.QueueDepth,
-		FaultsArmed:   faultinject.Enabled(),
-		Draining:      s.draining.Load(),
+	st := Stats{
+		UptimeMs:        time.Since(s.start).Milliseconds(),
+		InFlight:        s.inflight.Load(),
+		Waiting:         s.waiting.Load(),
+		Total:           s.total.Load(),
+		Succeeded:       s.succeeded.Load(),
+		Diagnostics:     s.diags.Load(),
+		ICEs:            s.ices.Load(),
+		Cancelled:       s.cancelled.Load(),
+		Deadlines:       s.deadlines.Load(),
+		Shed:            s.shed.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMiss.Load(),
+		CacheEntries:    s.cache.len(),
+		EngineFallbacks: s.engineFallbacks.Load(),
+		QuotaRejected:   s.quotaRejected.Load(),
+		Tenants:         s.tenants.snapshot(),
+		Engine:          core.Config{Engine: s.cfg.Engine}.EngineKind(),
+		MaxConcurrent:   s.cfg.MaxConcurrent,
+		QueueDepth:      s.cfg.QueueDepth,
+		FaultsArmed:     faultinject.Enabled(),
+		Draining:        s.draining.Load(),
 	}
+	st.QuarantinedPrograms, st.FallbackHashes = s.fallbacks.snapshot()
+	return st
 }
 
 // ---- wire types ----
@@ -262,14 +321,23 @@ type Request struct {
 	// Engine overrides the server's execution engine for this request:
 	// bytecode or switch ("" = server default).
 	Engine string `json:"engine,omitempty"`
+	// MaxHeap lowers the server's modeled heap budget for this /run
+	// (0 = server default; values above the server cap are clamped).
+	MaxHeap int64 `json:"max_heap,omitempty"`
+	// Tenant attributes the request to a tenant for quota metering.
+	// Empty is exempt (single-tenant usage).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ErrorInfo is the structured, stack-free form of a request failure.
 type ErrorInfo struct {
-	// Kind is one of: ice, cancelled, deadline, resource, error.
+	// Kind is one of: ice, cancelled, deadline, resource, quota, error.
 	Kind  string `json:"kind"`
 	Stage string `json:"stage,omitempty"`
 	Msg   string `json:"msg"`
+	// Quota names the per-tenant budget that rejected the request
+	// (concurrency, steps, or heap); set only when Kind is "quota".
+	Quota string `json:"quota,omitempty"`
 }
 
 // Diagnostic is one user-program error.
@@ -302,6 +370,13 @@ type Response struct {
 	// Cached reports that the compilation was served from the warm
 	// cache (execution still ran fresh).
 	Cached bool `json:"cached,omitempty"`
+	// Engine is the engine that produced the execution result; Fallback
+	// reports that the bytecode engine faulted and the result came from
+	// a switch-interpreter re-run; Quarantined reports that the program
+	// was already pinned to the switch interpreter.
+	Engine      string `json:"engine,omitempty"`
+	Fallback    bool   `json:"fallback,omitempty"`
+	Quarantined bool   `json:"quarantined,omitempty"`
 }
 
 // ---- handlers ----
@@ -369,8 +444,8 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: err.Error()}})
 		return
 	}
-	if req.MaxErrors < 0 || req.MaxSteps < 0 || req.TimeoutMs < 0 {
-		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: "max_errors, max_steps, and timeout_ms must be >= 0"}})
+	if req.MaxErrors < 0 || req.MaxSteps < 0 || req.TimeoutMs < 0 || req.MaxHeap < 0 {
+		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: "max_errors, max_steps, max_heap, and timeout_ms must be >= 0"}})
 		return
 	}
 	cfg.Jobs = s.cfg.Jobs
@@ -388,6 +463,23 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 
 	s.total.Add(1)
 
+	// Per-tenant quotas come before global admission so one over-quota
+	// tenant is shed without consuming a queue slot others could use.
+	if req.Tenant != "" {
+		releaseTenant, retryAfter, quota, ok := s.tenants.admit(req.Tenant)
+		if !ok {
+			s.quotaRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+			writeJSON(w, http.StatusTooManyRequests, Response{Error: &ErrorInfo{
+				Kind:  "quota",
+				Quota: quota,
+				Msg:   fmt.Sprintf("tenant %q over %s quota; retry later", req.Tenant, quota),
+			}})
+			return
+		}
+		defer releaseTenant()
+	}
+
 	// Admission: take a slot, or wait in the bounded queue, or shed.
 	release, admitted := s.admit(r.Context())
 	if !admitted {
@@ -399,13 +491,15 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 			return
 		}
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, Response{Error: &ErrorInfo{Kind: "error", Msg: "server at capacity; retry later"}})
 		return
 	}
 	defer release()
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	served := time.Now()
+	defer func() { s.observeDuration(time.Since(served)) }()
 
 	// Request context: client disconnect + per-request deadline +
 	// server shutdown, all observed by the pipeline's stage boundaries.
@@ -458,8 +552,38 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 		writeJSON(w, http.StatusUnprocessableEntity, resp)
 		return
 	}
+	// The modeled heap budget applies to every /run; a request may
+	// tighten it but not exceed the server cap.
+	maxHeap := s.cfg.MaxHeapBytes
+	if req.MaxHeap > 0 && req.MaxHeap < maxHeap {
+		maxHeap = req.MaxHeap
+	}
+	progHash := programHash(req.Files)
+	engineKind := cfg.EngineKind()
+	if engineKind == core.EngineBytecode && s.fallbacks.quarantined(progHash) {
+		// The watchdog has seen this program fault the bytecode engine
+		// too often; pin it to the reference interpreter.
+		engineKind = core.EngineSwitch
+		resp.Quarantined = true
+	}
 	var out strings.Builder
-	stats, runErr := comp.RunToContext(ctx, &out, req.MaxSteps)
+	stats, runErr := comp.RunWith(ctx, &out, core.RunOpts{MaxSteps: req.MaxSteps, MaxHeap: maxHeap, Engine: engineKind})
+	if runErr != nil && engineKind == core.EngineBytecode && isEngineFault(runErr) && ctx.Err() == nil {
+		// Self-healing: the pipeline compiled this program cleanly, so
+		// an ICE or injected fault here is an engine-execution fault —
+		// re-run on the proven-equivalent switch interpreter and record
+		// the offender for quarantine.
+		s.engineFallbacks.Add(1)
+		s.fallbacks.record(progHash)
+		resp.Fallback = true
+		engineKind = core.EngineSwitch
+		out.Reset()
+		stats, runErr = comp.RunWith(ctx, &out, core.RunOpts{MaxSteps: req.MaxSteps, MaxHeap: maxHeap, Engine: core.EngineSwitch})
+	}
+	resp.Engine = engineKind
+	if req.Tenant != "" {
+		s.tenants.charge(req.Tenant, stats.Steps, stats.HeapBytes)
+	}
 	res := core.RunResult{Output: out.String(), Stats: stats, Err: runErr}
 	resp.Output = res.Output
 	resp.Steps = res.Stats.Steps
@@ -504,6 +628,52 @@ func (s *Server) admit(ctx context.Context) (release func(), admitted bool) {
 	case <-s.baseCtx.Done():
 		return nil, false
 	}
+}
+
+// isEngineFault reports whether a /run error is a fault of the
+// bytecode engine itself rather than of the user's program: an ICE
+// (translation or execution panic, internal inconsistency) or an
+// injected fault at the translate/engine/interp points. Virgil traps
+// and resource-guard stops are the program's own behavior and never
+// trigger fallback.
+func isEngineFault(err error) bool {
+	var ice *src.ICE
+	return errors.As(err, &ice) || errors.Is(err, faultinject.ErrInjected)
+}
+
+// observeDuration folds one request's service time into the EWMA that
+// feeds Retry-After estimates (alpha = 1/8).
+func (s *Server) observeDuration(d time.Duration) {
+	for {
+		old := s.avgDurNs.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/8
+		}
+		if s.avgDurNs.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds derives the load-shed backoff hint from the
+// current queue depth and observed drain rate: the estimated time for
+// the wait queue to drain through the admission slots, clamped to
+// [1, 60] whole seconds.
+func (s *Server) retryAfterSeconds() int {
+	avg := time.Duration(s.avgDurNs.Load())
+	if avg <= 0 {
+		avg = 100 * time.Millisecond
+	}
+	est := time.Duration(s.waiting.Load()+1) * avg / time.Duration(s.cfg.MaxConcurrent)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // classify maps a pipeline or interpreter error to its structured wire

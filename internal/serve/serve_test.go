@@ -337,9 +337,14 @@ func largestProg() testprogs.Prog {
 // TestFaultMatrixThroughServer is the service-level acceptance matrix:
 // for every pipeline stage and every fault kind the server returns a
 // structured error (never a Go stack trace), /healthz stays OK, and a
-// subsequent clean request on the same process succeeds.
+// subsequent clean request on the same process succeeds. Faults at the
+// execution layer (the interp boundary and the bytecode-only
+// translate/engine points) are special: the watchdog re-runs the
+// request on the switch interpreter, so /run still answers 200 OK with
+// the fallback recorded instead of surfacing the fault.
 func TestFaultMatrixThroughServer(t *testing.T) {
-	stages := []string{"parse", "check", "lower", "mono", "norm", "opt", "validate", "interp", "par"}
+	stages := []string{"parse", "check", "lower", "mono", "norm", "opt", "validate", "interp", "translate", "engine", "par"}
+	execution := map[string]bool{"interp": true, "translate": true, "engine": true}
 	for _, stage := range stages {
 		for _, kind := range []string{faultinject.KindPanic, faultinject.KindErr, faultinject.KindDelay} {
 			t.Run(stage+"/"+kind, func(t *testing.T) {
@@ -350,18 +355,26 @@ func TestFaultMatrixThroughServer(t *testing.T) {
 				restore := faultinject.Set(reg)
 				defer restore()
 
-				_, ts := newTestServer(t, Config{})
+				s, ts := newTestServer(t, Config{})
 				status, resp := post(t, ts.URL+"/run", Request{Files: files("ok.v", okProg)})
-				switch kind {
-				case faultinject.KindPanic:
+				healed := execution[stage] && kind != faultinject.KindDelay
+				switch {
+				case healed:
+					if status != http.StatusOK || !resp.OK || !resp.Fallback || resp.Engine != "switch" {
+						t.Fatalf("status=%d resp=%+v", status, resp)
+					}
+					if got := s.Snapshot().EngineFallbacks; got != 1 {
+						t.Fatalf("engine_fallbacks = %d, want 1", got)
+					}
+				case kind == faultinject.KindPanic:
 					if status != http.StatusInternalServerError || resp.Error == nil || resp.Error.Kind != "ice" {
 						t.Fatalf("status=%d resp=%+v", status, resp)
 					}
-				case faultinject.KindErr:
+				case kind == faultinject.KindErr:
 					if resp.Error == nil || !strings.Contains(resp.Error.Msg, "injected error") {
 						t.Fatalf("status=%d resp=%+v", status, resp)
 					}
-				case faultinject.KindDelay:
+				case kind == faultinject.KindDelay:
 					if status != http.StatusOK || !resp.OK {
 						t.Fatalf("status=%d resp=%+v", status, resp)
 					}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// ---- unit: program hashing and the fallback table ----
+
+func TestProgramHash(t *testing.T) {
+	a := programHash(files("a.v", "def main() { }"))
+	if a != programHash(files("a.v", "def main() { }")) {
+		t.Fatal("hash is not deterministic")
+	}
+	if len(a) != 16 {
+		t.Fatalf("hash %q, want 8 bytes = 16 hex chars", a)
+	}
+	if a == programHash(files("b.v", "def main() { }")) {
+		t.Fatal("hash ignores the file name")
+	}
+	if a == programHash(files("a.v", "def main() { var x = 0; }")) {
+		t.Fatal("hash ignores the source")
+	}
+}
+
+func TestFallbackTableQuarantineAndLRU(t *testing.T) {
+	ft := newFallbackTable(2, 2)
+	if ft.record("a") != 1 || ft.quarantined("a") {
+		t.Fatal("one fallback must not quarantine at after=2")
+	}
+	if ft.record("a") != 2 || !ft.quarantined("a") {
+		t.Fatal("second fallback must quarantine at after=2")
+	}
+	// Two fresh programs evict "a" from the two-entry LRU: aging out of
+	// the table ends the quarantine (fresh chance on the fast engine).
+	ft.record("b")
+	ft.record("c")
+	if ft.quarantined("a") {
+		t.Fatal("evicted program is still quarantined")
+	}
+	q, recent := ft.snapshot()
+	if q != 0 {
+		t.Fatalf("quarantined = %d, want 0 (b and c have one fallback each)", q)
+	}
+	if len(recent) == 0 || recent[0] != "c" {
+		t.Fatalf("recent = %v, want newest-first starting with c", recent)
+	}
+}
+
+func TestFallbackTableQuarantineDisabled(t *testing.T) {
+	ft := newFallbackTable(8, -1)
+	for i := 0; i < 10; i++ {
+		ft.record("a")
+	}
+	if ft.quarantined("a") {
+		t.Fatal("negative after must disable quarantine")
+	}
+	if q, _ := ft.snapshot(); q != 0 {
+		t.Fatalf("snapshot reports %d quarantined with quarantine disabled", q)
+	}
+}
+
+// ---- unit: Retry-After derivation ----
+
+func TestRetryAfterDerivation(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2})
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("no samples: Retry-After = %d, want the 1s floor", got)
+	}
+	// One observed 4s request and 9 waiters behind 2 slots: the queue
+	// needs (9+1)*4s/2 = 20s to drain.
+	s.observeDuration(4 * time.Second)
+	s.waiting.Store(9)
+	if got := s.retryAfterSeconds(); got != 20 {
+		t.Fatalf("Retry-After = %d, want 20", got)
+	}
+	s.waiting.Store(1_000_000)
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Fatalf("Retry-After = %d, want the 60s clamp", got)
+	}
+	// The EWMA follows a shift toward faster requests.
+	s.waiting.Store(0)
+	for i := 0; i < 100; i++ {
+		s.observeDuration(time.Millisecond)
+	}
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("Retry-After = %d after fast requests, want 1", got)
+	}
+}
+
+func TestRetrySecs(t *testing.T) {
+	for _, tt := range []struct {
+		deficit, rate float64
+		want          int
+	}{
+		{0, 100, 1},
+		{150, 100, 3}, // ceil(1.5)+1
+		{1e9, 1, 60},  // clamped
+	} {
+		if got := retrySecs(tt.deficit, tt.rate); got != tt.want {
+			t.Errorf("retrySecs(%v, %v) = %d, want %d", tt.deficit, tt.rate, got, tt.want)
+		}
+	}
+}
+
+// ---- end to end: the engine-fallback watchdog ----
+
+// TestEngineFallbackAndQuarantine arms one-shot faults at the two
+// bytecode-only points and drives the same program through /run three
+// times at QuarantineAfter=2:
+//
+//	run 1: translate faults → transparent switch re-run (fallback #1)
+//	run 2: engine faults    → transparent switch re-run (fallback #2)
+//	run 3: no fault armed   → already quarantined, pinned to switch
+//
+// Every run returns the program's true output; /stats records the
+// fallbacks, the quarantine, and the offending hash.
+func TestEngineFallbackAndQuarantine(t *testing.T) {
+	reg, err := faultinject.Parse("translate:err:0,engine:err:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Set(reg)()
+
+	s, ts := newTestServer(t, Config{QuarantineAfter: 2})
+	req := Request{Files: files("ok.v", okProg)}
+
+	for run := 1; run <= 2; run++ {
+		status, resp := post(t, ts.URL+"/run", req)
+		if status != http.StatusOK || !resp.OK || resp.Output != "hello\n" {
+			t.Fatalf("run %d: status=%d resp=%+v, want healed 200", run, status, resp)
+		}
+		if !resp.Fallback || resp.Engine != "switch" || resp.Quarantined {
+			t.Fatalf("run %d: fallback=%v engine=%q quarantined=%v, want fallback on switch", run, resp.Fallback, resp.Engine, resp.Quarantined)
+		}
+	}
+
+	status, resp := post(t, ts.URL+"/run", req)
+	if status != http.StatusOK || !resp.OK || resp.Output != "hello\n" {
+		t.Fatalf("quarantined run: status=%d resp=%+v", status, resp)
+	}
+	if !resp.Quarantined || resp.Fallback || resp.Engine != "switch" {
+		t.Fatalf("quarantined run: fallback=%v engine=%q quarantined=%v, want pinned to switch with no fallback", resp.Fallback, resp.Engine, resp.Quarantined)
+	}
+
+	st := s.Snapshot()
+	if st.EngineFallbacks != 2 {
+		t.Fatalf("engine_fallbacks = %d, want 2", st.EngineFallbacks)
+	}
+	if st.QuarantinedPrograms != 1 {
+		t.Fatalf("quarantined_programs = %d, want 1", st.QuarantinedPrograms)
+	}
+	if len(st.FallbackHashes) != 1 || st.FallbackHashes[0] != programHash(req.Files) {
+		t.Fatalf("fallback_hashes = %v, want [%s]", st.FallbackHashes, programHash(req.Files))
+	}
+
+	// An unrelated program is unaffected: it runs on the bytecode engine.
+	status, resp = post(t, ts.URL+"/run", Request{Files: files("other.v", `def main() { System.puti(7); System.ln(); }`)})
+	if status != http.StatusOK || !resp.OK || resp.Engine != "bytecode" || resp.Quarantined || resp.Fallback {
+		t.Fatalf("unrelated program: status=%d resp=%+v, want clean bytecode run", status, resp)
+	}
+}
+
+// TestFallbackWithQuarantineDisabled: QuarantineAfter < 0 keeps the
+// watchdog re-running faulted programs on the switch interpreter but
+// never pins them — the bytecode engine gets every next request.
+func TestFallbackWithQuarantineDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Config{QuarantineAfter: -1})
+	req := Request{Files: files("ok.v", okProg)}
+	for run := 0; run < 3; run++ {
+		// Re-arm a fresh one-shot engine fault for every run: a fired
+		// fault's nth counter is spent, so each arming fires exactly once.
+		reg, err := faultinject.Parse("engine:err:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		restore := faultinject.Set(reg)
+		status, resp := post(t, ts.URL+"/run", req)
+		restore()
+		if status != http.StatusOK || !resp.OK || !resp.Fallback || resp.Quarantined {
+			t.Fatalf("run %d: status=%d resp=%+v, want fallback without quarantine", run, status, resp)
+		}
+	}
+	st := s.Snapshot()
+	if st.EngineFallbacks != 3 || st.QuarantinedPrograms != 0 {
+		t.Fatalf("fallbacks=%d quarantined=%d, want 3/0", st.EngineFallbacks, st.QuarantinedPrograms)
+	}
+}
+
+// TestShedRetryAfterHeaderParses: the load-shed Retry-After hint is a
+// positive integer derived from queue state, not a constant string
+// baked into the handler.
+func TestShedRetryAfterHeaderParses(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1})
+	// Saturate the one slot and the one queue seat with deadline-bounded
+	// infinite loops, and only then probe.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, _ = postCtx(context.Background(), ts.URL+"/run",
+				Request{Files: files("loop.v", loopProg), TimeoutMs: 1000})
+		}()
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		st := s.Snapshot()
+		return st.InFlight == 1 && st.Waiting == 1
+	})
+	body, err := json.Marshal(Request{Files: files("ok.v", okProg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := hres.Header.Get("Retry-After")
+	_, _ = io.Copy(io.Discard, hres.Body)
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("probe status = %d, want 429 with slot and queue full", hres.StatusCode)
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 60 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 60]", ra)
+	}
+	wg.Wait()
+}

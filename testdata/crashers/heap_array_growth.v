@@ -1,0 +1,14 @@
+// Unbounded array doubling: each round allocates a fresh array twice
+// the size and copies the old one over, so the modeled heap grows
+// geometrically until a resource guard (heap budget or step budget)
+// contains it.
+def grow(a: Array<int>) -> Array<int> {
+	var b = Array<int>.new(a.length * 2);
+	for (i = 0; i < a.length; i++) b[i] = a[i];
+	return b;
+}
+def main() -> int {
+	var a = Array<int>.new(64);
+	while (true) a = grow(a);
+	return a.length;
+}

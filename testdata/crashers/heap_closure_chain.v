@@ -1,0 +1,14 @@
+// Deep closure chain: every round wraps the previous accumulator in a
+// fresh object and binds its method as a closure, so objects and bound
+// closures accumulate without bound until a guard fires.
+class Acc {
+	var f: () -> int;
+	new(f) { }
+	def get() -> int { return f() + 1; }
+}
+def one() -> int { return 1; }
+def main() -> int {
+	var a = Acc.new(one);
+	while (true) a = Acc.new(a.get);
+	return a.get();
+}

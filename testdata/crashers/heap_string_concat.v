@@ -1,0 +1,14 @@
+// String concatenation loop: strings are byte arrays, so repeated
+// self-concatenation doubles the allocation every round until a guard
+// fires.
+def concat(a: Array<byte>, b: Array<byte>) -> Array<byte> {
+	var r = Array<byte>.new(a.length + b.length);
+	for (i = 0; i < a.length; i++) r[i] = a[i];
+	for (i = 0; i < b.length; i++) r[a.length + i] = b[i];
+	return r;
+}
+def main() -> int {
+	var s = "virgil";
+	while (true) s = concat(s, s);
+	return s.length;
+}
