@@ -2,44 +2,55 @@
 //
 // Usage:
 //
-//	virgil run [-config ref|mono|norm|full] [-engine bytecode|switch] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] file.v...
+//	virgil run [-config ref|mono|norm|full] [-engine bytecode|switch] [-analyze=bool] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] file.v...
 //	virgil check [-config ...] [-verify-ir] file.v...
 //	virgil dump [-config ...] [-verify-ir] file.v...
-//	virgil lint file.v...
+//	virgil lint [-lint-strict] file.v...
+//	virgil analyze [-jobs n] file.v...
 //	virgil stats file.v...
 //	virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
 //
 // run executes the program; check compiles under the selected config
 // without executing; dump prints the IR after the selected pipeline
-// stages; lint typechecks and reports advisory diagnostics (unreachable
-// code, locals read before initialization, unused locals, fields,
-// private functions and type parameters, statically-decided casts);
-// stats prints monomorphization, normalization and optimization
-// statistics; serve runs the compiler as an HTTP JSON service
-// (endpoints /compile, /run, /healthz, /stats) until SIGINT/SIGTERM,
-// then drains in-flight requests and exits. -engine selects the
-// execution engine: bytecode (the default; compiles IR to register
-// bytecode with unboxed scalars and inline caches) or switch (the
-// direct tree-walking interpreter, kept as reference semantics) — the
-// two are observably identical. -verify-ir runs the typed
-// IR verifier after every pipeline stage (also enabled by the
-// VIRGIL_VERIFY_IR environment variable). -max-errors caps reported
-// diagnostics (0 = default cap). -max-heap bounds the modeled heap
-// (cumulative allocation cost in bytes) of the executed program;
-// exceeding it raises the deterministic !HeapExhausted trap.
+// stages; lint reports advisory diagnostics from two layers — AST
+// rules (unreachable code, locals read before initialization, unused
+// locals, fields, private functions and type parameters,
+// statically-decided casts) and whole-program IR rules (result of a
+// pure call unused, provably infinite loops, allocations inside loops)
+// — exiting 2 when findings exist, or 1 under -lint-strict; analyze
+// emits the whole-program static analysis (call graph, escape
+// verdicts, per-function effects, interval summary) as JSON, byte
+// identical at every -jobs value; stats prints monomorphization,
+// normalization and optimization statistics; serve runs the compiler
+// as an HTTP JSON service (endpoints /compile, /run, /healthz,
+// /stats) until SIGINT/SIGTERM, then drains in-flight requests and
+// exits. -engine selects the execution engine: bytecode (the default;
+// compiles IR to register bytecode with unboxed scalars and inline
+// caches) or switch (the direct tree-walking interpreter, kept as
+// reference semantics) — the two are observably identical. -analyze
+// (default true) toggles the analysis-driven optimizer passes under
+// -config full: call-graph devirtualization, pure-call elimination,
+// and stack promotion of non-escaping allocations. -verify-ir runs
+// the typed IR verifier after every pipeline stage (also enabled by
+// the VIRGIL_VERIFY_IR environment variable). -max-errors caps
+// reported diagnostics (0 = default cap). -max-heap bounds the
+// modeled heap (cumulative allocation cost in bytes) of the executed
+// program; exceeding it raises the deterministic !HeapExhausted trap.
 //
-// Exit codes: 0 success; 1 source diagnostics, lint findings, Virgil
-// trap, or resource exhaustion; 2 usage error; 3 internal compiler
-// error.
+// Exit codes: 0 success; 1 source diagnostics, Virgil trap, resource
+// exhaustion, or lint findings under -lint-strict; 2 usage error or
+// lint findings; 3 internal compiler error.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/lint"
@@ -53,6 +64,11 @@ const (
 	exitDiag  = 1
 	exitUsage = 2
 	exitICE   = 3
+	// exitLint is the distinct code for "the program compiles but lint
+	// found something". It shares the number with exitUsage — findings
+	// and usage errors are both "fix your invocation/input, nothing
+	// ran" — and is told apart by the findings on stdout.
+	exitLint = 2
 )
 
 func main() {
@@ -68,7 +84,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	cmd := argv[0]
 	switch cmd {
-	case "run", "check", "dump", "lint", "stats":
+	case "run", "check", "dump", "lint", "stats", "analyze":
 	case "serve":
 		return serveCmd(argv[1:], stdout, stderr)
 	default:
@@ -86,6 +102,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for execution (0 = none)")
 	jobs := fs.Int("jobs", 0, "worker count for per-function pipeline stages (0 = GOMAXPROCS, 1 = sequential)")
 	maxErrors := fs.Int("max-errors", 0, "cap on reported diagnostics (0 = default cap)")
+	analyze := fs.Bool("analyze", true, "run the whole-program analysis passes under -config full (devirtualization, pure-call elimination, stack promotion)")
+	lintStrict := fs.Bool("lint-strict", false, "treat lint findings as compile errors (exit 1 instead of 2)")
 	if err := fs.Parse(argv[1:]); err != nil {
 		return exitUsage
 	}
@@ -107,6 +125,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	cfg.Timeout = *timeout
 	cfg.Jobs = *jobs
 	cfg.MaxErrors = *maxErrors
+	if !*analyze {
+		cfg.Analyze = false
+	}
 
 	var srcs []core.File
 	for _, name := range files {
@@ -143,19 +164,61 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprint(stdout, comp.Module.String())
 	case "lint":
-		prog, err := core.CheckFiles(srcs)
+		return lintCmd(stdout, stderr, srcs, *jobs, *lintStrict)
+	case "analyze":
+		if !cfg.Optimize || !cfg.Analyze {
+			fmt.Fprintln(stderr, "virgil: analyze requires -config full with -analyze enabled")
+			return exitUsage
+		}
+		comp, err := core.CompileFiles(srcs, cfg)
 		if err != nil {
 			return report(stderr, err)
 		}
-		findings := lint.Run(prog)
-		for _, f := range findings {
-			fmt.Fprintln(stdout, f)
+		out, err := analysis.ReportJSON(comp.Analysis)
+		if err != nil {
+			fmt.Fprintln(stderr, "virgil:", err)
+			return exitICE
 		}
-		if len(findings) > 0 {
+		if _, err := stdout.Write(out); err != nil {
+			fmt.Fprintln(stderr, "virgil:", err)
 			return exitDiag
 		}
 	case "stats":
 		return printStats(stdout, stderr, srcs)
+	}
+	return exitOK
+}
+
+// lintCmd runs both lint layers: the AST rules over the checked
+// program, and the IR rules over the monomorphized (but unoptimized)
+// module with whole-program analysis facts — unoptimized because the
+// optimizer would delete the very defects these rules report.
+// Findings exist: exit code 2, or 1 under -lint-strict (findings
+// promoted to errors).
+func lintCmd(stdout, stderr io.Writer, srcs []core.File, jobs int, strict bool) int {
+	prog, err := core.CheckFiles(srcs)
+	if err != nil {
+		return report(stderr, err)
+	}
+	findings := lint.Run(prog)
+	comp, err := core.CompileFiles(srcs, core.Config{Monomorphize: true, Jobs: jobs})
+	if err != nil {
+		return report(stderr, err)
+	}
+	res, err := analysis.Analyze(context.Background(), comp.Module, analysis.Config{Jobs: jobs})
+	if err != nil {
+		return report(stderr, err)
+	}
+	findings = append(findings, lint.RunIR(comp.Module, res)...)
+	lint.SortFindings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		if strict {
+			return exitDiag
+		}
+		return exitLint
 	}
 	return exitOK
 }
@@ -235,16 +298,17 @@ func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-engine bytecode|switch] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] file.v...
+	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-engine bytecode|switch] [-analyze=bool] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] file.v...
        virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
 
 commands:
-  run    compile and execute the program
-  check  compile under the selected config without executing
-  dump   print the IR after the selected pipeline stages
-  lint   report advisory diagnostics (unused code, bad casts, ...)
-  stats  print per-stage compilation statistics
-  serve  run the compiler as an HTTP JSON service (/compile, /run, /healthz, /stats)
+  run      compile and execute the program
+  check    compile under the selected config without executing
+  dump     print the IR after the selected pipeline stages
+  lint     report advisory diagnostics (unused code, pure calls, loop allocs, ...); -lint-strict makes them errors
+  analyze  print the whole-program static analysis (call graph, escapes, effects) as JSON
+  stats    print per-stage compilation statistics
+  serve    run the compiler as an HTTP JSON service (/compile, /run, /healthz, /stats)
 
-exit codes: 0 ok; 1 diagnostics, lint findings, trap, or resource limit; 2 usage; 3 internal compiler error`)
+exit codes: 0 ok; 1 diagnostics, trap, resource limit, or strict lint findings; 2 usage or lint findings; 3 internal compiler error`)
 }

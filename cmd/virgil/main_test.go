@@ -193,8 +193,9 @@ func assertNoGoStack(t *testing.T, stderr string) {
 }
 
 // TestLintSubcommand: virgil lint reports advisory findings with
-// positions and exits 1, stays silent and exits 0 on clean programs,
-// and reports ordinary diagnostics for programs that do not check.
+// positions and exits 2 (distinct from diagnostics), exits 1 under
+// -lint-strict, stays silent and exits 0 on clean programs, and
+// reports ordinary diagnostics for programs that do not check.
 func TestLintSubcommand(t *testing.T) {
 	dirty := write(t, "dirty.v", `
 def main() {
@@ -204,8 +205,8 @@ def main() {
 }
 `)
 	code, out, _ := exec("lint", dirty)
-	if code != exitDiag {
-		t.Errorf("dirty program: exit %d, want %d", code, exitDiag)
+	if code != exitLint {
+		t.Errorf("dirty program: exit %d, want %d", code, exitLint)
 	}
 	if !strings.Contains(out, "unused-local: local unused is never read") {
 		t.Errorf("missing unused-local finding in output:\n%s", out)
@@ -215,6 +216,11 @@ def main() {
 	}
 	if !strings.Contains(out, "dirty.v:3:6:") {
 		t.Errorf("findings lack file:line:col positions:\n%s", out)
+	}
+
+	code, _, _ = exec("lint", "-lint-strict", dirty)
+	if code != exitDiag {
+		t.Errorf("dirty program with -lint-strict: exit %d, want %d", code, exitDiag)
 	}
 
 	clean := write(t, "clean.v", `def main() { System.puts("ok"); System.ln(); }`)

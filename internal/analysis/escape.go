@@ -1,0 +1,211 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Escape analysis: a value "escapes" its creating frame when it can be
+// observed after the frame returns — it is returned or thrown, stored
+// into an object, array, or global, captured by a bound-method
+// closure, or passed to a callee that lets the corresponding parameter
+// escape. An allocation whose result register never escapes is
+// frame-local: both engines may skip its modeled heap charge (stack
+// promotion) without changing any observable behavior except the
+// HeapBytes meter itself.
+//
+// The analysis is interprocedural: each function gets a parameter
+// summary (does param i escape from the callee?), and the summaries
+// are iterated to a least fixpoint over the call graph. Starting from
+// the optimistic "nothing escapes" bottom and applying monotone rules
+// converges to the least sound may-escape solution, so recursion needs
+// no special casing.
+//
+// Deliberate conservatisms, in both directions of the cost model:
+//   - Builtins (System.puts and friends) do not retain their
+//     arguments — they copy bytes to the output stream — so builtin
+//     call arguments do not escape.
+//   - A bound-method receiver (OpMakeBound Args[0]) always escapes:
+//     the closure may flow to call sites this pass does not track
+//     pairwise, and the target method could leak its receiver.
+//   - Returning a value counts as escaping, which keeps synthesized
+//     allocator functions (A.new returns the object) honest; callers
+//     see the allocation as local only after the allocator is inlined.
+type escapeState struct {
+	res *Result
+	// summaries[f][i] reports whether f's parameter i may escape f
+	// (including by being returned).
+	summaries map[*ir.Func][]bool
+}
+
+// computeEscapes fills FuncFacts.EscapingRegs, ParamEscapes, and
+// NonEscaping for every function in res.
+func computeEscapes(res *Result) {
+	es := &escapeState{res: res, summaries: map[*ir.Func][]bool{}}
+	for _, f := range res.Mod.Funcs {
+		es.summaries[f] = make([]bool, len(f.Params))
+	}
+	// Global fixpoint: recompute every function against the current
+	// summaries until no summary changes. Functions are visited in
+	// module order, so the iteration — and therefore every derived
+	// artifact — is deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range res.Mod.Funcs {
+			esc := es.escapingRegs(f)
+			sum := es.summaries[f]
+			for i, p := range f.Params {
+				if esc[p] && !sum[i] {
+					sum[i] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Final pass: record per-function facts against the fixed summaries.
+	for i, f := range res.Mod.Funcs {
+		facts := res.Funcs[i]
+		esc := es.escapingRegs(f)
+		facts.EscapingRegs = esc
+		facts.ParamEscapes = es.summaries[f]
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if !IsAlloc(in) || len(in.Dst) == 0 {
+					continue
+				}
+				escapes := false
+				for _, d := range in.Dst {
+					if esc[d] {
+						escapes = true
+					}
+				}
+				facts.AllocSites = append(facts.AllocSites, AllocSite{Instr: in, Escapes: escapes})
+				if !escapes {
+					facts.NonEscaping = append(facts.NonEscaping, in)
+				}
+			}
+		}
+	}
+}
+
+// escapingRegs computes the set of registers of f whose values may
+// escape the frame, under the current callee summaries. The local
+// rules are iterated to a fixpoint because escape propagates backward
+// through value-transparent instructions (moves, casts, aggregates).
+func (es *escapeState) escapingRegs(f *ir.Func) map[*ir.Reg]bool {
+	esc := map[*ir.Reg]bool{}
+	mark := func(r *ir.Reg) bool {
+		if r == nil || esc[r] {
+			return false
+		}
+		esc[r] = true
+		return true
+	}
+	cgNode := es.res.CallGraph.NodeFor(f)
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				switch in.Op {
+				case ir.OpRet, ir.OpThrow:
+					for _, a := range in.Args {
+						if mark(a) {
+							changed = true
+						}
+					}
+				case ir.OpGlobalStore:
+					if mark(in.Args[0]) {
+						changed = true
+					}
+				case ir.OpFieldStore:
+					// The stored value escapes into the object; the object
+					// itself does not escape by being stored into.
+					if mark(in.Args[1]) {
+						changed = true
+					}
+				case ir.OpArrayStore:
+					if mark(in.Args[2]) {
+						changed = true
+					}
+				case ir.OpMove, ir.OpTypeCast:
+					if len(in.Dst) > 0 && esc[in.Dst[0]] && mark(in.Args[0]) {
+						changed = true
+					}
+				case ir.OpMakeTuple:
+					// A tuple escaping carries its elements with it.
+					if len(in.Dst) > 0 && esc[in.Dst[0]] {
+						for _, a := range in.Args {
+							if mark(a) {
+								changed = true
+							}
+						}
+					}
+				case ir.OpMakeBound:
+					// The receiver is captured by the closure; see the
+					// conservatism note above.
+					if mark(in.Args[0]) {
+						changed = true
+					}
+				case ir.OpCallStatic:
+					// Arity-bent sites (tuple args adapted at runtime in
+					// pre-normalized IR) cannot be mapped parameterwise.
+					if in.Fn == nil || len(in.Args) != len(in.Fn.Params) {
+						for _, a := range in.Args {
+							if mark(a) {
+								changed = true
+							}
+						}
+						continue
+					}
+					for k, a := range in.Args {
+						if es.paramEscapes(in.Fn, k) && mark(a) {
+							changed = true
+						}
+					}
+				case ir.OpCallVirtual, ir.OpCallIndirect:
+					targets, resolved := []*ir.Func(nil), false
+					if cgNode != nil {
+						ts, ok := cgNode.Sites[in]
+						targets, resolved = ts, ok && ts != nil
+					}
+					// For indirect calls, Args[0] is the invoked closure:
+					// invoking it does not make the closure itself escape.
+					args := in.Args
+					if in.Op == ir.OpCallIndirect {
+						args = in.Args[1:]
+					}
+					if !resolved {
+						for _, a := range args {
+							if mark(a) {
+								changed = true
+							}
+						}
+						continue
+					}
+					for k, a := range args {
+						for _, t := range targets {
+							if len(args) != len(t.Params) || es.paramEscapes(t, k) {
+								if mark(a) {
+									changed = true
+								}
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return esc
+}
+
+// paramEscapes looks up the current summary bit for fn's parameter k.
+// A nil or unknown callee and out-of-range parameters (arity-bent call
+// sites survive in unoptimized IR) are conservatively escaping.
+func (es *escapeState) paramEscapes(fn *ir.Func, k int) bool {
+	if fn == nil {
+		return true
+	}
+	sum, ok := es.summaries[fn]
+	if !ok || k >= len(sum) {
+		return true
+	}
+	return sum[k]
+}

@@ -1,0 +1,18 @@
+// First-class functions: a bound method and a plain closure, one
+// frame-local (stack-promotable) and one escaping through a return.
+class Counter {
+	var total: int;
+	new(total) { }
+	def add(x: int) { total = total + x; }
+}
+def twice(x: int) -> int { return x * 2; }
+def apply(f: int -> int, x: int) -> int { return f(x); }
+def makeAdder(c: Counter) -> (int -> void) { return c.add; }
+def main() {
+	var c = Counter.new(0);
+	var f = makeAdder(c);
+	f(apply(twice, 10));
+	c.add(1);
+	System.puti(c.total);
+	System.ln();
+}

@@ -1,0 +1,23 @@
+// Effect lattice coverage: a pure helper, a transitively-IO printer,
+// recursion (diverge), and a heap-writing method.
+class Box {
+	var v: int;
+	new(v) { }
+	def set(x: int) { v = x; }
+}
+def pure3(a: int, b: int, c: int) -> int { return a * b + c; }
+def gcd(a: int, b: int) -> int {
+	if (b == 0) return a;
+	return gcd(b, a % b);
+}
+def show(x: int) {
+	System.puti(x);
+	System.putc(' ');
+}
+def main() {
+	var b = Box.new(0);
+	b.set(pure3(2, 3, 4));
+	show(b.v);
+	show(gcd(48, 18));
+	System.ln();
+}

@@ -1,0 +1,26 @@
+// Class hierarchy with a virtual call that RTA resolves to a single
+// target: only Square is ever instantiated.
+class Shape {
+	def area() -> int { return 0; }
+}
+class Square extends Shape {
+	var side: int;
+	new(side) { }
+	def area() -> int { return side * side; }
+}
+class Circle extends Shape {
+	var r: int;
+	new(r) { }
+	def area() -> int { return 3 * r * r; }
+}
+def total(shapes: Array<Shape>) -> int {
+	var t = 0;
+	for (i = 0; i < shapes.length; i++) t = t + shapes[i].area();
+	return t;
+}
+def main() {
+	var xs = Array<Shape>.new(4);
+	for (i = 0; i < xs.length; i++) xs[i] = Square.new(i + 1);
+	System.puti(total(xs));
+	System.ln();
+}

@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/testprogs"
+)
+
+// This file is the differential proof that the analysis-driven passes
+// (call-graph devirtualization, pure-call elimination, stack
+// promotion) are semantics-preserving: for every corpus program, under
+// both engines, the optimized-with-analysis build produces the same
+// output and the same trap as the optimized-without-analysis build —
+// and never charges more modeled heap.
+
+// analyzeOnOff compiles p under Optimize with and without the analysis
+// layer and runs both under the given engine.
+func analyzeOnOff(t *testing.T, engine, name, source string) (on, off core.RunResult) {
+	t.Helper()
+	base := core.Compiled()
+	base.Engine = engine
+
+	onCfg := base
+	offCfg := base
+	offCfg.Analyze = false
+
+	onComp, err := core.Compile(name, source, onCfg)
+	if err != nil {
+		t.Fatalf("compile with analysis: %v", err)
+	}
+	offComp, err := core.Compile(name, source, offCfg)
+	if err != nil {
+		t.Fatalf("compile without analysis: %v", err)
+	}
+	return onComp.Run(), offComp.Run()
+}
+
+// analysisTrap extracts the Virgil trap identity, or "" for success.
+// Resource stops return their kind so budget-sensitive programs can be
+// skipped rather than compared (the analysis passes legitimately
+// change step and heap accounting, which moves where a budget fires).
+func analysisTrap(err error) (name string, resource bool) {
+	switch e := err.(type) {
+	case nil:
+		return "", false
+	case *interp.VirgilError:
+		if e.Name == "!HeapExhausted" {
+			return e.Name, true
+		}
+		return e.Name, false
+	case *interp.ResourceError:
+		return string(e.Kind), true
+	default:
+		return err.Error(), false
+	}
+}
+
+func TestAnalysisDifferentialCorpus(t *testing.T) {
+	for _, p := range testprogs.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			for _, engine := range []string{core.EngineBytecode, core.EngineSwitch} {
+				label := fmt.Sprintf("%s/%s", p.Name, engine)
+				on, off := analyzeOnOff(t, engine, p.Name+".v", p.Source)
+
+				onTrap, onRes := analysisTrap(on.Err)
+				offTrap, offRes := analysisTrap(off.Err)
+				if onRes || offRes {
+					// A resource stop on either side: accounting moved a
+					// budget boundary, not comparable observably.
+					continue
+				}
+				if onTrap != offTrap {
+					t.Fatalf("%s: traps differ: analyze=on %q, analyze=off %q",
+						label, onTrap, offTrap)
+				}
+				if on.Output != off.Output {
+					t.Fatalf("%s: outputs differ:\nanalyze=on:  %q\nanalyze=off: %q",
+						label, on.Output, off.Output)
+				}
+				// Stack promotion and pure-call elimination only remove
+				// heap charges; they can never add one.
+				if on.Stats.HeapBytes > off.Stats.HeapBytes {
+					t.Errorf("%s: analysis increased heap: on=%d off=%d",
+						label, on.Stats.HeapBytes, off.Stats.HeapBytes)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalysisHeapReduction pins the headline claim: on the
+// closure/tuple-churn benchmark programs the analysis layer removes at
+// least 30% of the modeled heap charge.
+func TestAnalysisHeapReduction(t *testing.T) {
+	reduced := 0
+	churn := []string{"bench_closure_churn", "bench_object_churn"}
+	for _, name := range churn {
+		p := testprogs.Get(name)
+		t.Run(name, func(t *testing.T) {
+			on, off := analyzeOnOff(t, core.EngineBytecode, name+".v", p.Source)
+			if on.Err != nil || off.Err != nil {
+				t.Fatalf("runs failed: on=%v off=%v", on.Err, off.Err)
+			}
+			if off.Stats.HeapBytes == 0 {
+				t.Fatal("baseline build charges no heap; benchmark is broken")
+			}
+			pct := 100 * float64(off.Stats.HeapBytes-on.Stats.HeapBytes) / float64(off.Stats.HeapBytes)
+			t.Logf("heap: off=%d on=%d (%.1f%% reduction)", off.Stats.HeapBytes, on.Stats.HeapBytes, pct)
+			if pct < 30 {
+				t.Errorf("heap reduction %.1f%% < 30%%", pct)
+			} else {
+				reduced++
+			}
+		})
+	}
+	if reduced < 2 && !t.Failed() {
+		t.Errorf("only %d of %d churn programs hit the 30%% reduction target", reduced, len(churn))
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/ast"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
@@ -47,6 +48,16 @@ type Config struct {
 	Monomorphize bool
 	Normalize    bool
 	Optimize     bool
+
+	// Analyze enables the whole-program static-analysis layer
+	// (internal/analysis) and the optimizer passes driven by it:
+	// call-graph devirtualization, pure-call elimination, and stack
+	// promotion of non-escaping allocations. Requires Optimize. The
+	// final analysis of the optimized module is retained on the
+	// Compilation for tooling (virgil analyze), and every promotion is
+	// re-proven against it — an unprovable mark is an ICE, not a
+	// silently unsound program.
+	Analyze bool
 
 	// Engine selects the execution engine: "bytecode" (the default,
 	// also selected by "") compiles the post-pipeline IR to register
@@ -94,7 +105,9 @@ type Config struct {
 func Reference() Config { return Config{} }
 
 // Compiled returns the full static-compilation configuration.
-func Compiled() Config { return Config{Monomorphize: true, Normalize: true, Optimize: true} }
+func Compiled() Config {
+	return Config{Monomorphize: true, Normalize: true, Optimize: true, Analyze: true}
+}
 
 // guard runs one pipeline stage with a panic-recovery boundary,
 // converting any panic into a structured internal-compiler-error
@@ -134,6 +147,9 @@ func (c Config) Validate() error {
 	}
 	if c.Optimize && !c.Normalize {
 		return fmt.Errorf("core: Optimize requires Normalize")
+	}
+	if c.Analyze && !c.Optimize {
+		return fmt.Errorf("core: Analyze requires Optimize")
 	}
 	if c.Jobs < 0 {
 		return fmt.Errorf("core: Jobs must be >= 0 (0 selects GOMAXPROCS), got %d", c.Jobs)
@@ -201,6 +217,7 @@ type Timings struct {
 	Mono      time.Duration
 	Norm      time.Duration
 	Opt       time.Duration
+	Analysis  time.Duration
 	Total     time.Duration
 	SourceLen int
 }
@@ -216,6 +233,9 @@ type Compilation struct {
 	NormStats *norm.Stats
 	// OptStats is set when optimization ran.
 	OptStats *opt.Stats
+	// Analysis is the whole-program analysis of the final module, set
+	// when Config.Analyze ran (the substrate of `virgil analyze`).
+	Analysis *analysis.Result
 	Timings  Timings
 
 	// engOnce/engProg lazily hold the register-bytecode translation of
@@ -412,7 +432,7 @@ func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compil
 			if err := stageStart(ctx, "opt"); err != nil {
 				return err
 			}
-			stats, err := opt.Optimize(ctx, mod, opt.Config{Jobs: cfg.jobs()})
+			stats, err := opt.Optimize(ctx, mod, opt.Config{Jobs: cfg.jobs(), Analyze: cfg.Analyze})
 			if err != nil {
 				return err
 			}
@@ -436,6 +456,34 @@ func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compil
 			err = &src.ICE{Stage: "validate", Msg: fmt.Sprintf("invalid IR after %s: %v", cfg.Name(), err)}
 		}
 		return nil, err
+	}
+	if cfg.Analyze {
+		// Re-analyze the final module and re-prove every stack
+		// promotion the optimizer made. This run is independent of the
+		// optimizer's own facts — a pass promoting on stale or wrong
+		// facts is an ICE here, never a silently unsound program. The
+		// result is kept for tooling (virgil analyze, serve).
+		t0 = time.Now()
+		if err := guard("analysis", func() error {
+			if err := stageStart(ctx, "analysis"); err != nil {
+				return err
+			}
+			res, err := analysis.Analyze(ctx, mod, analysis.Config{Jobs: cfg.jobs()})
+			if err != nil {
+				return err
+			}
+			if err := analysis.VerifyPromotions(mod, res); err != nil {
+				return &src.ICE{Stage: "analysis", Msg: err.Error()}
+			}
+			comp.Analysis = res
+			return nil
+		}); err != nil {
+			if !isStructured(err) {
+				err = &src.ICE{Stage: "analysis", Msg: err.Error()}
+			}
+			return nil, err
+		}
+		comp.Timings.Analysis = time.Since(t0)
 	}
 	comp.Module = mod
 	comp.Timings.Total = time.Since(start)

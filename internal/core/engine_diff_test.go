@@ -19,6 +19,25 @@ import (
 // examples, the crasher corpus, every ablation configuration, and
 // sequential vs parallel compilation.
 
+// diffConfigs is the ablation ladder for the differential suite: the
+// four pipeline configurations plus the optimized pipeline with the
+// analysis layer switched off, so the analysis-driven rewrites get the
+// same engine-vs-engine scrutiny as every other stage.
+func diffConfigs() []core.Config {
+	noa := core.Compiled()
+	noa.Analyze = false
+	return append(core.Configs(), noa)
+}
+
+// cfgLabel distinguishes the analyze-off ablation from the full
+// pipeline (Config.Name reports the stage ladder only).
+func cfgLabel(cfg core.Config) string {
+	if cfg.Optimize && !cfg.Analyze {
+		return cfg.Name() + "-analyze"
+	}
+	return cfg.Name()
+}
+
 // runBothEngines compiles source once per engine under cfg and runs
 // it. Compilation is engine-independent, so a compile failure must be
 // identical under both; in that case ok is false and the run results
@@ -110,11 +129,11 @@ func sameRun(t *testing.T, label string, bc, sw core.RunResult) {
 func TestEngineDifferentialCorpus(t *testing.T) {
 	for _, p := range testprogs.All() {
 		t.Run(p.Name, func(t *testing.T) {
-			for _, base := range core.Configs() {
+			for _, base := range diffConfigs() {
 				for _, jobs := range []int{1, 8} {
 					cfg := base
 					cfg.Jobs = jobs
-					label := fmt.Sprintf("%s/jobs=%d", cfg.Name(), jobs)
+					label := fmt.Sprintf("%s/jobs=%d", cfgLabel(cfg), jobs)
 					bc, sw, ok := runBothEngines(t, label, p.Name+".v", p.Source, cfg)
 					if !ok {
 						continue
@@ -168,12 +187,12 @@ func TestEngineDifferentialExamples(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Run(ent.Name(), func(t *testing.T) {
-			for _, cfg := range core.Configs() {
-				bc, sw, ok := runBothEngines(t, cfg.Name(), ent.Name(), string(data), cfg)
+			for _, cfg := range diffConfigs() {
+				bc, sw, ok := runBothEngines(t, cfgLabel(cfg), ent.Name(), string(data), cfg)
 				if !ok {
 					continue
 				}
-				sameRun(t, cfg.Name(), bc, sw)
+				sameRun(t, cfgLabel(cfg), bc, sw)
 			}
 		})
 	}
@@ -198,16 +217,16 @@ func TestEngineDifferentialCrashers(t *testing.T) {
 			t.Fatal(err)
 		}
 		t.Run(ent.Name(), func(t *testing.T) {
-			for _, base := range core.Configs() {
+			for _, base := range diffConfigs() {
 				cfg := base
 				cfg.MaxSteps = 200_000
 				cfg.MaxDepth = 256
 				cfg.MaxHeap = 4 << 20
-				bc, sw, ok := runBothEngines(t, cfg.Name(), ent.Name(), string(data), cfg)
+				bc, sw, ok := runBothEngines(t, cfgLabel(cfg), ent.Name(), string(data), cfg)
 				if !ok {
 					continue
 				}
-				sameRun(t, cfg.Name(), bc, sw)
+				sameRun(t, cfgLabel(cfg), bc, sw)
 			}
 		})
 	}

@@ -39,10 +39,20 @@ func FuzzPipeline(f *testing.F) {
 		f.Add(src)
 	}
 	f.Fuzz(func(t *testing.T, source string) {
+		noaCfg := fuzzGuards(core.Compiled())
+		noaCfg.Analyze = false
 		refComp, refErr := core.Compile("fuzz.v", source, fuzzGuards(core.Reference()))
 		fullComp, fullErr := core.Compile("fuzz.v", source, fuzzGuards(core.Compiled()))
+		noaComp, noaErr := core.Compile("fuzz.v", source, noaCfg)
 		checkNoICE(t, "ref compile", refErr)
 		checkNoICE(t, "full compile", fullErr)
+		checkNoICE(t, "noanalyze compile", noaErr)
+		// The analysis layer must never change whether a program
+		// compiles — it only adds facts and fact-driven rewrites.
+		if (fullErr == nil) != (noaErr == nil) {
+			t.Fatalf("analyze ablation changed compile outcome: with=%v without=%v\nsource:\n%s",
+				fullErr, noaErr, source)
+		}
 		if refErr != nil || fullErr != nil {
 			// Legitimate rejections (diagnostics, or mono refusing
 			// unbounded specialization) end the property here.
@@ -53,8 +63,16 @@ func FuzzPipeline(f *testing.F) {
 		}
 		refRes := refComp.Run()
 		fullRes := fullComp.Run()
+		noaRes := noaComp.Run()
 		checkNoICE(t, "ref run", refRes.Err)
 		checkNoICE(t, "full run", fullRes.Err)
+		checkNoICE(t, "noanalyze run", noaRes.Err)
+		// Third axis: the analysis-driven rewrites (devirtualization,
+		// pure-call elimination, stack promotion) must be
+		// semantics-preserving against the same pipeline without them.
+		// Resource and heap stops are excluded: promotion legitimately
+		// removes heap charges, which moves budget boundaries.
+		fuzzDiffAnalyze(t, source, fullRes, noaRes)
 		// Second axis: the register-bytecode engine (the default above)
 		// versus the switch interpreter must agree exactly — output,
 		// trap identity, stack trace, and step-for-step stats. Resource
@@ -83,6 +101,33 @@ func FuzzPipeline(f *testing.F) {
 			t.Fatalf("output divergence:\nref:  %q\nfull: %q\nsource:\n%s", refRes.Output, fullRes.Output, source)
 		}
 	})
+}
+
+// fuzzDiffAnalyze compares the optimized pipeline with and without the
+// analysis layer: identical output and trap identity, and analysis may
+// only lower the modeled heap charge, never raise it.
+func fuzzDiffAnalyze(t *testing.T, source string, on, off core.RunResult) {
+	t.Helper()
+	var re *interp.ResourceError
+	if errors.As(on.Err, &re) || errors.As(off.Err, &re) {
+		return
+	}
+	onName, offName := trapName(on.Err), trapName(off.Err)
+	if onName == interp.HeapExhausted || offName == interp.HeapExhausted {
+		return
+	}
+	if onName != offName {
+		t.Fatalf("analyze ablation trap divergence: with=%q without=%q\nsource:\n%s",
+			onName, offName, source)
+	}
+	if on.Output != off.Output {
+		t.Fatalf("analyze ablation output divergence:\nwith:    %q\nwithout: %q\nsource:\n%s",
+			on.Output, off.Output, source)
+	}
+	if on.Stats.HeapBytes > off.Stats.HeapBytes {
+		t.Fatalf("analysis increased heap charge: with=%d without=%d\nsource:\n%s",
+			on.Stats.HeapBytes, off.Stats.HeapBytes, source)
+	}
 }
 
 // fuzzDiffEngines reruns source under cfg with the switch interpreter

@@ -831,8 +831,12 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			return len(ins.args), nil
 
 		case opMakeTuple:
-			if ve := e.charge(interp.TupleBytes(len(ins.args))); ve != nil {
-				return 0, ve
+			// noheap: stack-promoted, the charge is skipped in both
+			// engines identically (see ir.Instr.StackAlloc).
+			if !ins.noheap {
+				if ve := e.charge(interp.TupleBytes(len(ins.args))); ve != nil {
+					return 0, ve
+				}
 			}
 			vs := make(interp.TupleVal, len(ins.args))
 			for k, a := range ins.args {
@@ -855,8 +859,10 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			if ins.xerr != nil {
 				return 0, ins.xerr
 			}
-			if ve := e.charge(interp.ObjectBytes(len(ins.tmpl))); ve != nil {
-				return 0, ve
+			if !ins.noheap {
+				if ve := e.charge(interp.ObjectBytes(len(ins.tmpl))); ve != nil {
+					return 0, ve
+				}
 			}
 			fields := make([]interp.Value, len(ins.tmpl))
 			copy(fields, ins.tmpl)
@@ -867,8 +873,10 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			if err != nil {
 				return 0, err
 			}
-			if ve := e.charge(interp.ObjectBytes(len(cls.Fields))); ve != nil {
-				return 0, ve
+			if !ins.noheap {
+				if ve := e.charge(interp.ObjectBytes(len(cls.Fields))); ve != nil {
+					return 0, ve
+				}
 			}
 			tmpl := e.objTemplate(cls, ct)
 			fields := make([]interp.Value, len(tmpl))
@@ -1043,8 +1051,10 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			}
 
 		case opMakeClosure:
-			if ve := e.charge(interp.ClosureBytes); ve != nil {
-				return 0, ve
+			if !ins.noheap {
+				if ve := e.charge(interp.ClosureBytes); ve != nil {
+					return 0, ve
+				}
 			}
 			targs := ins.targs
 			var ft types.Type = ins.typ2
@@ -1064,8 +1074,10 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			if !ok {
 				return 0, &interp.VirgilError{Name: "!NullCheckException"}
 			}
-			if ve := e.charge(interp.ClosureBytes); ve != nil {
-				return 0, ve
+			if !ins.noheap {
+				if ve := e.charge(interp.ClosureBytes); ve != nil {
+					return 0, ve
+				}
 			}
 			target := recv.Class.Vtable[ins.aux]
 			targs := ins.targs

@@ -152,6 +152,7 @@ type einstr struct {
 	emsg    string
 	xerr    error
 	pos     src.Pos
+	noheap  bool // stack-promoted allocation: skip the modeled heap charge
 }
 
 // fnCode is one translated function.
@@ -602,7 +603,7 @@ func (t *translator) newIC() int32 {
 
 // instr translates one IR instruction to one bytecode instruction.
 func (t *translator) instr(in *ir.Instr) {
-	e := einstr{nsteps: 1, pos: in.Pos}
+	e := einstr{nsteps: 1, pos: in.Pos, noheap: in.StackAlloc}
 	fname := t.f.Name
 	switch in.Op {
 	case ir.OpNop:

@@ -491,8 +491,13 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			regs[in.Dst[0].ID] = BoolVal(!ValueEq(get(in.Args[0]), get(in.Args[1])))
 
 		case ir.OpMakeTuple:
-			if ve := i.charge(TupleBytes(len(in.Args))); ve != nil {
-				return nil, ve
+			// Allocations proven non-escaping skip the modeled heap
+			// charge: the value is frame-local, so only the HeapBytes
+			// meter could tell the difference.
+			if !in.StackAlloc {
+				if ve := i.charge(TupleBytes(len(in.Args))); ve != nil {
+					return nil, ve
+				}
 			}
 			vs := make(TupleVal, len(in.Args))
 			for k, a := range in.Args {
@@ -513,8 +518,10 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			if err != nil {
 				return nil, err
 			}
-			if ve := i.charge(ObjectBytes(len(cls.Fields))); ve != nil {
-				return nil, ve
+			if !in.StackAlloc {
+				if ve := i.charge(ObjectBytes(len(cls.Fields))); ve != nil {
+					return nil, ve
+				}
 			}
 			tmpl := i.fieldTemplate(cls, ct)
 			fields := make([]Value, len(tmpl))
@@ -653,8 +660,10 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			}
 
 		case ir.OpMakeClosure:
-			if ve := i.charge(ClosureBytes); ve != nil {
-				return nil, ve
+			if !in.StackAlloc {
+				if ve := i.charge(ClosureBytes); ve != nil {
+					return nil, ve
+				}
 			}
 			targsClosed := i.substAll(in.TypeArgs, e)
 			fv := &FuncVal{Fn: in.Fn, TypeArgs: targsClosed}
@@ -669,8 +678,10 @@ func (i *Interp) exec(f *ir.Func, args []Value, targs []types.Type) ([]Value, er
 			if !ok {
 				return nil, &VirgilError{Name: "!NullCheckException"}
 			}
-			if ve := i.charge(ClosureBytes); ve != nil {
-				return nil, ve
+			if !in.StackAlloc {
+				if ve := i.charge(ClosureBytes); ve != nil {
+					return nil, ve
+				}
 			}
 			target := recv.Class.Vtable[in.FieldSlot]
 			targsClosed := i.substAll(in.TypeArgs, e)

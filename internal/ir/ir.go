@@ -176,6 +176,13 @@ type Instr struct {
 	TypeArgs  []types.Type // call-site type arguments
 	Blocks    []*Block     // branch/jump targets
 	Pos       src.Pos
+	// StackAlloc marks an allocation proven non-escaping by escape
+	// analysis: both engines still build the value but skip its modeled
+	// heap charge (the value is frame-local, so only the HeapBytes meter
+	// can observe the difference). Only ops with statically known size
+	// may carry it; analysis.VerifyPromotions re-proves every mark on
+	// the final IR.
+	StackAlloc bool
 }
 
 // Block is a basic block: a sequence of instructions ending in a
@@ -451,6 +458,9 @@ func (in *Instr) String() string {
 	}
 	for _, blk := range in.Blocks {
 		fmt.Fprintf(&b, " b%d", blk.ID)
+	}
+	if in.StackAlloc {
+		b.WriteString(" [stack]")
 	}
 	return b.String()
 }

@@ -43,7 +43,37 @@ const (
 	CatUnusedPrivate = "unused-private"
 	CatUnusedParam   = "unused-type-param"
 	CatStaticCast    = "static-cast"
+	// IR-level rules fed by the whole-program analysis (RunIR).
+	CatPureCallUnused = "pure-call-unused"
+	CatInfiniteLoop   = "infinite-loop"
+	CatAllocInLoop    = "alloc-in-loop"
 )
+
+// SortFindings orders findings deterministically: by file name, then
+// offset, then category, then message. Every producer of findings must
+// sort through here so `virgil lint` output is byte-stable.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		an, bn := "", ""
+		if a.Pos.File != nil {
+			an = a.Pos.File.Name
+		}
+		if b.Pos.File != nil {
+			bn = b.Pos.File.Name
+		}
+		if an != bn {
+			return an < bn
+		}
+		if a.Pos.Off != b.Pos.Off {
+			return a.Pos.Off < b.Pos.Off
+		}
+		if a.Category != b.Category {
+			return a.Category < b.Category
+		}
+		return a.Msg < b.Msg
+	})
+}
 
 // Run lints a checked program and returns the findings sorted by
 // source position.
@@ -61,23 +91,7 @@ func Run(prog *typecheck.Program) []Finding {
 	l.reportUnusedFields()
 	l.reportUnusedPrivate()
 	l.reportUnusedTypeParams()
-	sort.Slice(l.findings, func(i, j int) bool {
-		a, b := l.findings[i], l.findings[j]
-		an, bn := "", ""
-		if a.Pos.File != nil {
-			an = a.Pos.File.Name
-		}
-		if b.Pos.File != nil {
-			bn = b.Pos.File.Name
-		}
-		if an != bn {
-			return an < bn
-		}
-		if a.Pos.Off != b.Pos.Off {
-			return a.Pos.Off < b.Pos.Off
-		}
-		return a.Msg < b.Msg
-	})
+	SortFindings(l.findings)
 	return l.findings
 }
 

@@ -73,14 +73,14 @@ func TestGoldenCorpus(t *testing.T) {
 // linter must keep reporting exactly these and nothing new.
 func TestCorpusFindingsPinned(t *testing.T) {
 	want := map[string]bool{
-		"operators_b8_b15.v:9:17: static-cast: cast from B to A always succeeds":                                             true,
-		"tuples_c1_c6.v:11:6: unused-local: local v is never read":                                                           true,
-		"generic_list_d.v:15:24: static-cast: type query from List<int> to List<int> is always true":                         true,
-		"generic_list_d.v:16:25: static-cast: type query from List<int> to List<bool> is always false":                       true,
-		"generic_list_d.v:17:31: static-cast: type query from List<(int, int)> to List<(int, int)> is always true":           true,
+		"operators_b8_b15.v:9:17: static-cast: cast from B to A always succeeds":                                              true,
+		"tuples_c1_c6.v:11:6: unused-local: local v is never read":                                                            true,
+		"generic_list_d.v:15:24: static-cast: type query from List<int> to List<int> is always true":                          true,
+		"generic_list_d.v:16:25: static-cast: type query from List<int> to List<bool> is always false":                        true,
+		"generic_list_d.v:17:31: static-cast: type query from List<(int, int)> to List<(int, int)> is always true":            true,
 		"normalization_q.v:12:4: use-before-init: local t is read before initialization (declared at normalization_q.v:11:6)": true,
-		"void_fields.v:4:6: unused-field: field C.w is never read":                                                           true,
-		"void_fields.v:10:6: unused-local: local x is never read":                                                            true,
+		"void_fields.v:4:6: unused-field: field C.w is never read":                                                            true,
+		"void_fields.v:10:6: unused-local: local x is never read":                                                             true,
 	}
 	got := map[string]bool{}
 	for _, p := range testprogs.All() {

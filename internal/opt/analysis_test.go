@@ -1,0 +1,217 @@
+package opt
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/testprogs"
+)
+
+// Tests for the analysis-driven passes: indirect-call devirtualization,
+// pure-call elimination and CSE, and stack promotion. The cheaper
+// structural passes are covered in opt_test.go and devirt_test.go.
+
+func TestDevirtualizeIndirectUniqueClosure(t *testing.T) {
+	mod := compileNorm(t, `
+def f(x: int) -> int { return x + 5; }
+def call(g: int -> int) -> int { return g(2); }
+def main() { System.puti(call(f)); }
+`)
+	st, _ := Optimize(context.Background(), mod, Config{Analyze: true})
+	if st.DevirtIndirect == 0 {
+		t.Error("the only closure ever taken is f; the indirect call should devirtualize")
+	}
+	if got := run(t, mod); got != "7" {
+		t.Fatalf("got %q, want \"7\"", got)
+	}
+}
+
+func TestNoDevirtualizeIndirectAmbiguous(t *testing.T) {
+	mod := compileNorm(t, `
+class C {
+	var v: int;
+	new(v) { }
+	def m(x: int) -> int { return v + x; }
+}
+def f(x: int) -> int { return x + 5; }
+def call(g: int -> int) -> int { return g(2); }
+def main() {
+	var c = C.new(1);
+	System.puti(call(f) + call(c.m));
+}
+`)
+	st, _ := Optimize(context.Background(), mod, Config{Analyze: true})
+	if st.DevirtIndirect != 0 {
+		t.Errorf("two candidate targets (closure f, bound C.m) — devirtualized %d sites", st.DevirtIndirect)
+	}
+	if got := run(t, mod); got != "10" {
+		t.Fatalf("got %q, want \"10\"", got)
+	}
+}
+
+func TestPureCallElimination(t *testing.T) {
+	// pure is multi-block so the inliner leaves the call for the
+	// pure-call pass to delete (single-block callees inline away first,
+	// which eliminates the call by other means).
+	mod := compileNorm(t, `
+def pure(a: int) -> int {
+	if (a > 0) return a * 2;
+	return 0 - a;
+}
+def main() {
+	var unused = pure(21);
+	System.puti(7);
+}
+`)
+	st, _ := Optimize(context.Background(), mod, Config{Analyze: true})
+	if st.PureCallsRemoved == 0 {
+		t.Error("the unused pure call should be deleted")
+	}
+	if got := run(t, mod); got != "7" {
+		t.Fatalf("got %q, want \"7\"", got)
+	}
+}
+
+func TestNoElimImpureCall(t *testing.T) {
+	mod := compileNorm(t, `
+def loud(a: int) -> int { System.puti(a); return a * 2; }
+def main() {
+	var unused = loud(9);
+	System.puti(7);
+}
+`)
+	st, _ := Optimize(context.Background(), mod, Config{Analyze: true})
+	if st.PureCallsRemoved != 0 {
+		t.Errorf("loud prints; removed %d calls", st.PureCallsRemoved)
+	}
+	if got := run(t, mod); got != "97" {
+		t.Fatalf("got %q, want \"97\"", got)
+	}
+}
+
+func TestPureCallCSE(t *testing.T) {
+	// Multi-block so the calls survive inlining; see above.
+	mod := compileNorm(t, `
+def sq(a: int) -> int {
+	if (a > 0) return a * a + 1;
+	return 0;
+}
+def main() {
+	var x = sq(9);
+	var y = sq(9);
+	System.puti(x + y);
+}
+`)
+	st, _ := Optimize(context.Background(), mod, Config{Analyze: true})
+	if st.PureCallsCSEd == 0 {
+		t.Error("two identical deterministic calls in one block should CSE")
+	}
+	if got := run(t, mod); got != "164" {
+		t.Fatalf("got %q, want \"164\"", got)
+	}
+}
+
+func TestStackPromotion(t *testing.T) {
+	mod := compileNorm(t, `
+class P {
+	var x: int;
+	var y: int;
+	new(x, y) { }
+	def sum() -> int { return x + y; }
+}
+def main() {
+	var p = P.new(3, 4);
+	System.puti(p.sum());
+}
+`)
+	st, _ := Optimize(context.Background(), mod, Config{Analyze: true})
+	if st.StackPromoted == 0 {
+		t.Error("the frame-local object should be stack-promoted once the allocator inlines")
+	}
+	promoted := 0
+	for _, f := range mod.Funcs {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.StackAlloc {
+					promoted++
+					if !promotableOp(in.Op) {
+						t.Errorf("non-promotable op %v carries StackAlloc", in.Op)
+					}
+				}
+			}
+		}
+	}
+	if promoted != st.StackPromoted {
+		t.Errorf("stats say %d promotions, IR carries %d marks", st.StackPromoted, promoted)
+	}
+	if got := run(t, mod); got != "7" {
+		t.Fatalf("got %q, want \"7\"", got)
+	}
+}
+
+// promotableOp spells out which ops may legally carry the StackAlloc
+// mark, independent of analysis.Promotable, so a drift in either list
+// fails here.
+func promotableOp(op ir.Op) bool {
+	switch op {
+	case ir.OpNewObject, ir.OpMakeTuple, ir.OpMakeClosure, ir.OpMakeBound:
+		return true
+	}
+	return false
+}
+
+func TestNoPromotionForEscaping(t *testing.T) {
+	mod := compileNorm(t, `
+class Node {
+	var next: Node;
+	var v: int;
+	new(next, v) { }
+}
+def build(n: int) -> Node {
+	var head: Node;
+	for (i = 0; i < n; i++) head = Node.new(head, i);
+	return head;
+}
+def main() {
+	var h = build(3);
+	System.puti(h.v);
+}
+`)
+	st, _ := Optimize(context.Background(), mod, Config{Analyze: true})
+	for _, f := range mod.Funcs {
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.Op == ir.OpNewObject && in.StackAlloc {
+					t.Errorf("escaping Node allocation promoted in %s", f.Name)
+				}
+			}
+		}
+	}
+	_ = st
+	if got := run(t, mod); got != "2" {
+		t.Fatalf("got %q, want \"2\"", got)
+	}
+}
+
+// TestCorpusPreservedWithAnalysis: the analysis-driven passes preserve
+// observable behaviour over the whole corpus at the opt layer (the
+// core-level differential covers both engines; this pins the IR
+// interpreter path with stats available for inspection).
+func TestCorpusPreservedWithAnalysis(t *testing.T) {
+	for _, p := range testprogs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			mod := compileNorm(t, p.Source)
+			if _, err := Optimize(context.Background(), mod, Config{Analyze: true}); err != nil {
+				t.Fatal(err)
+			}
+			if err := mod.Validate(); err != nil {
+				t.Fatalf("invalid IR after analysis-driven optimization: %v", err)
+			}
+			if got := run(t, mod); got != p.Want {
+				t.Fatalf("got %q, want %q", got, p.Want)
+			}
+		})
+	}
+}

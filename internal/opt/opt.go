@@ -28,6 +28,11 @@ type Stats struct {
 	InstrsRemoved  int
 	Inlined        int
 	Devirtualized  int
+	// Analysis-driven passes (Config.Analyze).
+	DevirtIndirect   int // indirect calls bound to their unique closure target
+	PureCallsRemoved int // dead calls to pure functions deleted
+	PureCallsCSEd    int // repeated deterministic calls merged
+	StackPromoted    int // non-escaping allocations relieved of heap charges
 }
 
 // Config controls optimization.
@@ -42,6 +47,13 @@ type Config struct {
 	// whole-program state and always run sequentially; the optimized
 	// module and statistics are identical for every value.
 	Jobs int
+	// Analyze enables the analysis-driven passes: call-graph
+	// devirtualization (including indirect calls through closures),
+	// pure-call elimination/CSE, and stack promotion of non-escaping
+	// allocations. Off, the optimizer runs only the local folding and
+	// inlining passes — the ablation the analysis-off differential
+	// tests compile against.
+	Analyze bool
 }
 
 // Optimize runs all passes over the module in place.
@@ -60,7 +72,17 @@ func Optimize(ctx context.Context, mod *ir.Module, cfg Config) (*Stats, error) {
 	}
 	st := &Stats{InstrsBefore: mod.NumInstrs()}
 	o := &optimizer{mod: mod, tc: mod.Types, cfg: cfg, st: st}
-	o.devirtualize()
+	if cfg.Analyze {
+		// Whole-program facts drive devirtualization and pure-call
+		// elimination up front, so the direct calls they expose feed the
+		// fold/inline rounds below.
+		res, err := o.runAnalysis(ctx)
+		if err != nil {
+			return st, err
+		}
+		o.devirtualizeCG(res)
+		o.elimPureCalls(res)
+	}
 	folded := make([]bool, len(mod.Funcs))
 	foldStats := make([]Stats, len(mod.Funcs))
 	for r := 0; r < cfg.Rounds; r++ {
@@ -88,6 +110,17 @@ func Optimize(ctx context.Context, mod *ir.Module, cfg Config) (*Stats, error) {
 		if !changed {
 			break
 		}
+	}
+	if cfg.Analyze {
+		// Promote after all transformation: escape facts must describe
+		// the final IR. Core re-analyzes once more and ICEs on any mark
+		// it cannot re-prove (analysis.VerifyPromotions).
+		res, err := o.runAnalysis(ctx)
+		if err != nil {
+			return st, err
+		}
+		o.elimPureCalls(res)
+		o.promoteAllocations(res)
 	}
 	st.InstrsAfter = mod.NumInstrs()
 	return st, nil
@@ -169,6 +202,16 @@ func (o *optimizer) foldFunc(f *ir.Func) bool {
 				if o.foldInstr(f, blk, idx, in, consts) {
 					localChanged = true
 				}
+				// A null check over a freshly allocated value can never
+				// trap; dropping it unpins the allocation for DCE (the
+				// devirtualizer inserts these in front of direct calls).
+				if in.Op == ir.OpNullCheck {
+					if def := defInstr[in.Args[0]]; def != nil && defCount[in.Args[0]] == 1 && freshNonNull(def.Op) {
+						in.Op = ir.OpNop
+						in.Args = nil
+						localChanged = true
+					}
+				}
 			}
 		}
 		if o.removeUnreachable(f) {
@@ -194,6 +237,16 @@ func (o *optimizer) foldFunc(f *ir.Func) bool {
 func constOf(consts map[*ir.Reg]constVal, r *ir.Reg) (constVal, bool) {
 	c, ok := consts[r]
 	return c, ok
+}
+
+// freshNonNull reports whether op always produces a non-null value.
+func freshNonNull(op ir.Op) bool {
+	switch op {
+	case ir.OpNewObject, ir.OpMakeTuple, ir.OpMakeClosure, ir.OpMakeBound,
+		ir.OpArrayNew, ir.OpConstString:
+		return true
+	}
+	return false
 }
 
 // foldInstr rewrites one instruction in place when its result is known
@@ -517,6 +570,11 @@ func (o *optimizer) dce(f *ir.Func) bool {
 		for _, blk := range f.Blocks {
 			var kept []*ir.Instr
 			for _, in := range blk.Instrs {
+				if in.Op == ir.OpNop && len(in.Dst) == 0 {
+					removed = true
+					o.st.InstrsRemoved++
+					continue
+				}
 				dead := pureOp(in) && len(in.Dst) > 0
 				if dead {
 					for _, d := range in.Dst {
@@ -573,7 +631,7 @@ func (o *optimizer) inlineCalls(f *ir.Func) bool {
 					Op: ci.Op, FieldSlot: ci.FieldSlot, IVal: ci.IVal,
 					SVal: ci.SVal, Global: ci.Global, Fn: ci.Fn,
 					Type: ci.Type, Type2: ci.Type2, TypeArgs: ci.TypeArgs,
-					Pos: ci.Pos,
+					Pos: ci.Pos, StackAlloc: ci.StackAlloc,
 				}
 				for _, d := range ci.Dst {
 					ni.Dst = append(ni.Dst, mapReg(d))

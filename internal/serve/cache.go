@@ -51,6 +51,13 @@ func cacheKey(cfg core.Config, files []FileJSON) [sha256.Size]byte {
 	var jb [8]byte
 	binary.LittleEndian.PutUint64(jb[:], uint64(cfg.Jobs))
 	h.Write(jb[:])
+	// A compilation with analysis-driven passes (and its cached
+	// analysis facts) is a different artifact from one without.
+	if cfg.Analyze {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
 	for _, f := range files {
 		writeStr(f.Name)
 		writeStr(f.Source)

@@ -363,6 +363,11 @@ type Response struct {
 	Funcs   int     `json:"funcs,omitempty"`
 	Instrs  int     `json:"instrs,omitempty"`
 	TotalMs float64 `json:"total_ms,omitempty"`
+	// Analysis facts (set when the config ran the analysis layer; the
+	// facts live on the cached Compilation, so warm hits report them
+	// without re-analyzing).
+	StackPromoted int `json:"stack_promoted,omitempty"`
+	PureFuncs     int `json:"pure_funcs,omitempty"`
 	// Execution facts (/run only).
 	Output string    `json:"output,omitempty"`
 	Trap   *TrapInfo `json:"trap,omitempty"`
@@ -539,6 +544,18 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	resp.Funcs = len(comp.Module.Funcs)
 	resp.Instrs = comp.Module.NumInstrs()
 	resp.TotalMs = float64(comp.Timings.Total.Microseconds()) / 1000
+	if comp.Analysis != nil {
+		for _, facts := range comp.Analysis.Funcs {
+			if facts.Effects.Pure() {
+				resp.PureFuncs++
+			}
+			for _, site := range facts.AllocSites {
+				if site.Instr.StackAlloc {
+					resp.StackPromoted++
+				}
+			}
+		}
+	}
 
 	if !execute {
 		resp.OK = true

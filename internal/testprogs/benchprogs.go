@@ -283,3 +283,60 @@ def main() -> int {
 `, n),
 	}
 }
+
+// BenchClosureChurn allocates a bound method and a plain closure on
+// every loop iteration, invoking both locally: nothing escapes the
+// frame, so the analysis layer's stack promotion should remove the
+// per-iteration heap charge entirely (the workload behind the
+// Analysis_Heap rows).
+func BenchClosureChurn(n int) Prog {
+	return Prog{
+		Name:  "bench_closure_churn",
+		Paper: "escape analysis",
+		Source: fmt.Sprintf(`
+class Acc {
+	var total: int;
+	new(total) { }
+	def add(x: int) { total = total + x; }
+}
+def apply(f: int -> int, x: int) -> int { return f(x); }
+def scale(k: int) -> int { return k * 3; }
+def main() -> int {
+	var a = Acc.new(0);
+	for (i = 0; i < %d; i++) {
+		var g = a.add;
+		g(apply(scale, i & 15));
+	}
+	System.puti(a.total);
+	return a.total;
+}
+`, n),
+	}
+}
+
+// BenchObjectChurn allocates a short-lived object per iteration and
+// immediately consumes it: once the allocator and accessor inline, the
+// object is provably frame-local and the charge is promoted away.
+func BenchObjectChurn(n int) Prog {
+	return Prog{
+		Name:  "bench_object_churn",
+		Paper: "escape analysis",
+		Source: fmt.Sprintf(`
+class Pt {
+	var x: int;
+	var y: int;
+	new(x, y) { }
+	def dot(o: Pt) -> int { return x * o.x + y * o.y; }
+}
+def main() -> int {
+	var acc = 0;
+	for (i = 0; i < %d; i++) {
+		var p = Pt.new(i %% 8, (i / 8) %% 8);
+		acc = acc + p.dot(p);
+	}
+	System.puti(acc);
+	return acc;
+}
+`, n),
+	}
+}

@@ -595,7 +595,18 @@ def main() {
 	System.puts("()ok");
 }
 `},
+		churn(BenchClosureChurn(64), "1440"),
+		churn(BenchObjectChurn(64), "2240"),
 	}
+}
+
+// churn pins a bench workload into the corpus at a small iteration
+// count with its expected checksum, so the differential and fuzz
+// harnesses cover the allocation-churn shapes the analysis layer
+// optimizes.
+func churn(p Prog, want string) Prog {
+	p.Want = want
+	return p
 }
 
 // Get returns the corpus program with the given name.
