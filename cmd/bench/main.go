@@ -22,11 +22,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -55,6 +57,9 @@ type result struct {
 	// EngineSpeedup is set on Engine_*/bytecode rows: the matching
 	// switch-interpreter time divided by the bytecode time.
 	EngineSpeedup float64 `json:"engine_speedup,omitempty"`
+	// TierSpeedup is set on Tiered_*/tiered rows: the matching
+	// untiered (no-profile) time divided by the tiered time.
+	TierSpeedup float64 `json:"tier_speedup,omitempty"`
 }
 
 type report struct {
@@ -93,6 +98,39 @@ type bench struct {
 func runProg(p testprogs.Prog, cfg core.Config) func(b *testing.B) {
 	return func(b *testing.B) {
 		comp, err := core.Compile(p.Name+".v", p.Source, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := comp.RunTo(io.Discard, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// runTieredProg benchmarks executing the tier-2 artifact of a program:
+// compile, harvest a profile from one run, recompile with the profile
+// attached (speculative devirtualization, hot inlining, profile-driven
+// run fusion), then time the tiered build. Paired with a plain runProg
+// row measured in the same process, so the tier-up gate never depends
+// on cross-snapshot drift.
+func runTieredProg(p testprogs.Prog, cfg core.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg.Engine = core.EngineBytecode
+		base, err := core.Compile(p.Name+".v", p.Source, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, prof, err := base.RunProfiled(context.Background(), io.Discard, core.RunOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tcfg := cfg
+		tcfg.PGO = prof
+		comp, err := core.Compile(p.Name+".v", p.Source, tcfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,6 +201,24 @@ func table(short bool) []bench {
 	addEngine("E3_HashMap", testprogs.BenchHashMap(n/2))
 	addEngine("E5_Print1", testprogs.BenchPrint1(n))
 	addEngine("E6_Matcher", testprogs.BenchMatcher(n/2))
+
+	// Tiered series: the feedback-directed tier-2 artifact vs the plain
+	// bytecode build, measured back to back in the same process. The
+	// untiered row runs first so the tiered row can carry TierSpeedup;
+	// -check gates the E{1,3,5} geomean.
+	addTiered := func(label string, p testprogs.Prog) {
+		add("Tiered_"+label+"/untiered", runProg(p, bcCfg))
+		add("Tiered_"+label+"/tiered", runTieredProg(p, bcCfg))
+	}
+	addTiered("E1_TupleSmall", testprogs.BenchTupleSmall(n))
+	addTiered("E3_HashMap", testprogs.BenchHashMap(n/2))
+	addTiered("E5_Print1", testprogs.BenchPrint1(n))
+	// End to end through the service: a warm /run of a program that has
+	// already tiered up vs one on a server with tiering disabled. HTTP
+	// and JSON overhead ride along, so this row is informational, not
+	// part of the geomean gate.
+	add("Tiered_ServeWarm/untiered", serveWarmRun(-1, n))
+	add("Tiered_ServeWarm/tiered", serveWarmRun(2, n))
 
 	// E8: containment latency — how fast the modeled heap budget stops a
 	// runaway allocator. One op is one full run ending in !HeapExhausted;
@@ -278,6 +334,54 @@ func heapContainment(name string, maxHeap int64, cfg core.Config) func(b *testin
 			if !errors.As(err, &ve) || ve.Name != interp.HeapExhausted {
 				b.Fatalf("want %s, got %v", interp.HeapExhausted, err)
 			}
+		}
+	}
+}
+
+// serveWarmRun measures one warm /run request through the HTTP service
+// for a virtual-dispatch-heavy program. With tierAfter > 0 the warmup
+// drives the program past the tier-up threshold and every measured
+// request serves the tier-2 artifact; with tierAfter < 0 tiering is
+// disabled and the same warm program serves its plain compilation.
+func serveWarmRun(tierAfter, n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := serve.New(serve.Config{TierAfter: tierAfter})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		p := testprogs.BenchMatcher(n / 2)
+		body, err := json.Marshal(serve.Request{
+			Files: []serve.FileJSON{{Name: p.Name + ".v", Source: p.Source}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		post := func() serve.Response {
+			httpResp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer httpResp.Body.Close()
+			var resp serve.Response
+			if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+				b.Fatal(err)
+			}
+			if !resp.OK {
+				b.Fatalf("run failed: %+v", resp)
+			}
+			return resp
+		}
+		// Warm past the threshold (or just warm the cache when disabled).
+		var last serve.Response
+		for i := 0; i < 3; i++ {
+			last = post()
+		}
+		if tierAfter > 0 && last.Tier != 2 {
+			b.Fatalf("warmup did not tier up: tier = %d", last.Tier)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post()
 		}
 	}
 }
@@ -435,6 +539,11 @@ func main() {
 				res.EngineSpeedup = sw / res.NsPerOp
 			}
 		}
+		if tail, ok := strings.CutSuffix(entry.name, "/tiered"); ok && res.NsPerOp > 0 {
+			if ut, ok := nsByName[tail+"/untiered"]; ok {
+				res.TierSpeedup = ut / res.NsPerOp
+			}
+		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
 		fmt.Printf("%-34s %12.0f ns/op %9d allocs/op\n", entry.name, res.NsPerOp, res.AllocsPerOp)
 	}
@@ -496,7 +605,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bench: FAIL: parallel compile regressed below the %.2fx floor\n", need)
 			os.Exit(1)
 		}
-		if !checkEngine(nsByName) || !checkHeapReduction(heapRows) ||
+		if !checkEngine(nsByName, fnByName) || !checkTiered(nsByName, fnByName) || !checkHeapReduction(heapRows) ||
 			!checkAnalysisOverhead(nsByName, fnByName) || !checkBaseline(baseline, rep, fnByName) {
 			os.Exit(1)
 		}
@@ -510,18 +619,78 @@ func main() {
 const engineSpeedupFloor = 2.0
 
 // checkEngine gates the bytecode engine's E5 speedup over the switch
-// interpreter.
-func checkEngine(ns map[string]float64) bool {
-	sw, bc := ns["Engine_E5_Print1/switch"], ns["Engine_E5_Print1/bytecode"]
+// interpreter, re-measuring both sides before failing (single samples
+// on a shared runner are noisy).
+func checkEngine(ns map[string]float64, fns map[string]func(*testing.B)) bool {
+	const swRow, bcRow = "Engine_E5_Print1/switch", "Engine_E5_Print1/bytecode"
+	sw, bc := ns[swRow], ns[bcRow]
 	if sw == 0 || bc == 0 {
 		fmt.Fprintln(os.Stderr, "bench: -check: missing Engine_E5_Print1 results")
 		return false
+	}
+	for try := 0; try < 2 && sw/bc < engineSpeedupFloor; try++ {
+		fmt.Printf("check: engine E5 speedup %.2fx below %.2fx floor; re-measuring\n", sw/bc, engineSpeedupFloor)
+		if s, b := remeasure(fns[swRow]), remeasure(fns[bcRow]); s > 0 && b > 0 {
+			sw, bc = minf(sw, s), minf(bc, b)
+			ns[swRow], ns[bcRow] = sw, bc
+		}
 	}
 	speedup := sw / bc
 	fmt.Printf("check: Engine_E5_Print1 bytecode speedup vs switch = %.2fx (need >= %.2fx)\n",
 		speedup, engineSpeedupFloor)
 	if speedup < engineSpeedupFloor {
 		fmt.Fprintf(os.Stderr, "bench: FAIL: bytecode engine below the %.2fx floor on E5\n", engineSpeedupFloor)
+		return false
+	}
+	return true
+}
+
+// tieredSpeedupFloor is the minimum geomean speedup -check requires
+// from the tier-2 artifacts over the plain bytecode builds on the
+// Tiered_E{1,3,5} workloads. Both sides of each ratio are measured in
+// the same process, so this gate never depends on cross-snapshot
+// drift.
+const tieredSpeedupFloor = 1.15
+
+// tieredGateRows are the workloads the tier-up geomean is taken over.
+var tieredGateRows = []string{"Tiered_E1_TupleSmall", "Tiered_E3_HashMap", "Tiered_E5_Print1"}
+
+// checkTiered gates the feedback-directed tier-up win, re-measuring
+// both sides of every ratio before failing (single samples on a shared
+// runner are noisy).
+func checkTiered(ns map[string]float64, fns map[string]func(*testing.B)) bool {
+	geomean := func() float64 {
+		prod := 1.0
+		for _, row := range tieredGateRows {
+			ut, td := ns[row+"/untiered"], ns[row+"/tiered"]
+			if ut == 0 || td == 0 {
+				return 0
+			}
+			prod *= ut / td
+		}
+		return math.Pow(prod, 1/float64(len(tieredGateRows)))
+	}
+	g := geomean()
+	if g == 0 {
+		fmt.Fprintln(os.Stderr, "bench: -check: missing Tiered_* results")
+		return false
+	}
+	for try := 0; try < 2 && g < tieredSpeedupFloor; try++ {
+		fmt.Printf("check: tiered geomean %.2fx below %.2fx floor; re-measuring\n", g, tieredSpeedupFloor)
+		for _, row := range tieredGateRows {
+			if ut, td := remeasure(fns[row+"/untiered"]), remeasure(fns[row+"/tiered"]); ut > 0 && td > 0 {
+				ns[row+"/untiered"] = minf(ns[row+"/untiered"], ut)
+				ns[row+"/tiered"] = minf(ns[row+"/tiered"], td)
+			}
+		}
+		g = geomean()
+	}
+	for _, row := range tieredGateRows {
+		fmt.Printf("check: %s tier-up speedup = %.2fx\n", row, ns[row+"/untiered"]/ns[row+"/tiered"])
+	}
+	fmt.Printf("check: tiered geomean speedup = %.2fx (need >= %.2fx)\n", g, tieredSpeedupFloor)
+	if g < tieredSpeedupFloor {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: tier-up below the %.2fx geomean floor\n", tieredSpeedupFloor)
 		return false
 	}
 	return true

@@ -2,13 +2,14 @@
 //
 // Usage:
 //
-//	virgil run [-config ref|mono|norm|full] [-engine bytecode|switch] [-analyze=bool] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] file.v...
+//	virgil run [-config ref|mono|norm|full] [-engine bytecode|switch] [-analyze=bool] [-verify-ir] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] [-profile-out file] [-profile-in file] file.v...
 //	virgil check [-config ...] [-verify-ir] file.v...
 //	virgil dump [-config ...] [-verify-ir] file.v...
 //	virgil lint [-lint-strict] file.v...
 //	virgil analyze [-jobs n] file.v...
+//	virgil profile [-profile-out file] [-profile-in file] file.v...
 //	virgil stats file.v...
-//	virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
+//	virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-tier-after n] [-jobs n]
 //
 // run executes the program; check compiles under the selected config
 // without executing; dump prints the IR after the selected pipeline
@@ -37,6 +38,15 @@
 // modeled heap (cumulative allocation cost in bytes) of the executed
 // program; exceeding it raises the deterministic !HeapExhausted trap.
 //
+// profile runs the program with output discarded and prints the
+// recorded execution profile as stable JSON (byte-identical at every
+// -jobs setting); run -profile-out=file does the same while keeping
+// the program's output. -profile-in feeds a recorded profile back into
+// the compile for profile-guided optimization: speculative
+// devirtualization of observed-monomorphic call sites (guarded, never
+// a deopt trap) and hot inlining — a stale profile can cost speed,
+// never correctness.
+//
 // Exit codes: 0 success; 1 source diagnostics, Virgil trap, resource
 // exhaustion, or lint findings under -lint-strict; 2 usage error or
 // lint findings; 3 internal compiler error.
@@ -54,6 +64,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/lint"
+	"repro/internal/profile"
 	"repro/internal/src"
 )
 
@@ -84,7 +95,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	cmd := argv[0]
 	switch cmd {
-	case "run", "check", "dump", "lint", "stats", "analyze":
+	case "run", "check", "dump", "lint", "stats", "analyze", "profile":
 	case "serve":
 		return serveCmd(argv[1:], stdout, stderr)
 	default:
@@ -104,6 +115,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	maxErrors := fs.Int("max-errors", 0, "cap on reported diagnostics (0 = default cap)")
 	analyze := fs.Bool("analyze", true, "run the whole-program analysis passes under -config full (devirtualization, pure-call elimination, stack promotion)")
 	lintStrict := fs.Bool("lint-strict", false, "treat lint findings as compile errors (exit 1 instead of 2)")
+	profileOut := fs.String("profile-out", "", "record an execution profile during run/profile and write it to this file (\"-\" = stdout)")
+	profileIn := fs.String("profile-in", "", "feed a recorded profile into the compile for profile-guided optimization (requires -config full)")
 	if err := fs.Parse(argv[1:]); err != nil {
 		return exitUsage
 	}
@@ -127,6 +140,23 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	cfg.MaxErrors = *maxErrors
 	if !*analyze {
 		cfg.Analyze = false
+	}
+	if cmd == "profile" || (*profileOut != "" && cmd == "run") {
+		cfg.Profile = true
+	}
+	if *profileIn != "" {
+		f, err := os.Open(*profileIn)
+		if err != nil {
+			fmt.Fprintln(stderr, "virgil:", err)
+			return exitDiag
+		}
+		p, err := profile.Decode(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "virgil:", err)
+			return exitDiag
+		}
+		cfg.PGO = p
 	}
 
 	var srcs []core.File
@@ -153,9 +183,40 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "virgil: program has no main function")
 			return exitDiag
 		}
-		if _, err := comp.RunTo(stdout, 0); err != nil {
-			fmt.Fprintln(stdout)
+		if *profileOut == "" {
+			if _, err := comp.RunTo(stdout, 0); err != nil {
+				fmt.Fprintln(stdout)
+				return report(stderr, err)
+			}
+		} else {
+			_, prof, err := comp.RunProfiled(context.Background(), stdout, core.RunOpts{})
+			if err != nil {
+				fmt.Fprintln(stdout)
+				return report(stderr, err)
+			}
+			if code := writeProfile(prof, *profileOut, stdout, stderr); code != exitOK {
+				return code
+			}
+		}
+	case "profile":
+		comp, err := core.CompileFiles(srcs, cfg)
+		if err != nil {
 			return report(stderr, err)
+		}
+		if comp.Module.Main == nil {
+			fmt.Fprintln(stderr, "virgil: program has no main function")
+			return exitDiag
+		}
+		_, prof, err := comp.RunProfiled(context.Background(), io.Discard, core.RunOpts{})
+		if err != nil {
+			return report(stderr, err)
+		}
+		dest := *profileOut
+		if dest == "" {
+			dest = "-"
+		}
+		if code := writeProfile(prof, dest, stdout, stderr); code != exitOK {
+			return code
 		}
 	case "dump":
 		comp, err := core.CompileFiles(srcs, cfg)
@@ -219,6 +280,38 @@ func lintCmd(stdout, stderr io.Writer, srcs []core.File, jobs int, strict bool) 
 			return exitDiag
 		}
 		return exitLint
+	}
+	return exitOK
+}
+
+// writeProfile encodes a recorded execution profile as stable JSON to
+// path ("-" = stdout). The encoding is byte-identical for a given
+// program and inputs at every -jobs setting.
+func writeProfile(p *profile.Profile, path string, stdout, stderr io.Writer) int {
+	if p == nil {
+		fmt.Fprintln(stderr, "virgil: no profile was recorded (profiles require the bytecode engine)")
+		return exitDiag
+	}
+	if path == "-" {
+		if err := p.Encode(stdout); err != nil {
+			fmt.Fprintln(stderr, "virgil:", err)
+			return exitDiag
+		}
+		return exitOK
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "virgil:", err)
+		return exitDiag
+	}
+	if err := p.Encode(f); err != nil {
+		f.Close()
+		fmt.Fprintln(stderr, "virgil:", err)
+		return exitDiag
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(stderr, "virgil:", err)
+		return exitDiag
 	}
 	return exitOK
 }
@@ -298,15 +391,16 @@ func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 }
 
 func usage(stderr io.Writer) {
-	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-engine bytecode|switch] [-analyze=bool] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] file.v...
-       virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-jobs n]
+	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-engine bytecode|switch] [-analyze=bool] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] [-profile-out file] [-profile-in file] file.v...
+       virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-tier-after n] [-jobs n]
 
 commands:
-  run      compile and execute the program
+  run      compile and execute the program (-profile-out records an execution profile, -profile-in optimizes with one)
   check    compile under the selected config without executing
   dump     print the IR after the selected pipeline stages
   lint     report advisory diagnostics (unused code, pure calls, loop allocs, ...); -lint-strict makes them errors
   analyze  print the whole-program static analysis (call graph, escapes, effects) as JSON
+  profile  run the program (output discarded) and print its execution profile as stable JSON
   stats    print per-stage compilation statistics
   serve    run the compiler as an HTTP JSON service (/compile, /run, /healthz, /stats)
 

@@ -298,6 +298,77 @@ func TestMaxErrorsFlag(t *testing.T) {
 	}
 }
 
+// TestProfileSubcommandAndDeterminism: virgil profile emits stable
+// JSON that is byte-identical at every -jobs setting; run -profile-out
+// records the same profile while keeping program output; -profile-in
+// feeds it back through profile-guided optimization with identical
+// observable behavior; and profiling under the switch engine is
+// rejected up front.
+func TestProfileSubcommandAndDeterminism(t *testing.T) {
+	p := write(t, "spec.v", `
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 2; } }
+def poll(x: A) -> int { return x.m(); }
+def main() {
+	var i = 0;
+	var s = 0;
+	var a = A.new();
+	var b: A = B.new();
+	s = s + poll(a);
+	while (i < 100) { s = s + poll(b); i = i + 1; }
+	System.puti(s);
+}
+`)
+	code, prof1, stderr := exec("profile", p)
+	if code != exitOK {
+		t.Fatalf("profile: exit %d stderr %q", code, stderr)
+	}
+	if !strings.Contains(prof1, `"version": 1`) || !strings.Contains(prof1, `"kind": "virtual"`) {
+		t.Fatalf("profile JSON missing expected fields:\n%s", prof1)
+	}
+	code, prof8, _ := exec("profile", "-jobs", "8", p)
+	if code != exitOK {
+		t.Fatalf("profile -jobs 8: exit %d", code)
+	}
+	if prof1 != prof8 {
+		t.Fatal("profile JSON differs between -jobs 1 and -jobs 8")
+	}
+
+	dir := t.TempDir()
+	pf := filepath.Join(dir, "p.json")
+	if err := os.WriteFile(pf, []byte(prof1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := exec("run", "-profile-in", pf, p)
+	if code != exitOK || out != "201" {
+		t.Fatalf("run -profile-in: exit %d out %q stderr %q", code, out, stderr)
+	}
+
+	pf2 := filepath.Join(dir, "p2.json")
+	code, out, stderr = exec("run", "-profile-out", pf2, p)
+	if code != exitOK || out != "201" {
+		t.Fatalf("run -profile-out: exit %d out %q stderr %q", code, out, stderr)
+	}
+	rec, err := os.ReadFile(pf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec) != prof1 {
+		t.Error("run -profile-out recorded a different profile than virgil profile")
+	}
+
+	if code, _, stderr := exec("profile", "-engine", "switch", p); code != exitDiag || !strings.Contains(stderr, "bytecode") {
+		t.Errorf("profile -engine switch: exit %d stderr %q, want rejection naming the bytecode engine", code, stderr)
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := exec("run", "-profile-in", garbage, p); code != exitDiag || !strings.Contains(stderr, "version") {
+		t.Errorf("run -profile-in with unknown version: exit %d stderr %q", code, stderr)
+	}
+}
+
 // syncBuffer is a goroutine-safe writer: the drain test reads the
 // daemon's output while the daemon goroutine is still writing it.
 type syncBuffer struct {

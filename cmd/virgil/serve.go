@@ -32,6 +32,7 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 	cacheSize := fs.Int("cache-size", 0, "warm-compilation cache entries (0 = 64, negative disables)")
 	maxHeap := fs.Int64("max-heap", 0, "modeled heap budget in bytes per /run (0 = 64 MiB)")
 	quarantineAfter := fs.Int("quarantine-after", 0, "bytecode-engine fallbacks before a program is pinned to the switch interpreter (0 = 3, negative disables)")
+	tierAfter := fs.Int("tier-after", 0, "profiled runs before a warm program is recompiled with its profile and tiered up (0 = 8, negative disables)")
 	tenantConcurrent := fs.Int("tenant-concurrent", 0, "per-tenant concurrent-request cap (0 = no cap)")
 	tenantStepsPerSec := fs.Int64("tenant-steps-per-sec", 0, "per-tenant sustained step budget (0 = no cap)")
 	tenantHeapPerSec := fs.Int64("tenant-heap-per-sec", 0, "per-tenant sustained modeled-heap budget in bytes/sec (0 = no cap)")
@@ -53,6 +54,7 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 		CacheSize:           *cacheSize,
 		MaxHeapBytes:        *maxHeap,
 		QuarantineAfter:     *quarantineAfter,
+		TierAfter:           *tierAfter,
 		TenantMaxConcurrent: *tenantConcurrent,
 		TenantStepsPerSec:   *tenantStepsPerSec,
 		TenantHeapPerSec:    *tenantHeapPerSec,

@@ -37,6 +37,7 @@ import (
 	"repro/internal/norm"
 	"repro/internal/opt"
 	"repro/internal/parser"
+	"repro/internal/profile"
 	"repro/internal/src"
 	"repro/internal/typecheck"
 )
@@ -87,6 +88,22 @@ type Config struct {
 	// overflow (0 = the default cap, src.MaxReported; negative is a
 	// Validate error).
 	MaxErrors int
+
+	// Profile makes every run on this Compilation record an execution
+	// profile (per-function invocation and step counters, inline-cache
+	// site outcomes, branch biases), retrievable via RunProfiled. Only
+	// the bytecode engine collects profiles, so Profile with
+	// Engine=="switch" is a Validate error. Off, runs pay zero
+	// profiling overhead.
+	Profile bool
+
+	// PGO, when non-nil, feeds a previously recorded profile into the
+	// compile: the optimizer adds speculative devirtualization and hot
+	// inlining, and the bytecode translator fuses instruction runs in
+	// profile-hot functions. Profiles are advisory — a stale or wrong
+	// profile can cost speed, never correctness, and observable behavior
+	// is identical under both engines. Requires Optimize.
+	PGO *profile.Profile
 
 	// MaxSteps bounds executed IR instructions (0 = interpreter default).
 	MaxSteps int64
@@ -174,6 +191,12 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("core: Engine must be %q or %q, got %q", EngineBytecode, EngineSwitch, c.Engine)
 	}
+	if c.Profile && c.Engine == EngineSwitch {
+		return fmt.Errorf("core: Profile requires the bytecode engine; the switch interpreter records no profiles")
+	}
+	if c.PGO != nil && !c.Optimize {
+		return fmt.Errorf("core: PGO requires Optimize")
+	}
 	return nil
 }
 
@@ -251,7 +274,7 @@ type Compilation struct {
 // translation panic on corrupt IR surfaces as an interp-stage ICE,
 // like the switch interpreter's own panic on the same IR.
 func (c *Compilation) engineProgram() *engine.Program {
-	c.engOnce.Do(func() { c.engProg = engine.Compile(c.Module) })
+	c.engOnce.Do(func() { c.engProg = engine.CompileProfiled(c.Module, c.Config.PGO) })
 	return c.engProg
 }
 
@@ -432,7 +455,7 @@ func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compil
 			if err := stageStart(ctx, "opt"); err != nil {
 				return err
 			}
-			stats, err := opt.Optimize(ctx, mod, opt.Config{Jobs: cfg.jobs(), Analyze: cfg.Analyze})
+			stats, err := opt.Optimize(ctx, mod, opt.Config{Jobs: cfg.jobs(), Analyze: cfg.Analyze, Profile: cfg.PGO})
 			if err != nil {
 				return err
 			}
@@ -554,6 +577,7 @@ func (c *Compilation) options(ctx context.Context, w io.Writer) interp.Options {
 		MaxDepth: c.Config.MaxDepth,
 		MaxHeap:  c.Config.MaxHeap,
 		Timeout:  c.Config.Timeout,
+		Profile:  c.Config.Profile,
 		Ctx:      ctx,
 	}
 }
@@ -568,7 +592,8 @@ func (c *Compilation) options(ctx context.Context, w io.Writer) interp.Options {
 // behave identically under both engines. Stats are captured in a
 // defer so a panicking run still reports the work done so far.
 func (c *Compilation) execute(ctx context.Context, o interp.Options) (interp.Stats, error) {
-	return c.executeOn(ctx, c.Config.EngineKind(), o)
+	stats, _, err := c.executeOn(ctx, c.Config.EngineKind(), o)
+	return stats, err
 }
 
 // executeOn is execute on an explicit engine kind, letting callers
@@ -578,7 +603,7 @@ func (c *Compilation) execute(ctx context.Context, o interp.Options) (interp.Sta
 // "translate" before bytecode translation and "engine" before the
 // first bytecode instruction — which the switch path never crosses,
 // so a fallback re-run cannot re-fire them.
-func (c *Compilation) executeOn(ctx context.Context, kind string, o interp.Options) (stats interp.Stats, _ error) {
+func (c *Compilation) executeOn(ctx context.Context, kind string, o interp.Options) (stats interp.Stats, prof *profile.Profile, _ error) {
 	err := guard("interp", func() error {
 		if err := stageStart(ctx, "interp"); err != nil {
 			return err
@@ -597,20 +622,23 @@ func (c *Compilation) executeOn(ctx context.Context, kind string, o interp.Optio
 			return err
 		}
 		e := engine.New(p, o)
-		defer func() { stats = e.Stats() }()
+		defer func() {
+			stats = e.Stats()
+			prof = e.Profile()
+		}()
 		_, err := e.Run()
 		return err
 	})
 	switch err.(type) {
 	case nil, *interp.VirgilError, *interp.ResourceError, *src.ICE:
-		return stats, err
+		return stats, prof, err
 	}
 	if isStructured(err) {
-		return stats, err
+		return stats, prof, err
 	}
 	// Any other error from the engine is an internal inconsistency
 	// (bad IR reached execution), not a fault in the user's program.
-	return stats, &src.ICE{Stage: "interp", Msg: err.Error()}
+	return stats, prof, &src.ICE{Stage: "interp", Msg: err.Error()}
 }
 
 // Run executes the compiled module, capturing System output and
@@ -651,17 +679,38 @@ type RunOpts struct {
 	// after a bytecode-engine fault, and to pin quarantined programs to
 	// the reference engine.
 	Engine string
+	// Profile turns on profile recording for this run (bytecode engine
+	// only; the switch interpreter ignores it). The recorded profile is
+	// returned by RunProfiled; plain RunWith discards it.
+	Profile bool
 }
 
 // RunWith executes the compiled module writing System output to w,
 // with per-run overrides applied.
 func (c *Compilation) RunWith(ctx context.Context, w io.Writer, opts RunOpts) (interp.Stats, error) {
+	stats, _, err := c.runWith(ctx, w, opts)
+	return stats, err
+}
+
+// RunProfiled is RunWith with profile recording forced on, returning
+// the execution profile the bytecode engine collected alongside the
+// run's stats. The profile is nil when the run never reached the
+// engine (a switch-engine override, or a fault before execution).
+func (c *Compilation) RunProfiled(ctx context.Context, w io.Writer, opts RunOpts) (interp.Stats, *profile.Profile, error) {
+	opts.Profile = true
+	return c.runWith(ctx, w, opts)
+}
+
+func (c *Compilation) runWith(ctx context.Context, w io.Writer, opts RunOpts) (interp.Stats, *profile.Profile, error) {
 	o := c.options(ctx, w)
 	if opts.MaxSteps != 0 {
 		o.MaxSteps = opts.MaxSteps
 	}
 	if opts.MaxHeap != 0 {
 		o.MaxHeap = opts.MaxHeap
+	}
+	if opts.Profile {
+		o.Profile = true
 	}
 	kind := c.Config.EngineKind()
 	if opts.Engine != "" {

@@ -80,6 +80,10 @@ func FuzzPipeline(f *testing.F) {
 		// those must match, unlike the cross-config comparison below.
 		fuzzDiffEngines(t, "ref", source, fuzzGuards(core.Reference()), refRes)
 		fuzzDiffEngines(t, "full", source, fuzzGuards(core.Compiled()), fullRes)
+		// Fourth axis: the tier-up recompile. Harvest a profile from one
+		// run and feed it back; the profile-guided build must match the
+		// plain build observably and its two engines must match exactly.
+		fuzzDiffTiered(t, source, fullRes)
 		// Step budgets fire at different instruction counts across
 		// configs, so a resource stop on either side voids comparison.
 		var re *interp.ResourceError
@@ -127,6 +131,52 @@ func fuzzDiffAnalyze(t *testing.T, source string, on, off core.RunResult) {
 	if on.Stats.HeapBytes > off.Stats.HeapBytes {
 		t.Fatalf("analysis increased heap charge: with=%d without=%d\nsource:\n%s",
 			on.Stats.HeapBytes, off.Stats.HeapBytes, source)
+	}
+}
+
+// fuzzDiffTiered performs the serve layer's tier-up in miniature —
+// profile one run, recompile with the profile — and holds the result
+// to the same bar as the analyze ablation: identical output and trap
+// identity versus the untiered build (speculation guards legitimately
+// move step counts and budget boundaries, so resource and heap stops
+// void the comparison), plus exact engine-vs-engine equality on the
+// tiered module itself. A stale or lying profile is covered elsewhere
+// (internal/opt); here the profile is real but possibly partial, since
+// the harvesting run may have trapped or hit a budget.
+func fuzzDiffTiered(t *testing.T, source string, full core.RunResult) {
+	t.Helper()
+	cfg := fuzzGuards(core.Compiled())
+	prof, err := recordTierProfile("fuzz.v", source, cfg)
+	if err != nil || prof == nil {
+		// The plain compile succeeded upstream, so err here means the
+		// bytecode-engine config was rejected or main is absent; either
+		// way there is no tier to compare.
+		return
+	}
+	tierCfg := cfg
+	tierCfg.PGO = prof
+	tierCfg.Engine = core.EngineBytecode
+	tiered, err := core.Compile("fuzz.v", source, tierCfg)
+	checkNoICE(t, "tiered compile", err)
+	if err != nil {
+		t.Fatalf("tier-up recompile failed after the plain compile succeeded: %v\nsource:\n%s", err, source)
+	}
+	tRes := tiered.Run()
+	checkNoICE(t, "tiered run", tRes.Err)
+	fuzzDiffEngines(t, "tiered", source, tierCfg, tRes)
+	var re *interp.ResourceError
+	if errors.As(tRes.Err, &re) || errors.As(full.Err, &re) {
+		return
+	}
+	tName, fName := trapName(tRes.Err), trapName(full.Err)
+	if tName == interp.HeapExhausted || fName == interp.HeapExhausted {
+		return
+	}
+	if tName != fName {
+		t.Fatalf("tier-up trap divergence: tiered=%q untiered=%q\nsource:\n%s", tName, fName, source)
+	}
+	if tRes.Output != full.Output {
+		t.Fatalf("tier-up output divergence:\ntiered:   %q\nuntiered: %q\nsource:\n%s", tRes.Output, full.Output, source)
 	}
 }
 

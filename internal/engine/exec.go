@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/profile"
 	"repro/internal/types"
 )
 
@@ -39,12 +40,48 @@ func (rv *retval) box() interp.Value {
 // fast is nil when the observed target is ineligible for the planned
 // call path (type parameters or arity adaptation), in which case the
 // cache only memoizes the negative result.
+//
+// installs counts cache (re)installs; once it passes megaInstalls the
+// site is flagged megamorphic and stops installing: a hot polymorphic
+// site previously re-installed a fresh monomorphic cache on every
+// miss, paying the install cost forever without ever hitting.
 type icEntry struct {
-	cls     *ir.Class
-	ifn     *ir.Func
-	hasRecv bool
-	fast    *fnCode
-	plan    []argMove
+	cls      *ir.Class
+	ifn      *ir.Func
+	hasRecv  bool
+	fast     *fnCode
+	plan     []argMove
+	installs uint32
+	mega     bool
+}
+
+// megaInstalls is the install count after which a call site is
+// declared megamorphic. Dispatch semantics and Stats are unaffected —
+// a megamorphic site just takes the slow path without re-installing.
+const megaInstalls = 4
+
+// recorder holds the engine's profile counters, dense-indexed by the
+// program's deterministic site/branch/function numbering. nil unless
+// the engine was created with Options.Profile, so the only cost on an
+// unprofiled run is a nil check at the recording points.
+type recorder struct {
+	sites    []siteCnt
+	branches []branchCnt
+	fns      []fnCnt
+}
+
+type siteCnt struct{ hits, misses int64 }
+
+type branchCnt struct{ taken, not int64 }
+
+type fnCnt struct{ calls, steps int64 }
+
+func (rec *recorder) branch(idx int32, taken bool) {
+	if taken {
+		rec.branches[idx].taken++
+	} else {
+		rec.branches[idx].not++
+	}
 }
 
 // Engine executes a compiled Program. An Engine holds all mutable
@@ -68,6 +105,7 @@ type Engine struct {
 
 	ics []icEntry
 	ret []retval
+	rec *recorder
 
 	// sPool/rPool recycle per-call register files; vPool recycles
 	// scratch slices for boxed argument marshaling. Ref slices are
@@ -114,11 +152,86 @@ func New(p *Program, opts interp.Options) *Engine {
 	if opts.Ctx != nil {
 		e.done = opts.Ctx.Done()
 	}
+	if opts.Profile {
+		e.rec = &recorder{
+			sites:    make([]siteCnt, p.numICs),
+			branches: make([]branchCnt, p.numBranches),
+			fns:      make([]fnCnt, len(p.pnames)),
+		}
+	}
 	return e
 }
 
 // Stats returns execution statistics so far.
 func (e *Engine) Stats() interp.Stats { return e.stats }
+
+// Profile snapshots the execution profile recorded so far, or nil when
+// the engine was created without Options.Profile. Keys follow the
+// program's deterministic translation numbering, so profiles recorded
+// by different processes (or at different -jobs settings) for the same
+// program are directly comparable and mergeable. Not safe to call
+// concurrently with a running engine — snapshot after the run, like
+// Stats.
+func (e *Engine) Profile() *profile.Profile {
+	if e.rec == nil {
+		return nil
+	}
+	p := profile.New()
+	for idx := range e.rec.fns {
+		fr := &e.rec.fns[idx]
+		if fr.calls == 0 && fr.steps == 0 {
+			continue
+		}
+		f := p.FuncFor(e.p.pnames[idx])
+		f.Calls = fr.calls
+		f.Steps = fr.steps
+	}
+	for ici := range e.rec.sites {
+		sr := &e.rec.sites[ici]
+		if sr.hits == 0 && sr.misses == 0 {
+			continue
+		}
+		m := e.p.siteMeta[ici]
+		st := p.FuncFor(e.p.pnames[m.fn]).Site(m.ord)
+		st.Kind = profile.SiteVirtual
+		if m.indirect {
+			st.Kind = profile.SiteIndirect
+		}
+		st.Hits, st.Misses = sr.hits, sr.misses
+		ice := &e.ics[ici]
+		st.Installs, st.Mega = int64(ice.installs), ice.mega
+		if ice.mega {
+			continue
+		}
+		// The surviving cache identity is the site's observed target.
+		switch {
+		case m.indirect && ice.ifn != nil && !ice.hasRecv:
+			st.Callee = ice.ifn.Name
+		case m.indirect && ice.ifn != nil:
+			// Bound-method closure: the callee is stable but the bound
+			// receiver is not identified, so record the method only.
+			st.Callee = ice.ifn.Name
+			if ice.ifn.Class != nil {
+				st.Class = ice.ifn.Class.Name
+			}
+		case !m.indirect && ice.cls != nil:
+			st.Class = ice.cls.Name
+			if int(m.slot) < len(ice.cls.Vtable) && ice.cls.Vtable[m.slot] != nil {
+				st.Callee = ice.cls.Vtable[m.slot].Name
+			}
+		}
+	}
+	for bi := range e.rec.branches {
+		br := &e.rec.branches[bi]
+		if br.taken == 0 && br.not == 0 {
+			continue
+		}
+		m := e.p.branchMeta[bi]
+		b := p.FuncFor(e.p.pnames[m.fn]).Branch(m.ord)
+		b.Taken, b.Not, b.Back = br.taken, br.not, m.back
+	}
+	return p
+}
 
 // charge meters one allocation of n modeled bytes against the heap
 // budget, mirroring (*interp.Interp).charge so both engines trap at
@@ -437,7 +550,15 @@ func (e *Engine) enterBoxed(f *ir.Func, args []interp.Value, targs []types.Type)
 			}
 		}
 		if err == nil {
-			n, err = e.exec(fn, s, r, env)
+			if e.rec == nil {
+				n, err = e.exec(fn, s, r, env)
+			} else {
+				fr := &e.rec.fns[fn.idx]
+				fr.calls++
+				t0 := e.stats.Steps
+				n, err = e.exec(fn, s, r, env)
+				fr.steps += e.stats.Steps - t0
+			}
 		}
 		e.putS(s)
 		e.putR(r)
@@ -473,7 +594,15 @@ func (e *Engine) callPlanned(fn *fnCode, plan []argMove, cs []int64, cr []interp
 	}
 	var n int
 	if err == nil {
-		n, err = e.exec(fn, s, r, nil)
+		if e.rec == nil {
+			n, err = e.exec(fn, s, r, nil)
+		} else {
+			fr := &e.rec.fns[fn.idx]
+			fr.calls++
+			t0 := e.stats.Steps
+			n, err = e.exec(fn, s, r, nil)
+			fr.steps += e.stats.Steps - t0
+		}
 	}
 	if ve, ok := err.(*interp.VirgilError); ok && ve.Trace == nil {
 		ve.Trace, ve.Elided = e.traceSnapshot()
@@ -529,11 +658,17 @@ func (e *Engine) callVirtual(fn *fnCode, ins *einstr, s []int64, r []interp.Valu
 		// known to match), but it is still counted, like the
 		// interpreter's adapt fast path.
 		e.stats.AdaptChecks++
+		if e.rec != nil {
+			e.rec.sites[ins.ic].hits++
+		}
 		n, err := e.callPlanned(ic.fast, ic.plan, s, r, recv, true)
 		if err != nil {
 			return err
 		}
 		return e.storeRets(ins.dsts, s, r, n)
+	}
+	if e.rec != nil {
+		e.rec.sites[ins.ic].misses++
 	}
 	provided := make([]interp.Value, len(ins.args)-1)
 	for k := 1; k < len(ins.args); k++ {
@@ -553,15 +688,26 @@ func (e *Engine) callVirtual(fn *fnCode, ins *einstr, s []int64, r []interp.Valu
 	if err != nil {
 		return err
 	}
-	ic2 := icEntry{cls: recv.Class}
-	if tf := e.p.fns[target]; tf != nil && !tf.hasTP && len(ins.args) == len(target.Params) {
-		plan := make([]argMove, len(ins.args)-1)
-		for k := 1; k < len(ins.args); k++ {
-			plan[k-1] = argMove{src: ins.args[k], dst: tf.params[k]}
+	// Re-read through the pointer: the call above may have re-entered
+	// this site. A megamorphic site stops installing; otherwise count
+	// the install and flip to megamorphic past the limit so a hot
+	// polymorphic site stops thrashing the cache.
+	if !ic.mega {
+		installs := ic.installs + 1
+		if installs > megaInstalls {
+			*ic = icEntry{mega: true, installs: installs}
+		} else {
+			ic2 := icEntry{cls: recv.Class, installs: installs}
+			if tf := e.p.fns[target]; tf != nil && !tf.hasTP && len(ins.args) == len(target.Params) {
+				plan := make([]argMove, len(ins.args)-1)
+				for k := 1; k < len(ins.args); k++ {
+					plan[k-1] = argMove{src: ins.args[k], dst: tf.params[k]}
+				}
+				ic2.fast, ic2.plan = tf, plan
+			}
+			*ic = ic2
 		}
-		ic2.fast, ic2.plan = tf, plan
 	}
-	e.ics[ins.ic] = ic2
 	return e.storeRets(ins.dsts, s, r, n)
 }
 
@@ -575,6 +721,9 @@ func (e *Engine) callIndirect(ins *einstr, fvv interp.Value, s []int64, r []inte
 	ic := &e.ics[ins.ic]
 	if ic.ifn == fv.Fn && ic.hasRecv == fv.HasRecv && ic.fast != nil {
 		e.stats.AdaptChecks++
+		if e.rec != nil {
+			e.rec.sites[ins.ic].hits++
+		}
 		var recv interp.Value
 		if fv.HasRecv {
 			recv = fv.Recv
@@ -585,6 +734,9 @@ func (e *Engine) callIndirect(ins *einstr, fvv interp.Value, s []int64, r []inte
 		}
 		return e.storeRets(ins.dsts, s, r, n)
 	}
+	if e.rec != nil {
+		e.rec.sites[ins.ic].misses++
+	}
 	provided := make([]interp.Value, len(ins.args))
 	for k, a := range ins.args {
 		provided[k] = getv(s, r, a)
@@ -593,7 +745,15 @@ func (e *Engine) callIndirect(ins *einstr, fvv interp.Value, s []int64, r []inte
 	if err != nil {
 		return err
 	}
-	ic2 := icEntry{ifn: fv.Fn, hasRecv: fv.HasRecv}
+	if ic.mega {
+		return e.storeRets(ins.dsts, s, r, n)
+	}
+	installs := ic.installs + 1
+	if installs > megaInstalls {
+		*ic = icEntry{mega: true, installs: installs}
+		return e.storeRets(ins.dsts, s, r, n)
+	}
+	ic2 := icEntry{ifn: fv.Fn, hasRecv: fv.HasRecv, installs: installs}
 	if tf := e.p.fns[fv.Fn]; tf != nil && !tf.hasTP {
 		np := len(fv.Fn.Params)
 		off := 0
@@ -609,7 +769,7 @@ func (e *Engine) callIndirect(ins *einstr, fvv interp.Value, s []int64, r []inte
 			ic2.fast, ic2.plan = tf, plan
 		}
 	}
-	e.ics[ins.ic] = ic2
+	*ic = ic2
 	return e.storeRets(ins.dsts, s, r, n)
 }
 
@@ -783,7 +943,11 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			}
 
 		case opBranchS:
-			if s[slotOf(ins.a)] != 0 {
+			c := s[slotOf(ins.a)] != 0
+			if e.rec != nil {
+				e.rec.branch(ins.ic, c)
+			}
+			if c {
 				pc = int(ins.t1)
 			} else {
 				pc = int(ins.t2)
@@ -794,6 +958,9 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			if !ok {
 				return 0, fmt.Errorf("interp: %s: branch on non-bool", fn.name)
 			}
+			if e.rec != nil {
+				e.rec.branch(ins.ic, bool(c))
+			}
 			if c {
 				pc = int(ins.t1)
 			} else {
@@ -801,14 +968,44 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 			}
 			continue
 		case opCmpBrSS:
-			if cmpSlots(ir.Op(ins.aux), s[slotOf(ins.a)], s[slotOf(ins.b)]) {
+			c := cmpSlots(ir.Op(ins.aux), s[slotOf(ins.a)], s[slotOf(ins.b)])
+			if e.rec != nil {
+				e.rec.branch(ins.ic, c)
+			}
+			if c {
 				pc = int(ins.t1)
 			} else {
 				pc = int(ins.t2)
 			}
 			continue
 		case opCmpBrSI:
-			if cmpSlots(ir.Op(ins.aux), s[slotOf(ins.a)], ins.imm) {
+			c := cmpSlots(ir.Op(ins.aux), s[slotOf(ins.a)], ins.imm)
+			if e.rec != nil {
+				e.rec.branch(ins.ic, c)
+			}
+			if c {
+				pc = int(ins.t1)
+			} else {
+				pc = int(ins.t2)
+			}
+			continue
+		case opFused:
+			runSubs(ins.subs, s, r, e.gS)
+		case opFusedBr:
+			runSubs(ins.subs, s, r, e.gS)
+			var c bool
+			switch ins.k {
+			case fbrS:
+				c = s[slotOf(ins.a)] != 0
+			case fbrSS:
+				c = cmpSlots(ir.Op(ins.aux), s[slotOf(ins.a)], s[slotOf(ins.b)])
+			default:
+				c = cmpSlots(ir.Op(ins.aux), s[slotOf(ins.a)], ins.imm)
+			}
+			if e.rec != nil {
+				e.rec.branch(ins.ic, c)
+			}
+			if c {
 				pc = int(ins.t1)
 			} else {
 				pc = int(ins.t2)
@@ -1170,6 +1367,75 @@ func (e *Engine) exec(fn *fnCode, s []int64, r []interp.Value, env tenv) (int, e
 		}
 		pc++
 	}
+}
+
+// runSubs executes a whole fused run in one call. The dispatch switch
+// is too big for the Go inliner, so calling per sub-instruction would
+// pay a function call each — one call per run amortizes it away. Every
+// op here is a total function over the scalar file — no traps, no
+// output, no heap — so a run interrupted by the step budget leaves
+// nothing observable behind (see fusable in translate.go). Scalar
+// global loads and stores qualify: they move values between the scalar
+// file and the scalar globals array, trap-free, and a run executes
+// atomically with respect to budget checks, so no partial store is
+// ever observable. The IntArith error returns are statically
+// impossible: Div/Mod never fuse.
+func runSubs(subs []einstr, s []int64, r []interp.Value, gS []int64) {
+	for k := range subs {
+		sub := &subs[k]
+		switch sub.op {
+		case opConstS:
+			s[slotOf(sub.dst)] = sub.imm
+		case opMoveSS:
+			s[slotOf(sub.dst)] = s[slotOf(sub.a)]
+		case opConstR:
+			r[slotOf(sub.dst)] = sub.val
+		case opMoveRR:
+			r[slotOf(sub.dst)] = r[slotOf(sub.a)]
+		case opGLoadS:
+			s[slotOf(sub.dst)] = gS[sub.aux]
+		case opGStoreS:
+			gS[sub.aux] = s[slotOf(sub.a)]
+		case opArithSS:
+			s[slotOf(sub.dst)] = int64(subArith(ir.Op(sub.aux), int32(s[slotOf(sub.a)]), int32(s[slotOf(sub.b)])))
+		case opArithSI:
+			s[slotOf(sub.dst)] = int64(subArith(ir.Op(sub.aux), int32(s[slotOf(sub.a)]), int32(sub.imm)))
+		case opNegS:
+			s[slotOf(sub.dst)] = int64(-int32(s[slotOf(sub.a)]))
+		case opNotS:
+			s[slotOf(sub.dst)] = s[slotOf(sub.a)] ^ 1
+		case opBoolSS:
+			if sub.aux != 0 {
+				s[slotOf(sub.dst)] = s[slotOf(sub.a)] | s[slotOf(sub.b)]
+			} else {
+				s[slotOf(sub.dst)] = s[slotOf(sub.a)] & s[slotOf(sub.b)]
+			}
+		case opCmpSS:
+			s[slotOf(sub.dst)] = b2i(cmpSlots(ir.Op(sub.aux), s[slotOf(sub.a)], s[slotOf(sub.b)]))
+		}
+	}
+}
+
+// subArith is interp.IntArith minus the trapping ops, which never
+// fuse. IntArith's dispatch is too costly for the Go inliner (cost 186
+// vs budget 80); peeling the three overwhelmingly common ops into an
+// inlinable wrapper keeps fused arithmetic call-free on the hot path.
+func subArith(op ir.Op, a, b int32) int32 {
+	if op == ir.OpAdd {
+		return a + b
+	}
+	return subArithSlow(op, a, b)
+}
+
+func subArithSlow(op ir.Op, a, b int32) int32 {
+	switch op {
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	}
+	v, _ := interp.IntArith(op, a, b)
+	return v
 }
 
 // arrayArgs mirrors the interpreter's array access checks: null, then

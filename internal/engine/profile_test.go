@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/profile"
+)
+
+// White-box tests for the profiling layer: megamorphic inline-cache
+// backoff, profile counter collection, and profile-driven run fusion.
+
+// polySource drives one virtual call site with alternating receiver
+// classes, the pattern that used to re-install a fresh monomorphic
+// cache on every single call.
+const polySource = `
+class A { def m() -> int { return 1; } }
+class B extends A { def m() -> int { return 2; } }
+class C extends A { def m() -> int { return 3; } }
+def poll(x: A) -> int { return x.m(); }
+def main() {
+	var i = 0;
+	var s = 0;
+	var a = A.new();
+	var b: A = B.new();
+	var c: A = C.new();
+	while (i < 30) {
+		s = s + poll(a) + poll(b) + poll(c);
+		i = i + 1;
+	}
+	System.puti(s);
+}
+`
+
+func TestMegamorphicStopsInstalling(t *testing.T) {
+	mod := compileMod(t, polySource)
+	p := Compile(mod)
+	var out strings.Builder
+	e := New(p, interp.Options{Out: &out, Profile: true})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "180" {
+		t.Fatalf("output %q, want 180", out.String())
+	}
+	mega := 0
+	for i := range e.ics {
+		ic := &e.ics[i]
+		if ic.mega {
+			mega++
+			if ic.installs != megaInstalls+1 {
+				t.Errorf("mega site installs = %d, want exactly %d (installs must stop at the flag)",
+					ic.installs, megaInstalls+1)
+			}
+			if ic.cls != nil || ic.ifn != nil || ic.fast != nil {
+				t.Error("mega site retains a cache identity; it should be cleared")
+			}
+		}
+	}
+	if mega == 0 {
+		t.Fatal("alternating receivers over 90 calls never flipped a site megamorphic")
+	}
+	// The profile must report the site as megamorphic and record every
+	// dispatch as a miss after warmup.
+	prof := e.Profile()
+	var site *profile.Site
+	for _, f := range prof.Funcs {
+		for _, s := range f.Sites {
+			if s.Mega {
+				site = s
+			}
+		}
+	}
+	if site == nil {
+		t.Fatal("no megamorphic site in profile")
+	}
+	if site.Monomorphic() {
+		t.Error("megamorphic site must not qualify as monomorphic")
+	}
+	if site.Misses < 80 {
+		t.Errorf("mega site misses = %d, want most of the 90 dispatches", site.Misses)
+	}
+}
+
+func TestMonoSiteStaysInstalled(t *testing.T) {
+	mod := compileMod(t, `
+class A { def m() -> int { return 7; } }
+def poll(x: A) -> int { return x.m(); }
+def main() {
+	var i = 0;
+	var s = 0;
+	var a = A.new();
+	while (i < 50) { s = s + poll(a); i = i + 1; }
+	System.puti(s);
+}
+`)
+	p := Compile(mod)
+	var out strings.Builder
+	e := New(p, interp.Options{Out: &out, Profile: true})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prof := e.Profile()
+	var site *profile.Site
+	for _, f := range prof.Funcs {
+		for _, s := range f.Sites {
+			if s.Kind == profile.SiteVirtual {
+				site = s
+			}
+		}
+	}
+	if site == nil {
+		t.Fatal("no virtual site recorded")
+	}
+	if site.Installs != 1 || site.Mega {
+		t.Errorf("mono site: installs=%d mega=%v, want exactly 1 install", site.Installs, site.Mega)
+	}
+	if !site.Monomorphic() {
+		t.Errorf("hot mono site should qualify for speculation: %+v", site)
+	}
+	if site.Class != "A" || site.Callee != "A.m" {
+		t.Errorf("site identity = (%q, %q), want (A, A.m)", site.Class, site.Callee)
+	}
+}
+
+func TestProfileFuncAndBranchCounters(t *testing.T) {
+	mod := compileMod(t, `
+def work(n: int) -> int {
+	var i = 0;
+	var s = 0;
+	while (i < n) { s = s + i; i = i + 1; }
+	return s;
+}
+def main() { System.puti(work(100)); }
+`)
+	p := Compile(mod)
+	e := New(p, interp.Options{Out: io.Discard, Profile: true})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prof := e.Profile()
+	wf := prof.Funcs["work"]
+	if wf == nil {
+		t.Fatal("work not in profile")
+	}
+	if wf.Calls != 1 {
+		t.Errorf("work calls = %d, want 1", wf.Calls)
+	}
+	if wf.Steps < 100 {
+		t.Errorf("work steps = %d, want at least the loop trip count", wf.Steps)
+	}
+	// The loop condition branch must show ~100 takes with a heavy bias.
+	var best *profile.Branch
+	for _, b := range wf.Branches {
+		if best == nil || b.Taken+b.Not > best.Taken+best.Not {
+			best = b
+		}
+	}
+	if best == nil {
+		t.Fatal("no branch recorded in work")
+	}
+	if best.Taken+best.Not < 100 {
+		t.Errorf("hottest branch saw %d outcomes, want >= 100", best.Taken+best.Not)
+	}
+	if prof.Funcs["main"] == nil {
+		t.Error("main not in profile")
+	}
+}
+
+func TestProfileDisabledRecordsNothing(t *testing.T) {
+	mod := compileMod(t, `def main() { System.puti(1); }`)
+	p := Compile(mod)
+	e := New(p, interp.Options{Out: io.Discard})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Profile() != nil {
+		t.Fatal("Profile() must be nil when Options.Profile is off")
+	}
+}
+
+// hotLoopSource has a tight scalar loop body that run fusion collapses.
+const hotLoopSource = `
+def work(n: int) -> int {
+	var i = 0;
+	var s = 0;
+	while (i < n) {
+		s = s + i * 3 - 1;
+		i = i + 1;
+	}
+	return s;
+}
+def main() { System.puti(work(200)); }
+`
+
+func TestProfileDrivenFusion(t *testing.T) {
+	mod := compileMod(t, hotLoopSource)
+	cold := Compile(mod)
+
+	// Record a profile, then recompile with it.
+	var out1 bytes.Buffer
+	e1 := New(cold, interp.Options{Out: &out1, Profile: true})
+	if _, err := e1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prof := e1.Profile()
+	hot := CompileProfiled(mod, prof)
+
+	fused := countOps(fnByName(t, hot, "work"), opFused) + countOps(fnByName(t, hot, "work"), opFusedBr)
+	if fused == 0 {
+		t.Fatal("profiled recompile formed no fused runs in the hot loop")
+	}
+	if n := countOps(fnByName(t, cold, "work"), opFused) + countOps(fnByName(t, cold, "work"), opFusedBr); n != 0 {
+		t.Fatalf("unprofiled compile must not fuse runs, found %d", n)
+	}
+
+	// Identical observable behavior, identical step accounting.
+	var out2 bytes.Buffer
+	e2 := New(hot, interp.Options{Out: &out2})
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("tiered output %q != untiered %q", out2.String(), out1.String())
+	}
+	if e1.Stats().Steps != e2.Stats().Steps {
+		t.Fatalf("tiered steps %d != untiered %d", e2.Stats().Steps, e1.Stats().Steps)
+	}
+}
+
+func TestFusedStepBudgetIdentical(t *testing.T) {
+	mod := compileMod(t, hotLoopSource)
+	cold := Compile(mod)
+	e0 := New(cold, interp.Options{Out: io.Discard, Profile: true})
+	if _, err := e0.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := e0.Stats().Steps
+	hot := CompileProfiled(mod, e0.Profile())
+
+	// Sweep budgets around fused-run boundaries: the tiered program
+	// must stop at exactly the same Steps value with the same error.
+	for _, budget := range []int64{1, 7, 50, 51, 52, 53, 100, total - 1, total, total + 1} {
+		ec := New(cold, interp.Options{Out: io.Discard, MaxSteps: budget})
+		_, errC := ec.Run()
+		eh := New(hot, interp.Options{Out: io.Discard, MaxSteps: budget})
+		_, errH := eh.Run()
+		if (errC == nil) != (errH == nil) {
+			t.Fatalf("budget %d: cold err %v, hot err %v", budget, errC, errH)
+		}
+		if errC != nil && errC.Error() != errH.Error() {
+			t.Fatalf("budget %d: cold %q, hot %q", budget, errC, errH)
+		}
+		if cs, hs := ec.Stats().Steps, eh.Stats().Steps; cs != hs {
+			t.Fatalf("budget %d: cold steps %d, hot steps %d", budget, cs, hs)
+		}
+	}
+}
+
+func TestProfileMergeAcrossRuns(t *testing.T) {
+	mod := compileMod(t, hotLoopSource)
+	p := Compile(mod)
+	run := func() *profile.Profile {
+		e := New(p, interp.Options{Out: io.Discard, Profile: true})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Profile()
+	}
+	a, b := run(), run()
+	calls := a.Funcs["work"].Calls
+	a.Merge(b)
+	if got := a.Funcs["work"].Calls; got != 2*calls {
+		t.Fatalf("merged calls = %d, want %d", got, 2*calls)
+	}
+	var b1, b2 bytes.Buffer
+	if err := run().Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run().Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two identical runs produced different profile JSON")
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/profile"
 	"repro/internal/src"
 	"repro/internal/types"
 )
@@ -114,9 +115,18 @@ const (
 	opCastIntByte
 	opCastTrap // cast statically known to fail
 	opQueryR
+	opFused   // profile-selected run of fused non-trapping scalar ops
+	opFusedBr // fused scalar run ending in a conditional branch
 	opThrow
 	opFellOff
 	opBadOp
+)
+
+// opFusedBr terminator kinds, carried in einstr.k.
+const (
+	fbrS  = uint8(0) // opBranchS: branch on a bool slot
+	fbrSS = uint8(1) // opCmpBrSS: compare two slots, branch
+	fbrSI = uint8(2) // opCmpBrSI: compare slot to immediate, branch
 )
 
 // argMove copies one caller register into one callee register; the two
@@ -153,6 +163,9 @@ type einstr struct {
 	xerr    error
 	pos     src.Pos
 	noheap  bool // stack-promoted allocation: skip the modeled heap charge
+	// subs is the fused run body of opFused/opFusedBr: non-trapping
+	// scalar-register writes executed back-to-back under one step check.
+	subs []einstr
 }
 
 // fnCode is one translated function.
@@ -165,6 +178,26 @@ type fnCode struct {
 	nS, nR   int
 	code     []einstr
 	hasTP    bool
+	idx      int // dense function index (profile counters, pnames)
+}
+
+// siteMeta is the static identity of one inline-cache call site: the
+// owning function's dense index and the per-function site ordinal the
+// profile keys on. slot is the vtable slot of virtual sites.
+type siteMeta struct {
+	fn       int
+	ord      int
+	slot     int32
+	indirect bool
+}
+
+// brMeta is the static identity of one conditional branch. back marks
+// a branch with an edge to an already-translated block — a loop edge,
+// so its taken counter approximates the trip count.
+type brMeta struct {
+	fn   int
+	ord  int
+	back bool
 }
 
 // Program is an immutable translated module, shareable across
@@ -181,6 +214,18 @@ type Program struct {
 	classByDef map[*types.ClassDef]*ir.Class
 	classByTyp map[*types.Class]*ir.Class
 	maxRet     int
+
+	// Profile identity: deterministic dense numbering of functions,
+	// call sites, and branches, so runtime counters recorded against
+	// this program can be exported under stable jobs-independent keys.
+	numBranches int
+	siteMeta    []siteMeta
+	branchMeta  []brMeta
+	pnames      []string // profile name per fnCode.idx
+	// hotFns gates profile-driven run fusion: only functions the input
+	// profile marked hot get fused, so an unprofiled compile of the
+	// same module produces byte-identical bytecode to previous releases.
+	hotFns map[string]bool
 }
 
 // Module returns the module the program was compiled from.
@@ -205,9 +250,24 @@ func scalarKind(t types.Type) (uint32, bool) {
 	return 0, false
 }
 
+// Hot-function thresholds for profile-driven fusion: a function is
+// worth fusing when the profile saw it called this often or burning
+// this many steps (tight loops run hot without being re-entered).
+const (
+	hotMinCalls = profile.DefaultHotCalls
+	hotMinSteps = profile.DefaultHotSteps
+)
+
 // Compile translates mod to register bytecode. The result is
 // deterministic for a given module and safe for concurrent use.
-func Compile(mod *ir.Module) *Program {
+func Compile(mod *ir.Module) *Program { return CompileProfiled(mod, nil) }
+
+// CompileProfiled translates mod with an optional execution profile.
+// A nil or empty profile yields exactly Compile's output; a profile
+// additionally enables run fusion in the functions it marks hot. The
+// profile only ever selects between semantically identical encodings,
+// so a stale or mismatched profile cannot change observable behavior.
+func CompileProfiled(mod *ir.Module, prof *profile.Profile) *Program {
 	p := &Program{
 		mod:        mod,
 		tc:         mod.Types,
@@ -233,40 +293,27 @@ func Compile(mod *ir.Module) *Program {
 			p.nGR++
 		}
 	}
+	if prof != nil && !prof.Empty() {
+		p.hotFns = map[string]bool{}
+		for _, name := range prof.HotFuncs(hotMinCalls, hotMinSteps) {
+			p.hotFns[name] = true
+		}
+	}
 	// Pass 0: discover every executable function in deterministic
-	// order — module-listed functions, init, main, vtable entries, and
-	// anything referenced from an instruction (closure and static call
-	// targets that fall outside mod.Funcs).
-	var work []*ir.Func
-	seen := map[*ir.Func]bool{}
-	add := func(f *ir.Func) {
-		if f == nil || seen[f] {
-			return
-		}
-		seen[f] = true
-		work = append(work, f)
-	}
-	for _, f := range mod.Funcs {
-		add(f)
-	}
-	add(mod.Init)
-	add(mod.Main)
-	for _, c := range mod.Classes {
-		for _, vf := range c.Vtable {
-			add(vf)
-		}
-	}
-	for wi := 0; wi < len(work); wi++ {
-		for _, b := range work[wi].Blocks {
-			for _, in := range b.Instrs {
-				add(in.Fn)
-			}
-		}
-	}
+	// order (profile.Walk: module-listed functions, init, main, vtable
+	// entries, then anything referenced from an instruction). Profile
+	// keys are assigned along this walk, so it is shared with every
+	// profile consumer.
+	work := profile.Walk(mod)
+	names := profile.Names(mod)
 	// Pass 1: register classing for every function, so call plans can
 	// reference callee parameter slots before bodies are translated.
-	for _, f := range work {
-		p.fns[f] = newFnCode(f)
+	p.pnames = make([]string, len(work))
+	for i, f := range work {
+		fc := newFnCode(f)
+		fc.idx = i
+		p.fns[f] = fc
+		p.pnames[i] = names[f]
 	}
 	// Pass 2: translate bodies, in worklist order so inline-cache
 	// numbering is deterministic.
@@ -335,6 +382,13 @@ type translator struct {
 	reads map[int]int // register ID -> total read count (fusion safety)
 	start map[*ir.Block]int32
 	fixes []fixup
+
+	// hot enables profile-driven run fusion for this function; pend is
+	// the pending run of fusable instructions merged on emit.
+	hot      bool
+	pend     []einstr
+	nextSite int // per-function call-site ordinal
+	nextBr   int // per-function branch ordinal
 }
 
 type fixup struct {
@@ -344,6 +398,7 @@ type fixup struct {
 }
 
 func (t *translator) translate() {
+	t.hot = t.p.hotFns[t.p.pnames[t.fc.idx]]
 	t.reads = map[int]int{}
 	for _, b := range t.f.Blocks {
 		for _, in := range b.Instrs {
@@ -362,6 +417,7 @@ func (t *translator) translate() {
 		t.start[b] = int32(len(t.fc.code))
 		t.block(b)
 	}
+	t.flush()
 	for _, fx := range t.fixes {
 		pc := t.start[fx.blk]
 		if fx.which == 1 {
@@ -372,9 +428,109 @@ func (t *translator) translate() {
 	}
 }
 
+// maxFuseRun caps fused run length so summed nsteps stays far inside
+// the uint8 step field. minFuse and minFuseBr are the shortest runs
+// worth paying the runSubs call for: opFusedBr tolerates a shorter run
+// because the branch itself also folds into the superinstruction.
+const (
+	maxFuseRun = 12
+	minFuse    = 2
+	minFuseBr  = 2
+)
+
+// fusable reports whether in may join a fused run: a non-trapping
+// write of scalar registers with no targets, no output, and no heap
+// effect. Div/Mod are excluded (IntArith traps on zero); shifts clamp
+// and the rest are total, so an unexecuted fused prefix after a
+// step-budget stop is unobservable.
+func fusable(in *einstr) bool {
+	switch in.op {
+	case opConstS, opMoveSS, opNegS, opNotS, opBoolSS, opCmpSS, opGLoadS, opGStoreS,
+		opConstR, opMoveRR:
+		return true
+	case opArithSS, opArithSI:
+		switch ir.Op(in.aux) {
+		case ir.OpDiv, ir.OpMod:
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// brKind classifies ops a fused run may terminate on: scalar
+// conditional branches, which read only scalar slots and cannot trap.
+func brKind(op uint8) (uint8, bool) {
+	switch op {
+	case opBranchS:
+		return fbrS, true
+	case opCmpBrSS:
+		return fbrSS, true
+	case opCmpBrSI:
+		return fbrSI, true
+	}
+	return 0, false
+}
+
+// emit appends one translated instruction. In profile-hot functions it
+// merges runs of fusable instructions on the fly — merge-on-emit, so
+// every pc a caller records for branch fixups is final and never
+// shifts. Returns the pc of the appended instruction, or -1 when the
+// instruction was buffered into a pending run (no caller records pcs
+// for fusable ops).
 func (t *translator) emit(in einstr) int {
+	if t.hot {
+		if fusable(&in) {
+			t.pend = append(t.pend, in)
+			if len(t.pend) >= maxFuseRun {
+				t.flush()
+			}
+			return -1
+		}
+		if len(t.pend) > 0 {
+			if k, ok := brKind(in.op); ok && len(t.pend) >= minFuseBr {
+				f := einstr{op: opFusedBr, k: k, nsteps: in.nsteps,
+					a: in.a, b: in.b, imm: in.imm, aux: in.aux, ic: in.ic,
+					pos: in.pos, subs: t.take()}
+				for i := range f.subs {
+					f.nsteps += f.subs[i].nsteps
+				}
+				t.fc.code = append(t.fc.code, f)
+				return len(t.fc.code) - 1
+			}
+			t.flush()
+		}
+	}
 	t.fc.code = append(t.fc.code, in)
 	return len(t.fc.code) - 1
+}
+
+// take hands over the pending run, resetting the buffer.
+func (t *translator) take() []einstr {
+	subs := make([]einstr, len(t.pend))
+	copy(subs, t.pend)
+	t.pend = t.pend[:0]
+	return subs
+}
+
+// flush emits the pending run as one opFused, or, below the minimum
+// profitable length, as the instructions themselves — a short run's
+// saved dispatches do not pay for the runSubs call.
+func (t *translator) flush() {
+	if len(t.pend) == 0 {
+		return
+	}
+	if len(t.pend) < minFuse {
+		t.fc.code = append(t.fc.code, t.pend...)
+		t.pend = t.pend[:0]
+		return
+	}
+	pos := t.pend[0].pos
+	f := einstr{op: opFused, pos: pos, subs: t.take()}
+	for i := range f.subs {
+		f.nsteps += f.subs[i].nsteps
+	}
+	t.fc.code = append(t.fc.code, f)
 }
 
 func (t *translator) target(pc, which int, blk *ir.Block) {
@@ -517,7 +673,8 @@ func (t *translator) fuseCmpBrI(c, cmp, br *ir.Instr) bool {
 		return false
 	}
 	pc := t.emit(einstr{op: opCmpBrSI, nsteps: 3, a: ea,
-		imm: int64(int32(c.IVal)), aux: int32(cmp.Op), pos: cmp.Pos})
+		imm: int64(int32(c.IVal)), aux: int32(cmp.Op), pos: cmp.Pos,
+		ic: t.newBr(br.Blocks[0], br.Blocks[1])})
 	t.target(pc, 1, br.Blocks[0])
 	t.target(pc, 2, br.Blocks[1])
 	return true
@@ -537,7 +694,8 @@ func (t *translator) fuseCmpBr(cmp, br *ir.Instr) bool {
 		return false
 	}
 	pc := t.emit(einstr{op: opCmpBrSS, nsteps: 2, a: t.enc(cmp.Args[0]),
-		b: t.enc(cmp.Args[1]), aux: int32(cmp.Op), pos: cmp.Pos})
+		b: t.enc(cmp.Args[1]), aux: int32(cmp.Op), pos: cmp.Pos,
+		ic: t.newBr(br.Blocks[0], br.Blocks[1])})
 	t.target(pc, 1, br.Blocks[0])
 	t.target(pc, 2, br.Blocks[1])
 	return true
@@ -584,7 +742,7 @@ func (t *translator) fuseLoadCall(gl, ci *ir.Instr) bool {
 		return false
 	}
 	in := einstr{op: opGLoadCallInd, nsteps: 2, aux: int32(slotOf(genc)),
-		ic: t.newIC(), pos: ci.Pos}
+		ic: t.newIC(true, -1), pos: ci.Pos}
 	for _, a := range ci.Args[1:] {
 		in.args = append(in.args, t.enc(a))
 	}
@@ -595,10 +753,30 @@ func (t *translator) fuseLoadCall(gl, ci *ir.Instr) bool {
 	return true
 }
 
-func (t *translator) newIC() int32 {
+// newIC allocates one inline-cache slot and records the site's stable
+// profile identity (owning function, per-function ordinal, kind).
+func (t *translator) newIC(indirect bool, slot int32) int32 {
 	ic := int32(t.p.numICs)
 	t.p.numICs++
+	t.p.siteMeta = append(t.p.siteMeta, siteMeta{
+		fn: t.fc.idx, ord: t.nextSite, slot: slot, indirect: indirect,
+	})
+	t.nextSite++
 	return ic
+}
+
+// newBr allocates one branch-profile slot. A branch whose target block
+// was already translated is a loop edge (blocks translate in order).
+func (t *translator) newBr(taken, not *ir.Block) int32 {
+	idx := int32(t.p.numBranches)
+	t.p.numBranches++
+	_, backT := t.start[taken]
+	_, backN := t.start[not]
+	t.p.branchMeta = append(t.p.branchMeta, brMeta{
+		fn: t.fc.idx, ord: t.nextBr, back: backT || backN,
+	})
+	t.nextBr++
+	return idx
 }
 
 // instr translates one IR instruction to one bytecode instruction.
@@ -830,7 +1008,7 @@ func (t *translator) instr(in *ir.Instr) {
 			}
 		}
 	case ir.OpCallVirtual:
-		e.op, e.aux, e.ic = opCallVirt, int32(in.FieldSlot), t.newIC()
+		e.op, e.aux, e.ic = opCallVirt, int32(in.FieldSlot), t.newIC(false, int32(in.FieldSlot))
 		e.targs = in.TypeArgs
 		e.open = !t.closedAll(in.TypeArgs)
 		for _, a := range in.Args {
@@ -840,7 +1018,7 @@ func (t *translator) instr(in *ir.Instr) {
 			e.dsts = append(e.dsts, t.enc(d))
 		}
 	case ir.OpCallIndirect:
-		e.op, e.ic = opCallInd, t.newIC()
+		e.op, e.ic = opCallInd, t.newIC(true, -1)
 		e.a = t.enc(in.Args[0])
 		for _, a := range in.Args[1:] {
 			e.args = append(e.args, t.enc(a))
@@ -925,6 +1103,7 @@ func (t *translator) instr(in *ir.Instr) {
 		} else {
 			e.op, e.a = opBranchR, a
 		}
+		e.ic = t.newBr(in.Blocks[0], in.Blocks[1])
 		pc := t.emit(e)
 		t.target(pc, 1, in.Blocks[0])
 		t.target(pc, 2, in.Blocks[1])

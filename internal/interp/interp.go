@@ -115,6 +115,9 @@ type Options struct {
 	MaxHeap  int64           // modeled heap budget; 0 means DefaultMaxHeap
 	Timeout  time.Duration   // wall-clock budget; 0 means none
 	Ctx      context.Context // cancellation; nil means never cancelled
+	// Profile enables runtime profile collection. Only the bytecode
+	// engine records profiles; the switch interpreter ignores this.
+	Profile bool
 }
 
 // Interp executes one module.

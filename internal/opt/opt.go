@@ -15,6 +15,7 @@ import (
 	"context"
 	"repro/internal/ir"
 	"repro/internal/par"
+	"repro/internal/profile"
 	"repro/internal/types"
 )
 
@@ -33,6 +34,9 @@ type Stats struct {
 	PureCallsRemoved int // dead calls to pure functions deleted
 	PureCallsCSEd    int // repeated deterministic calls merged
 	StackPromoted    int // non-escaping allocations relieved of heap charges
+	// Profile-guided passes (Config.Profile).
+	SpecDevirt int // virtual sites given a guarded speculative fast path
+	HotInlined int // extra inlines paid for by profile heat
 }
 
 // Config controls optimization.
@@ -54,6 +58,13 @@ type Config struct {
 	// inlining passes — the ablation the analysis-off differential
 	// tests compile against.
 	Analyze bool
+	// Profile, when non-nil and non-empty, supplies a runtime execution
+	// profile for the profile-guided passes: speculative
+	// devirtualization of observed-monomorphic virtual sites (guarded,
+	// falling through to the original dispatch) and hot inlining with a
+	// raised budget. Profiles are advisory: a stale or wrong profile can
+	// cost speed, never correctness.
+	Profile *profile.Profile
 }
 
 // Optimize runs all passes over the module in place.
@@ -111,6 +122,12 @@ func Optimize(ctx context.Context, mod *ir.Module, cfg Config) (*Stats, error) {
 			break
 		}
 	}
+	// Profile-guided passes run after the deterministic fold/inline
+	// rounds — so the call-site ordinals counted here match the ones the
+	// engine assigned when profiling the same optimized IR — and before
+	// the final pure-call/promotion phase, which never moves a virtual
+	// or indirect site.
+	o.pgo()
 	if cfg.Analyze {
 		// Promote after all transformation: escape facts must describe
 		// the final IR. Core re-analyzes once more and ICEs on any mark

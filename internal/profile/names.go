@@ -1,0 +1,62 @@
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Walk returns every executable function of mod in the deterministic
+// discovery order the bytecode engine translates in: module-listed
+// functions, init, main, vtable entries, then anything referenced from
+// an instruction. Profile site/branch ordinals are assigned along this
+// walk, so every consumer of a profile (the engine that records it,
+// the optimizer that applies it) must enumerate functions the same
+// way; keeping the walk here keeps them from drifting apart.
+func Walk(mod *ir.Module) []*ir.Func {
+	var work []*ir.Func
+	seen := map[*ir.Func]bool{}
+	add := func(f *ir.Func) {
+		if f == nil || seen[f] {
+			return
+		}
+		seen[f] = true
+		work = append(work, f)
+	}
+	for _, f := range mod.Funcs {
+		add(f)
+	}
+	add(mod.Init)
+	add(mod.Main)
+	for _, c := range mod.Classes {
+		for _, vf := range c.Vtable {
+			add(vf)
+		}
+	}
+	for wi := 0; wi < len(work); wi++ {
+		for _, b := range work[wi].Blocks {
+			for _, in := range b.Instrs {
+				add(in.Fn)
+			}
+		}
+	}
+	return work
+}
+
+// Names assigns each function from Walk a unique profile name: its IR
+// name, with a "#k" suffix disambiguating the k-th duplicate in walk
+// order. IR names are almost always unique already; the suffix only
+// exists so a profile never aliases two functions.
+func Names(mod *ir.Module) map[*ir.Func]string {
+	names := map[*ir.Func]string{}
+	used := map[string]int{}
+	for _, f := range Walk(mod) {
+		name := f.Name
+		if n := used[f.Name]; n > 0 {
+			name = fmt.Sprintf("%s#%d", f.Name, n)
+		}
+		used[f.Name]++
+		names[f] = name
+	}
+	return names
+}

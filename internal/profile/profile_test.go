@@ -1,0 +1,145 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeStable(t *testing.T) {
+	build := func(order []int) *Profile {
+		p := New()
+		for _, i := range order {
+			name := []string{"alpha", "beta", "gamma"}[i]
+			f := p.FuncFor(name)
+			f.Calls = int64(10 * (i + 1))
+			s := f.Site(i)
+			s.Kind = SiteVirtual
+			s.Hits = int64(i + 1)
+			b := f.Branch(i)
+			b.Taken = int64(i + 2)
+			b.Back = i == 1
+		}
+		return p
+	}
+	var b1, b2 bytes.Buffer
+	if err := build([]int{0, 1, 2}).Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build([]int{2, 0, 1}).Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("insertion order leaked into encoding:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	p := New()
+	f := p.FuncFor("main")
+	f.Calls = 3
+	f.Steps = 99
+	s := f.Site(0)
+	s.Kind = SiteIndirect
+	s.Hits, s.Misses, s.Installs = 7, 1, 1
+	s.Callee = "Box.get"
+	f.Branch(2).Taken = 41
+
+	var buf bytes.Buffer
+	if err := p.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf := got.Funcs["main"]
+	if gf == nil || gf.Calls != 3 || gf.Steps != 99 {
+		t.Fatalf("func counters lost: %+v", gf)
+	}
+	if gs := gf.SiteAt(0); gs == nil || gs.Hits != 7 || gs.Callee != "Box.get" || gs.Kind != SiteIndirect {
+		t.Fatalf("site lost: %+v", gf.SiteAt(0))
+	}
+	if gb := gf.BranchAt(2); gb == nil || gb.Taken != 41 {
+		t.Fatalf("branch lost: %+v", gf.BranchAt(2))
+	}
+}
+
+func TestDecodeRejectsVersion(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"version": 99, "funcs": {}}`))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	af := a.FuncFor("f")
+	af.Calls = 1
+	as := af.Site(0)
+	as.Kind, as.Hits, as.Class, as.Callee = SiteVirtual, 5, "C", "C.m"
+	af.Branch(0).Taken = 2
+
+	bf := b.FuncFor("f")
+	bf.Calls = 2
+	bs := bf.Site(0)
+	bs.Kind, bs.Hits, bs.Class, bs.Callee = SiteVirtual, 3, "C", "C.m"
+	bb := bf.Branch(0)
+	bb.Taken, bb.Back = 4, true
+	b.FuncFor("g").Calls = 7
+
+	a.Merge(b)
+	f := a.Funcs["f"]
+	if f.Calls != 3 {
+		t.Fatalf("calls = %d", f.Calls)
+	}
+	if s := f.SiteAt(0); s.Hits != 8 || s.Class != "C" || s.Callee != "C.m" {
+		t.Fatalf("agreeing identities should survive merge: %+v", s)
+	}
+	if br := f.BranchAt(0); br.Taken != 6 || !br.Back {
+		t.Fatalf("branch merge: %+v", br)
+	}
+	if a.Funcs["g"] == nil || a.Funcs["g"].Calls != 7 {
+		t.Fatal("new func not merged")
+	}
+
+	// Disagreeing cache identities must clear, not guess.
+	c := New()
+	cs := c.FuncFor("f").Site(0)
+	cs.Kind, cs.Hits, cs.Class, cs.Callee = SiteVirtual, 1, "D", "D.m"
+	a.Merge(c)
+	if s := a.Funcs["f"].SiteAt(0); s.Class != "" || s.Callee != "" {
+		t.Fatalf("conflicting identities must clear: %+v", s)
+	}
+	if s := a.Funcs["f"].SiteAt(0); s.Monomorphic() {
+		t.Fatal("cleared site must not be Monomorphic")
+	}
+}
+
+func TestMonomorphic(t *testing.T) {
+	s := &Site{Kind: SiteVirtual, Hits: 100, Misses: 1, Callee: "C.m"}
+	if !s.Monomorphic() {
+		t.Fatal("hot mono site should qualify")
+	}
+	if (&Site{Kind: SiteVirtual, Hits: 10, Misses: 10, Callee: "C.m"}).Monomorphic() {
+		t.Fatal("poly site must not qualify")
+	}
+	if (&Site{Kind: SiteVirtual, Hits: 100, Mega: true, Callee: "C.m"}).Monomorphic() {
+		t.Fatal("mega site must not qualify")
+	}
+}
+
+func TestHotFuncs(t *testing.T) {
+	p := New()
+	p.FuncFor("cold").Calls = 1
+	p.FuncFor("hotcalls").Calls = 500
+	lf := p.FuncFor("hotloop")
+	lf.Calls = 1
+	br := lf.Branch(0)
+	br.Taken, br.Back = 10000, true
+	got := p.HotFuncs(100, 1000)
+	want := []string{"hotcalls", "hotloop"}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("HotFuncs = %v, want %v", got, want)
+	}
+}

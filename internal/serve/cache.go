@@ -7,17 +7,24 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/profile"
 )
 
 // compCache is the warm-compilation cache: an LRU over successful
-// *core.Compilation values keyed by (config, engine, jobs, sources).
-// A Compilation is immutable after a successful compile — its module,
-// type cache, and once-translated bytecode program are all shared,
-// read-only state — so one cached entry can serve concurrent requests;
-// each request still gets a fresh evaluator (with its own globals,
-// inline caches, and stats) via RunToContext. This is what makes the
-// service's steady state cheap: a repeated /run pays only execution,
-// not parse/check/lower or bytecode translation.
+// *core.Compilation values keyed by (config, engine, jobs, sources,
+// tier). A Compilation is immutable after a successful compile — its
+// module, type cache, and once-translated bytecode program are all
+// shared, read-only state — so one cached entry can serve concurrent
+// requests; each request still gets a fresh evaluator (with its own
+// globals, inline caches, and stats) via RunToContext. This is what
+// makes the service's steady state cheap: a repeated /run pays only
+// execution, not parse/check/lower or bytecode translation.
+//
+// Entries also carry the tier-up state feeding feedback-directed
+// re-optimization: a tier-1 entry accumulates the profiles of its runs
+// until the server's TierAfter threshold, at which point the merged
+// profile drives a recompile stored under the program's tier-2 key
+// (the tier byte in cacheKey keeps the artifacts from aliasing).
 type compCache struct {
 	mu  sync.Mutex
 	cap int
@@ -28,6 +35,52 @@ type compCache struct {
 type cacheEntry struct {
 	key  [sha256.Size]byte
 	comp *core.Compilation
+	// tier is 1 for a plain compilation, 2 for a profile-guided
+	// recompile. Immutable after insert.
+	tier int
+
+	// Tier-up accumulator (tier-1 entries only). Guarded by mu, which
+	// is per entry so profile merging never blocks unrelated cache
+	// traffic. tiering latches while one request's recompile is in
+	// flight so concurrent threshold crossings trigger exactly one.
+	mu      sync.Mutex
+	runs    int64
+	prof    *profile.Profile
+	tiering bool
+}
+
+// recordRun folds one profiled execution into the entry. When the run
+// crosses the tier-up threshold (and no recompile is already in
+// flight) it returns a snapshot of the merged profile for the caller
+// to recompile with; otherwise nil.
+func (e *cacheEntry) recordRun(p *profile.Profile, tierAfter int) *profile.Profile {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runs++
+	if e.prof == nil {
+		e.prof = profile.New()
+	}
+	e.prof.Merge(p)
+	if e.runs < int64(tierAfter) || e.tiering {
+		return nil
+	}
+	e.tiering = true
+	// Snapshot under the lock: the optimizer reads the returned profile
+	// while later runs keep merging into e.prof.
+	snap := profile.New()
+	snap.Merge(e.prof)
+	return snap
+}
+
+// tierDone re-arms the entry after a tier-up attempt (successful or
+// not): the counters restart, so if the tier-2 artifact is later
+// evicted — or the recompile failed — the program earns another
+// tier-up the same way it earned the first.
+func (e *cacheEntry) tierDone() {
+	e.mu.Lock()
+	e.runs = 0
+	e.tiering = false
+	e.mu.Unlock()
 }
 
 func newCompCache(capacity int) *compCache {
@@ -37,8 +90,9 @@ func newCompCache(capacity int) *compCache {
 // cacheKey digests everything a compilation's identity depends on.
 // Run-time knobs (MaxSteps, TimeoutMs) are deliberately excluded: they
 // are applied per request at execution time, not baked into the
-// compilation.
-func cacheKey(cfg core.Config, files []FileJSON) [sha256.Size]byte {
+// compilation. The tier is included so a profile-guided recompile
+// never aliases the plain artifact of the same sources.
+func cacheKey(cfg core.Config, files []FileJSON, tier int) [sha256.Size]byte {
 	h := sha256.New()
 	writeStr := func(s string) {
 		var n [8]byte
@@ -58,6 +112,7 @@ func cacheKey(cfg core.Config, files []FileJSON) [sha256.Size]byte {
 	} else {
 		h.Write([]byte{0})
 	}
+	h.Write([]byte{byte(tier)})
 	for _, f := range files {
 		writeStr(f.Name)
 		writeStr(f.Source)
@@ -67,7 +122,7 @@ func cacheKey(cfg core.Config, files []FileJSON) [sha256.Size]byte {
 	return key
 }
 
-func (c *compCache) get(key [sha256.Size]byte) (*core.Compilation, bool) {
+func (c *compCache) get(key [sha256.Size]byte) (*cacheEntry, bool) {
 	if c == nil || c.cap <= 0 {
 		return nil, false
 	}
@@ -78,26 +133,33 @@ func (c *compCache) get(key [sha256.Size]byte) (*core.Compilation, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).comp, true
+	return el.Value.(*cacheEntry), true
 }
 
-func (c *compCache) put(key [sha256.Size]byte, comp *core.Compilation) {
+// put inserts (or refreshes) an entry and returns it; nil when caching
+// is disabled. Refreshing an existing key replaces the compilation but
+// keeps the entry's accumulated tier state — same sources, same
+// program, the profile is still true.
+func (c *compCache) put(key [sha256.Size]byte, comp *core.Compilation, tier int) *cacheEntry {
 	if c == nil || c.cap <= 0 {
-		return
+		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).comp = comp
-		return
+		e := el.Value.(*cacheEntry)
+		e.comp = comp
+		return e
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, comp: comp})
+	e := &cacheEntry{key: key, comp: comp, tier: tier}
+	c.m[key] = c.ll.PushFront(e)
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)
 		delete(c.m, el.Value.(*cacheEntry).key)
 	}
+	return e
 }
 
 func (c *compCache) len() int {
@@ -107,4 +169,20 @@ func (c *compCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// tiered counts the tier-2 artifacts currently resident, for /stats.
+func (c *compCache) tiered() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if el.Value.(*cacheEntry).tier >= 2 {
+			n++
+		}
+	}
+	return n
 }

@@ -33,7 +33,7 @@ func TestCacheConcurrentEviction(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		entries = append(entries, entry{key: cacheKey(core.Compiled(), fs), comp: comp})
+		entries = append(entries, entry{key: cacheKey(core.Compiled(), fs, 1), comp: comp})
 	}
 
 	var wg sync.WaitGroup
@@ -45,14 +45,14 @@ func TestCacheConcurrentEviction(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				e := entries[(w*31+i)%len(entries)]
 				if got, ok := c.get(e.key); ok {
-					if got != e.comp {
+					if got.comp != e.comp {
 						select {
 						case errs <- fmt.Errorf("stale cache entry: key %x returned the wrong compilation", e.key[:4]):
 						default:
 						}
 					}
 				} else {
-					c.put(e.key, e.comp)
+					c.put(e.key, e.comp, 1)
 				}
 				if n := c.len(); n > capacity {
 					select {

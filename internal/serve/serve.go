@@ -23,6 +23,18 @@
 // inside requests exactly as they do in tests, which is how the fault
 // matrix proves those claims.
 //
+// Feedback-directed tier-up closes the profile loop at the service
+// layer: tier-1 runs of a warm, optimizing, bytecode-engine program
+// record execution profiles into its cache entry; after
+// Config.TierAfter runs the merged profile drives a profile-guided
+// recompile (speculative devirtualization, hot inlining, fusion
+// selection) stored under the program's tier-2 cache key, and
+// subsequent requests serve the tiered artifact. Responses carry the
+// tier, /stats counts tier_ups and resident tiered_programs, and
+// because every speculative fast path is guarded with fall-through —
+// never a deopt trap — a tiered run is observably identical to an
+// untiered one.
+//
 // Self-healing and containment (see DESIGN.md "The containment
 // model"): every /run is bounded by a modeled heap budget
 // (Config.MaxHeapBytes, the interp.ChargeHeap cost model) in addition
@@ -50,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/interp"
+	"repro/internal/profile"
 	"repro/internal/src"
 )
 
@@ -90,6 +103,13 @@ type Config struct {
 	// may accumulate before it is pinned to the switch interpreter.
 	// Default: 3. Negative disables quarantine (fallback still runs).
 	QuarantineAfter int
+	// TierAfter is how many profiled runs a cached program accumulates
+	// before the service recompiles it with the recorded profile and
+	// serves the tiered artifact (feedback-directed tier-up). Only /run
+	// requests on the bytecode engine with the optimizing config are
+	// profiled, and tiering rides the warm cache — disabling the cache
+	// disables tiering. Default: 8. Negative disables tier-up.
+	TierAfter int
 	// TenantMaxConcurrent caps one tenant's in-flight requests
 	// (0 = no cap). Only requests naming a tenant are metered.
 	TenantMaxConcurrent int
@@ -129,6 +149,9 @@ func (c Config) withDefaults() Config {
 	if c.QuarantineAfter == 0 {
 		c.QuarantineAfter = 3
 	}
+	if c.TierAfter == 0 {
+		c.TierAfter = 8
+	}
 	return c
 }
 
@@ -161,6 +184,7 @@ type Server struct {
 
 	engineFallbacks atomic.Int64
 	quotaRejected   atomic.Int64
+	tierUps         atomic.Int64
 	// avgDurNs is an EWMA of request service time, feeding the
 	// Retry-After estimate for load-shed and quota rejections.
 	avgDurNs atomic.Int64
@@ -262,6 +286,11 @@ type Stats struct {
 	// holds the per-tenant counters.
 	QuotaRejected int64                 `json:"quota_rejected"`
 	Tenants       map[string]TenantStat `json:"tenants,omitempty"`
+	// TierUps counts profile-guided recompiles performed by the tier-up
+	// path; TieredPrograms is how many tier-2 artifacts are resident in
+	// the warm cache right now.
+	TierUps        int64 `json:"tier_ups"`
+	TieredPrograms int   `json:"tiered_programs"`
 	Engine        string                `json:"engine"`
 	MaxConcurrent int                   `json:"max_concurrent"`
 	QueueDepth    int                   `json:"queue_depth"`
@@ -287,6 +316,8 @@ func (s *Server) Snapshot() Stats {
 		CacheEntries:    s.cache.len(),
 		EngineFallbacks: s.engineFallbacks.Load(),
 		QuotaRejected:   s.quotaRejected.Load(),
+		TierUps:         s.tierUps.Load(),
+		TieredPrograms:  s.cache.tiered(),
 		Tenants:         s.tenants.snapshot(),
 		Engine:          core.Config{Engine: s.cfg.Engine}.EngineKind(),
 		MaxConcurrent:   s.cfg.MaxConcurrent,
@@ -382,6 +413,11 @@ type Response struct {
 	Engine      string `json:"engine,omitempty"`
 	Fallback    bool   `json:"fallback,omitempty"`
 	Quarantined bool   `json:"quarantined,omitempty"`
+	// Tier is the execution tier that served this /run: 1 for the plain
+	// compilation (profiling toward tier-up), 2 for the profile-guided
+	// recompile. Omitted when the request is not tierable (compile-only,
+	// switch engine, non-optimizing config, tiering disabled).
+	Tier int `json:"tier,omitempty"`
 }
 
 // ---- handlers ----
@@ -525,21 +561,54 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	}
 
 	resp := Response{Config: cfg.Name()}
-	key := cacheKey(cfg, req.Files)
-	comp, hit := s.cache.get(key)
-	if hit {
-		s.cacheHits.Add(1)
-		resp.Cached = true
-	} else {
-		s.cacheMiss.Add(1)
-		var err error
-		comp, err = core.CompileFilesContext(ctx, files, cfg)
-		if err != nil {
-			status := s.classify(r, ctx, err, &resp)
-			writeJSON(w, status, resp)
-			return
+
+	// Engine and quarantine are resolved before the cache lookup
+	// because the lookup itself is tiered: a /run that is eligible for
+	// feedback-directed execution checks the tier-2 key first, so a
+	// program that already earned a profile-guided recompile serves
+	// from that artifact.
+	progHash := programHash(req.Files)
+	engineKind := cfg.EngineKind()
+	if execute && engineKind == core.EngineBytecode && s.fallbacks.quarantined(progHash) {
+		// The watchdog has seen this program fault the bytecode engine
+		// too often; pin it to the reference interpreter.
+		engineKind = core.EngineSwitch
+		resp.Quarantined = true
+	}
+	tierable := execute && s.cfg.TierAfter > 0 && cfg.Optimize && engineKind == core.EngineBytecode
+
+	var (
+		comp  *core.Compilation
+		entry *cacheEntry
+	)
+	if tierable {
+		if e, ok := s.cache.get(cacheKey(cfg, req.Files, 2)); ok {
+			entry, comp = e, e.comp
+			s.cacheHits.Add(1)
+			resp.Cached = true
+			resp.Tier = 2
 		}
-		s.cache.put(key, comp)
+	}
+	if comp == nil {
+		key := cacheKey(cfg, req.Files, 1)
+		if e, ok := s.cache.get(key); ok {
+			entry, comp = e, e.comp
+			s.cacheHits.Add(1)
+			resp.Cached = true
+		} else {
+			s.cacheMiss.Add(1)
+			var err error
+			comp, err = core.CompileFilesContext(ctx, files, cfg)
+			if err != nil {
+				status := s.classify(r, ctx, err, &resp)
+				writeJSON(w, status, resp)
+				return
+			}
+			entry = s.cache.put(key, comp, 1)
+		}
+		if tierable {
+			resp.Tier = 1
+		}
 	}
 	resp.Funcs = len(comp.Module.Funcs)
 	resp.Instrs = comp.Module.NumInstrs()
@@ -575,27 +644,44 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	if req.MaxHeap > 0 && req.MaxHeap < maxHeap {
 		maxHeap = req.MaxHeap
 	}
-	progHash := programHash(req.Files)
-	engineKind := cfg.EngineKind()
-	if engineKind == core.EngineBytecode && s.fallbacks.quarantined(progHash) {
-		// The watchdog has seen this program fault the bytecode engine
-		// too often; pin it to the reference interpreter.
-		engineKind = core.EngineSwitch
-		resp.Quarantined = true
-	}
 	var out strings.Builder
-	stats, runErr := comp.RunWith(ctx, &out, core.RunOpts{MaxSteps: req.MaxSteps, MaxHeap: maxHeap, Engine: engineKind})
+	runOpts := core.RunOpts{MaxSteps: req.MaxSteps, MaxHeap: maxHeap, Engine: engineKind}
+	var (
+		stats  interp.Stats
+		prof   *profile.Profile
+		runErr error
+	)
+	// Tier-1 runs of a cache-resident tierable program record profiles;
+	// everything else runs plain (zero profiling overhead).
+	if tierable && entry != nil && resp.Tier == 1 {
+		stats, prof, runErr = comp.RunProfiled(ctx, &out, runOpts)
+	} else {
+		stats, runErr = comp.RunWith(ctx, &out, runOpts)
+	}
 	if runErr != nil && engineKind == core.EngineBytecode && isEngineFault(runErr) && ctx.Err() == nil {
 		// Self-healing: the pipeline compiled this program cleanly, so
 		// an ICE or injected fault here is an engine-execution fault —
 		// re-run on the proven-equivalent switch interpreter and record
-		// the offender for quarantine.
+		// the offender for quarantine. A tiered compilation re-runs as
+		// is: the profile-guided module is semantically identical, so
+		// the reference interpreter gives the same answer on it. A
+		// profile from a faulted run is discarded.
 		s.engineFallbacks.Add(1)
 		s.fallbacks.record(progHash)
 		resp.Fallback = true
 		engineKind = core.EngineSwitch
+		prof = nil
 		out.Reset()
 		stats, runErr = comp.RunWith(ctx, &out, core.RunOpts{MaxSteps: req.MaxSteps, MaxHeap: maxHeap, Engine: core.EngineSwitch})
+	}
+	if prof != nil && entry != nil {
+		// The run completed on the bytecode engine (traps and resource
+		// stops included — the profile of a partial run is still true).
+		// Fold it into the entry; crossing the threshold yields the
+		// merged profile and triggers the recompile.
+		if tierProf := entry.recordRun(prof, s.cfg.TierAfter); tierProf != nil {
+			s.tierUp(cfg, files, req.Files, entry, tierProf)
+		}
 	}
 	resp.Engine = engineKind
 	if req.Tenant != "" {
@@ -621,6 +707,30 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	resp.OK = true
 	s.succeeded.Add(1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// tierUp recompiles a hot program with its accumulated runtime profile
+// and installs the result under the program's tier-2 cache key. It
+// runs synchronously on the request that crossed the threshold — a
+// recompile is milliseconds, and the inline lifecycle is deterministic
+// for tests — but on the server's base context, so a client that
+// disconnects mid-tier-up does not waste the profile everyone paid to
+// collect. The triggering response still reports tier 1; the next
+// request for the program hits the tier-2 artifact.
+func (s *Server) tierUp(cfg core.Config, files []core.File, reqFiles []FileJSON, entry *cacheEntry, prof *profile.Profile) {
+	cfg.PGO = prof
+	comp, err := core.CompileFilesContext(s.baseCtx, files, cfg)
+	if err != nil {
+		// The program compiled cleanly at tier 1, so this is a server
+		// condition (shutdown mid-compile, injected fault). Tier-up is
+		// an optimization: drop the attempt and re-arm the entry so the
+		// program can earn another one.
+		entry.tierDone()
+		return
+	}
+	s.cache.put(cacheKey(cfg, reqFiles, 2), comp, 2)
+	s.tierUps.Add(1)
+	entry.tierDone()
 }
 
 // admit takes an admission slot, waiting in the bounded queue if the
