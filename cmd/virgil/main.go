@@ -9,7 +9,7 @@
 //	virgil analyze [-jobs n] file.v...
 //	virgil profile [-profile-out file] [-profile-in file] file.v...
 //	virgil stats file.v...
-//	virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-tier-after n] [-jobs n]
+//	virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-tier-after n] [-jobs n] [-max-request-bytes n] [-peers url,...] [-self url] [-peer-timeout d] [-peer-attempts n] [-hedge-after d]
 //
 // run executes the program; check compiles under the selected config
 // without executing; dump prints the IR after the selected pipeline
@@ -24,7 +24,11 @@
 // identical at every -jobs value; stats prints monomorphization,
 // normalization and optimization statistics; serve runs the compiler
 // as an HTTP JSON service (endpoints /compile, /run, /healthz,
-// /stats) until SIGINT/SIGTERM, then drains in-flight requests and
+// /stats) until SIGINT/SIGTERM — with -peers it joins a static fleet
+// that routes each program to its consistent-hash owner with retry,
+// per-peer circuit breakers, optional hedging (-hedge-after), and
+// graceful degradation to local execution (see internal/cluster) —
+// then drains in-flight requests and
 // exits. -engine selects the execution engine: bytecode (the default;
 // compiles IR to register bytecode with unboxed scalars and inline
 // caches) or switch (the direct tree-walking interpreter, kept as
@@ -392,7 +396,7 @@ func printStats(stdout, stderr io.Writer, srcs []core.File) int {
 
 func usage(stderr io.Writer) {
 	fmt.Fprintln(stderr, `usage: virgil <command> [-config ref|mono|norm|full] [-engine bytecode|switch] [-analyze=bool] [-verify-ir] [-jobs n] [-max-errors n] [-max-steps n] [-max-depth n] [-max-heap n] [-timeout d] [-profile-out file] [-profile-in file] file.v...
-       virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-tier-after n] [-jobs n]
+       virgil serve [-addr host:port] [-engine bytecode|switch] [-max-concurrent n] [-queue n] [-default-timeout d] [-max-timeout d] [-drain-timeout d] [-tier-after n] [-jobs n] [-max-request-bytes n] [-peers url,...] [-self url] [-peer-timeout d] [-peer-attempts n] [-hedge-after d]
 
 commands:
   run      compile and execute the program (-profile-out records an execution profile, -profile-in optimizes with one)

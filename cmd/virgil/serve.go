@@ -8,16 +8,21 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
 
 // serveCmd runs the compiler as an HTTP JSON service until SIGINT or
 // SIGTERM, then drains in-flight requests (bounded by -drain-timeout)
-// and exits 0 on a clean drain.
+// and exits 0 on a clean drain. With -peers the instance joins a
+// static fleet: /run and /compile are routed to each program's
+// consistent-hash owner with retry, circuit breaking, optional
+// hedging, and graceful degradation to local execution.
 func serveCmd(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -36,6 +41,12 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 	tenantConcurrent := fs.Int("tenant-concurrent", 0, "per-tenant concurrent-request cap (0 = no cap)")
 	tenantStepsPerSec := fs.Int64("tenant-steps-per-sec", 0, "per-tenant sustained step budget (0 = no cap)")
 	tenantHeapPerSec := fs.Int64("tenant-heap-per-sec", 0, "per-tenant sustained modeled-heap budget in bytes/sec (0 = no cap)")
+	maxRequestBytes := fs.Int64("max-request-bytes", 0, "request body size limit in bytes (0 = 4 MiB); oversize bodies get a structured 413")
+	peers := fs.String("peers", "", "comma-separated fleet base URLs, self included; enables consistent-hash peer routing")
+	self := fs.String("self", "", "this instance's own base URL as it appears in -peers (default http://<addr>)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-forward-attempt timeout (0 = 2s)")
+	peerAttempts := fs.Int("peer-attempts", 0, "forward attempts before degrading to local execution (0 = 3)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "launch a local hedge when the owner has not answered within this duration (0 disables)")
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
 	}
@@ -58,6 +69,7 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 		TenantMaxConcurrent: *tenantConcurrent,
 		TenantStepsPerSec:   *tenantStepsPerSec,
 		TenantHeapPerSec:    *tenantHeapPerSec,
+		MaxBodyBytes:        *maxRequestBytes,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -70,12 +82,36 @@ func serveCmd(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "virgil serve: WARNING: fault injection armed via VIRGIL_FAULT")
 	}
 
+	handler := s.Handler()
+	if *peers != "" {
+		selfURL := *self
+		if selfURL == "" {
+			selfURL = "http://" + l.Addr().String()
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimSuffix(p, "/"))
+			}
+		}
+		rt := cluster.New(cluster.Config{
+			Self:         selfURL,
+			Peers:        peerList,
+			PeerTimeout:  *peerTimeout,
+			Attempts:     *peerAttempts,
+			HedgeAfter:   *hedgeAfter,
+			MaxBodyBytes: *maxRequestBytes,
+		}, s)
+		handler = rt.Handler()
+		fmt.Fprintf(stdout, "virgil serve: fleet routing enabled, self=%s peers=%d\n", selfURL, len(peerList))
+	}
+
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigs)
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- s.Serve(l) }()
+	go func() { serveErr <- s.ServeWith(l, handler) }()
 
 	select {
 	case sig := <-sigs:

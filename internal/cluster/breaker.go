@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The machine is the classic three-state one:
+//
+//	closed    — requests flow; outcomes feed a rolling window.
+//	open      — requests short-circuit to local degradation; after
+//	            cooldown the breaker half-opens.
+//	half-open — exactly one probe request is allowed through. Success
+//	            closes the breaker (fresh window); failure re-opens it
+//	            for another full cooldown.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func stateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-peer circuit breaker over a rolling outcome window.
+// It opens when at least minSamples of the last windowSize forwards are
+// recorded and at least half of them failed — a rate, not a streak, so
+// one flaky success cannot hold a mostly-dead peer closed.
+type breaker struct {
+	mu       sync.Mutex
+	now      func() time.Time // injectable for deterministic tests
+	cooldown time.Duration
+
+	window   []bool // ring buffer of outcomes; true = failure
+	idx      int
+	filled   int
+	state    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	successes int64
+	failures  int64
+	opens     int64
+}
+
+const (
+	defaultBreakerWindow   = 16
+	defaultBreakerCooldown = time.Second
+	breakerMinSamples      = 4
+)
+
+func newBreaker(window int, cooldown time.Duration) *breaker {
+	if window <= 0 {
+		window = defaultBreakerWindow
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{now: time.Now, cooldown: cooldown, window: make([]bool, window)}
+}
+
+// allow reports whether a forward to this peer may be attempted now.
+// In the open state it also performs the cooldown-elapsed transition to
+// half-open, admitting the single probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// report records the outcome of an attempted forward. ok=false is a
+// network error or 5xx; capacity pushback and client errors count as
+// successes — the peer answered.
+func (b *breaker) report(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.successes++
+	} else {
+		b.failures++
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = breakerClosed
+			b.resetWindow()
+		} else {
+			b.trip()
+		}
+		return
+	case breakerOpen:
+		// A straggler from before the trip; ignore for state purposes.
+		return
+	}
+	b.window[b.idx] = !ok
+	b.idx = (b.idx + 1) % len(b.window)
+	if b.filled < len(b.window) {
+		b.filled++
+	}
+	if b.filled >= breakerMinSamples {
+		bad := 0
+		for i := 0; i < b.filled; i++ {
+			if b.window[i] {
+				bad++
+			}
+		}
+		if 2*bad >= b.filled {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker and stamps the cooldown clock. Caller holds mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.opens++
+	b.resetWindow()
+}
+
+func (b *breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.idx, b.filled = 0, 0
+}
+
+// BreakerStat is one peer's breaker state for /stats.
+type BreakerStat struct {
+	State     string `json:"state"`
+	Successes int64  `json:"successes"`
+	Failures  int64  `json:"failures"`
+	Opens     int64  `json:"opens"`
+}
+
+func (b *breaker) snapshot() BreakerStat {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// Surface open→half-open as "open" until a probe is actually
+	// admitted; allow() is what performs the transition.
+	return BreakerStat{
+		State:     stateName(b.state),
+		Successes: b.successes,
+		Failures:  b.failures,
+		Opens:     b.opens,
+	}
+}

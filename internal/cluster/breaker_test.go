@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker() (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(8, time.Second)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensOnErrorRate(t *testing.T) {
+	b, _ := newTestBreaker()
+	// Below the minimum sample count nothing can trip.
+	for i := 0; i < breakerMinSamples-1; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.report(false)
+	}
+	if st := b.snapshot(); st.State != "closed" {
+		t.Fatalf("state = %q before min samples, want closed", st.State)
+	}
+	b.report(false) // 4th failure of 4 samples: 100% ≥ 50%
+	if st := b.snapshot(); st.State != "open" || st.Opens != 1 {
+		t.Fatalf("state = %q opens = %d, want open/1", st.State, st.Opens)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request inside cooldown")
+	}
+}
+
+func TestBreakerMixedTrafficStaysClosedUnderHalf(t *testing.T) {
+	b, _ := newTestBreaker()
+	// 1 failure per 2 successes: 33% < 50% over any window → stays closed.
+	for i := 0; i < 30; i++ {
+		b.report(i%3 == 0)
+		b.report(true)
+		b.report(true)
+		if !b.allow() {
+			t.Fatalf("breaker opened at %d%% failure rate (iteration %d)", 33, i)
+		}
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	b, clk := newTestBreaker()
+	for i := 0; i < breakerMinSamples; i++ {
+		b.report(false)
+	}
+	if st := b.snapshot(); st.State != "open" {
+		t.Fatalf("state = %q, want open", st.State)
+	}
+	clk.advance(time.Second + time.Millisecond)
+	// Cooldown elapsed: exactly one probe is admitted.
+	if !b.allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.report(true)
+	if st := b.snapshot(); st.State != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", st.State)
+	}
+	if !b.allow() {
+		t.Fatal("recovered breaker refused a request")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker()
+	for i := 0; i < breakerMinSamples; i++ {
+		b.report(false)
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("probe refused")
+	}
+	b.report(false)
+	if st := b.snapshot(); st.State != "open" || st.Opens != 2 {
+		t.Fatalf("state = %q opens = %d after failed probe, want open/2", st.State, st.Opens)
+	}
+	// The fresh cooldown starts at the failed probe, not the first trip.
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request without a fresh cooldown")
+	}
+	clk.advance(time.Second + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second cooldown did not admit a probe")
+	}
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerPeer is how many virtual nodes each peer contributes to the
+// consistent-hash ring. 64 keeps the ownership split within a few
+// percent of even for small fleets while the ring stays tiny (a few KB
+// for a dozen peers).
+const vnodesPerPeer = 64
+
+// ring is a consistent-hash ring over the fleet's peer URLs. Peers are
+// sorted and deduplicated at construction so two instances handed the
+// same set in different flag order agree on every program's owner —
+// routing correctness depends on that agreement, not on configuration
+// discipline.
+type ring struct {
+	peers  []string
+	vnodes []vnode
+}
+
+type vnode struct {
+	hash uint64
+	peer string
+}
+
+func newRing(peers []string) *ring {
+	uniq := map[string]bool{}
+	r := &ring{}
+	for _, p := range peers {
+		if p == "" || uniq[p] {
+			continue
+		}
+		uniq[p] = true
+		r.peers = append(r.peers, p)
+	}
+	sort.Strings(r.peers)
+	for _, p := range r.peers {
+		for i := 0; i < vnodesPerPeer; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(p, i), peer: p})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.peer < b.peer // deterministic on (vanishingly rare) collisions
+	})
+	return r
+}
+
+// owner maps a routing key (a program hash) to the peer that owns it:
+// the first vnode clockwise from the key's hash.
+func (r *ring) owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	h := hash64(key, 0)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].peer
+}
+
+func hash64(s string, vnode int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	h.Write([]byte{byte(vnode), byte(vnode >> 8), '#'})
+	// FNV alone clusters badly for near-identical inputs (peer URLs
+	// differing in one port digit, consecutive vnode indices); a
+	// splitmix64-style finalizer avalanches the sum so ring positions
+	// spread evenly.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

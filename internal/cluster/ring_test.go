@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderIndependence(t *testing.T) {
+	a := newRing([]string{"http://c", "http://a", "http://b"})
+	b := newRing([]string{"http://b", "http://c", "http://a", "http://a", ""})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("prog-%d", i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("key %q: owners disagree across peer orderings: %q vs %q", key, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c"}
+	r := newRing(peers)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("prog-%d", i))]++
+	}
+	for _, p := range peers {
+		n := counts[p]
+		// 64 vnodes/peer keeps the split well inside [half, double] of fair.
+		if n < keys/3/2 || n > keys/3*2 {
+			t.Fatalf("peer %s owns %d of %d keys — badly unbalanced split %v", p, n, keys, counts)
+		}
+	}
+}
+
+func TestRingStabilityUnderPeerRemoval(t *testing.T) {
+	full := newRing([]string{"http://a", "http://b", "http://c", "http://d"})
+	less := newRing([]string{"http://a", "http://b", "http://c"})
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("prog-%d", i)
+		was, now := full.owner(key), less.owner(key)
+		if was != "http://d" && was != now {
+			moved++
+		}
+	}
+	// Consistent hashing: removing one of four peers must not reshuffle
+	// keys the removed peer never owned (a tiny tolerance for vnode
+	// boundary effects).
+	if moved > keys/20 {
+		t.Fatalf("%d of %d keys not owned by the removed peer changed owner", moved, keys)
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := newRing(nil).owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	one := newRing([]string{"http://only"})
+	for i := 0; i < 50; i++ {
+		if got := one.owner(fmt.Sprintf("k%d", i)); got != "http://only" {
+			t.Fatalf("single-peer ring owner = %q", got)
+		}
+	}
+}

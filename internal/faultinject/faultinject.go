@@ -9,10 +9,14 @@
 //	VIRGIL_FAULT=norm:delay:1        sleep 50ms at the 2nd norm hit
 //	VIRGIL_FAULT=par:err:0           error at the 1st pool item claim
 //	VIRGIL_FAULT=lower:delay:0:200   sleep 200ms at the 1st lower hit
+//	VIRGIL_FAULT=peer-dial:err:4+    error at every dial from the 5th on
 //
 // The spec grammar is a comma-separated list of point:kind:nth[:ms]
 // where kind is panic, err, or delay and nth is the 0-based occurrence
 // of that point at which the fault fires (exactly once per arming).
+// An nth with a trailing "+" fires at that occurrence and EVERY one
+// after it — the persistent form chaos harnesses use to model a peer
+// that stays broken rather than one that glitches once.
 // Occurrences are counted with an atomic per-fault counter, so WHICH
 // call fires is deterministic even when points are hit concurrently;
 // delays are context-aware so an injected stall never outlives the
@@ -26,7 +30,13 @@
 // crosses: "translate" (before IR-to-bytecode translation) and
 // "engine" (after translation, before the first bytecode
 // instruction) — these drive the serve tier's engine-fallback
-// watchdog.
+// watchdog. The cluster tier's peer-forwarding client adds three
+// network points: "peer-dial" (before a forwarded request is sent —
+// an err here is a connection failure), "peer-stall" (a delay here is
+// network latency on the forward path), and "peer-5xx" (after a peer
+// response is received — an err here makes the forwarder treat the
+// reply as a 500). These drive the retry/breaker/degradation ladder
+// in internal/cluster.
 package faultinject
 
 import (
@@ -56,12 +66,16 @@ const DefaultDelay = 50 * time.Millisecond
 var ErrInjected = errors.New("faultinject: injected error")
 
 // Fault is one armed fault: at the Nth hit of Point(Name) it panics,
-// returns an error, or delays, exactly once.
+// returns an error, or delays — exactly once, or (with Every) at that
+// hit and every later one.
 type Fault struct {
 	Point string
 	Kind  string
 	Nth   int64
 	Delay time.Duration
+	// Every makes the fault persistent: it fires at occurrence Nth and
+	// every occurrence after it (spec form "nth+").
+	Every bool
 
 	hits atomic.Int64
 }
@@ -117,9 +131,14 @@ func parseOne(s string) (*Fault, error) {
 	default:
 		return nil, fmt.Errorf("faultinject: bad spec %q: unknown kind %q (want panic, err, or delay)", s, f.Kind)
 	}
-	nth, err := strconv.ParseInt(parts[2], 10, 64)
+	nthSpec := parts[2]
+	if rest, ok := strings.CutSuffix(nthSpec, "+"); ok {
+		f.Every = true
+		nthSpec = rest
+	}
+	nth, err := strconv.ParseInt(nthSpec, 10, 64)
 	if err != nil || nth < 0 {
-		return nil, fmt.Errorf("faultinject: bad spec %q: nth must be a non-negative integer", s)
+		return nil, fmt.Errorf("faultinject: bad spec %q: nth must be a non-negative integer (optionally suffixed +)", s)
 	}
 	f.Nth = nth
 	if len(parts) == 4 {
@@ -173,7 +192,12 @@ func Point(ctx context.Context, name string) error {
 		if f.Point != name {
 			continue
 		}
-		if f.hits.Add(1)-1 != f.Nth {
+		hit := f.hits.Add(1) - 1
+		if f.Every {
+			if hit < f.Nth {
+				continue
+			}
+		} else if hit != f.Nth {
 			continue
 		}
 		switch f.Kind {

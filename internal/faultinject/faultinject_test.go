@@ -118,6 +118,40 @@ func TestConcurrentHitsFireOnce(t *testing.T) {
 	}
 }
 
+func TestEveryFiresFromNthOnward(t *testing.T) {
+	r, err := Parse("peer-dial:err:2+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Set(r)()
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		err := Point(ctx, "peer-dial")
+		if (i >= 2) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: want ErrInjected, got %v", i, err)
+		}
+	}
+}
+
+func TestEveryParse(t *testing.T) {
+	r, err := Parse("peer-stall:delay:0+:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := r.faults[0]
+	if !f.Every || f.Nth != 0 || f.Delay != 5*time.Millisecond {
+		t.Fatalf("parsed fault = %+v", f)
+	}
+	for _, spec := range []string{"p:err:+", "p:err:-1+", "p:err:1++"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", spec)
+		}
+	}
+}
+
 func TestSetRestores(t *testing.T) {
 	if Enabled() {
 		t.Skip("VIRGIL_FAULT set in the environment")

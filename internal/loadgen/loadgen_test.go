@@ -1,0 +1,92 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/progen"
+	"repro/internal/serve"
+)
+
+func TestRunAgainstLocalFleet(t *testing.T) {
+	f, err := cluster.StartLocal(2, serve.Config{}, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = f.Stop(ctx)
+	}()
+
+	res, err := Run(context.Background(), Options{
+		Targets:     f.URLs(),
+		Mix:         progen.MixRunHeavy,
+		Duration:    1500 * time.Millisecond,
+		Concurrency: 3,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Answered == 0 {
+		t.Fatalf("no traffic flowed: %+v", res)
+	}
+	if res.NonStructured != 0 || res.Mismatches != 0 || res.Unanswered != 0 {
+		t.Fatalf("healthy fleet produced failures: %+v (samples %v)", res, res.SampleErrors)
+	}
+	if res.AnsweredRatio() < 0.99 {
+		t.Fatalf("answered ratio %.4f", res.AnsweredRatio())
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms {
+		t.Fatalf("nonsensical percentiles: p50=%.2f p99=%.2f", res.P50Ms, res.P99Ms)
+	}
+	// Two nodes: roughly half the programs belong to the other node, so
+	// forwarding must actually have happened.
+	if res.Forwarded == 0 {
+		t.Fatalf("no request was forwarded across the fleet: %+v", res)
+	}
+}
+
+func TestRunCrasherMixClassification(t *testing.T) {
+	f, err := cluster.StartLocal(1, serve.Config{}, cluster.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = f.Stop(ctx)
+	}()
+
+	res, err := Run(context.Background(), Options{
+		Targets:     f.URLs(),
+		Mix:         progen.MixCrashers,
+		Duration:    2 * time.Second,
+		Concurrency: 2,
+		MaxRequests: 30,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crashers answer ok:false with structured traps — the harness must
+	// count them as answered, not as mismatches or daemon failures.
+	if res.NonStructured != 0 || res.Mismatches != 0 {
+		t.Fatalf("crasher traffic misclassified: %+v (samples %v)", res, res.SampleErrors)
+	}
+	if res.Answered != res.Sent || res.Sent == 0 {
+		t.Fatalf("answered=%d sent=%d", res.Answered, res.Sent)
+	}
+}
+
+func TestUnknownMixRejected(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Targets: []string{"http://x"}, Mix: "nope"}); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Fatal("no targets accepted")
+	}
+}

@@ -1,0 +1,204 @@
+package progen
+
+import (
+	"sort"
+	"strconv"
+)
+
+// TrafficItem is one replayable request shape in a load-generation
+// mix: a program, the endpoint it targets, and a sampling weight.
+// The item carries the request knobs the serve tier understands but
+// stays wire-agnostic — internal/loadgen maps items onto the serve
+// JSON schema.
+type TrafficItem struct {
+	// Name labels the item in error taxonomies.
+	Name string
+	// Path is "/run" or "/compile".
+	Path string
+	// FileName and Source are the single-file program.
+	FileName string
+	Source   string
+	// Weight is the item's relative sampling frequency within its mix.
+	Weight int
+	// Tenant attributes the request for quota metering ("" = exempt).
+	Tenant string
+	// MaxSteps and MaxHeap bound the run (0 = server defaults) — the
+	// hungry allocators rely on these to trap deterministically instead
+	// of eating the shared daemon budget.
+	MaxSteps int64
+	MaxHeap  int64
+	// WantOK records whether a healthy serve tier answers this item
+	// with ok:true — crashers and diagnostics legitimately answer
+	// ok:false, and the harness must not count those as failures.
+	WantOK bool
+}
+
+// Traffic mix names, in Mixes' iteration order.
+const (
+	MixCompileHeavy = "compile-heavy"
+	MixRunHeavy     = "run-heavy"
+	MixHungry       = "hungry"
+	MixCrashers     = "crashers"
+	MixTenants      = "tenants"
+	MixMixed        = "mixed"
+)
+
+// trafficTrapProgs are small programs that deterministically trap —
+// the crasher slice of fleet traffic. Every one is a legitimate
+// ok:false answer, never a daemon failure.
+var trafficTrapProgs = map[string]string{
+	"null_call": `
+class C { def f() -> int { return 1; } }
+def main() {
+	var c: C;
+	System.puti(c.f());
+}
+`,
+	"bounds": `
+def main() -> int {
+	var a = Array<int>.new(2);
+	return a[5];
+}
+`,
+	"div_zero": `
+def main() -> int {
+	var z = 0;
+	return 7 / z;
+}
+`,
+}
+
+// trafficDiagProg does not compile; it exercises the diagnostics path.
+const trafficDiagProg = `
+def main() { frob(undefined_name); }
+`
+
+// Mixes returns the named traffic mixes the chaos/load harness
+// replays against a fleet. Every mix is deterministic: same name,
+// same items, same weights.
+func Mixes() map[string][]TrafficItem {
+	mixes := map[string][]TrafficItem{}
+
+	// Compile-heavy: distinct program sizes so the fleet's caches see
+	// both repeats and genuinely new work.
+	var compile []TrafficItem
+	for i, p := range []Params{Small(), Scale(2), Scale(3)} {
+		compile = append(compile, TrafficItem{
+			Name: "compile-gen", Path: "/compile",
+			FileName: "gen.v", Source: Generate(withSeed(p, i)),
+			Weight: 3, WantOK: true,
+		})
+	}
+	compile = append(compile, TrafficItem{
+		Name: "compile-diag", Path: "/compile",
+		FileName: "bad.v", Source: trafficDiagProg,
+		Weight: 1, WantOK: false,
+	})
+	mixes[MixCompileHeavy] = compile
+
+	// Run-heavy: small fast programs, several distinct ones so routing
+	// spreads them across owners and repeats warm the owners' caches.
+	var runs []TrafficItem
+	for i := 0; i < 6; i++ {
+		runs = append(runs, TrafficItem{
+			Name: "run-small", Path: "/run",
+			FileName: "r.v", Source: smallRunProg(i),
+			Weight: 3, WantOK: true,
+		})
+	}
+	mixes[MixRunHeavy] = runs
+
+	// Hungry allocators: bounded by tight heap budgets so each traps
+	// deterministically without stressing the daemon's own memory.
+	var hungry []TrafficItem
+	for _, name := range sortedKeys(Hungry()) {
+		hungry = append(hungry, TrafficItem{
+			Name: "hungry-" + name, Path: "/run",
+			FileName: name + ".v", Source: Hungry()[name],
+			Weight: 1, MaxHeap: 1 << 20, MaxSteps: 2_000_000, WantOK: false,
+		})
+	}
+	mixes[MixHungry] = hungry
+
+	// Crashers: deterministic traps.
+	var crashers []TrafficItem
+	for _, name := range sortedKeys(trafficTrapProgs) {
+		crashers = append(crashers, TrafficItem{
+			Name: "crash-" + name, Path: "/run",
+			FileName: name + ".v", Source: trafficTrapProgs[name],
+			Weight: 1, WantOK: false,
+		})
+	}
+	mixes[MixCrashers] = crashers
+
+	// Mixed tenants: the run-heavy shapes attributed across tenants,
+	// exercising per-tenant metering under fleet routing.
+	var tenants []TrafficItem
+	for i, tenant := range []string{"alpha", "beta", "gamma"} {
+		for j := 0; j < 2; j++ {
+			tenants = append(tenants, TrafficItem{
+				Name: "tenant-" + tenant, Path: "/run",
+				FileName: "t.v", Source: smallRunProg(10 + i*2 + j),
+				Weight: 2, Tenant: tenant, WantOK: true,
+			})
+		}
+	}
+	mixes[MixTenants] = tenants
+
+	// Mixed: a weighted union — the realistic fleet profile.
+	var mixed []TrafficItem
+	mixed = append(mixed, scaleWeights(runs, 6)...)
+	mixed = append(mixed, scaleWeights(compile, 2)...)
+	mixed = append(mixed, scaleWeights(hungry, 1)...)
+	mixed = append(mixed, scaleWeights(crashers, 1)...)
+	mixed = append(mixed, scaleWeights(tenants, 2)...)
+	mixes[MixMixed] = mixed
+
+	return mixes
+}
+
+// MixNames returns the available mix names, sorted.
+func MixNames() []string {
+	return sortedKeys(Mixes())
+}
+
+// smallRunProg is a tiny distinct program per seed: distinct hashes
+// route to distinct owners, repeated seeds hit warm caches.
+func smallRunProg(seed int) string {
+	return `
+def work(x: int) -> int {
+	var acc = 0;
+	for (i = 0; i < x; i++) acc = acc + i * i;
+	return acc;
+}
+def main() {
+	System.puti(work(` + strconv.Itoa(100+seed) + `));
+	System.ln();
+}
+`
+}
+
+// withSeed perturbs Params deterministically so equal scales still
+// produce distinct programs.
+func withSeed(p Params, seed int) Params {
+	p.Funcs += seed
+	return p
+}
+
+func scaleWeights(items []TrafficItem, k int) []TrafficItem {
+	out := make([]TrafficItem, len(items))
+	for i, it := range items {
+		it.Weight *= k
+		out[i] = it
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// ---- request-decoding hardening ----
+
+// TestUnknownRequestFieldRejected: a request body with a field the
+// wire type does not define is a 400, not a silently ignored knob.
+func TestUnknownRequestFieldRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"files":[{"name":"ok.v","source":"def main() { }"}],"max_stepz":5}`
+	res, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var resp Response
+	decodeBody(t, res, &resp)
+	if res.StatusCode != http.StatusBadRequest || resp.Error == nil {
+		t.Fatalf("status=%d resp=%+v, want structured 400", res.StatusCode, resp)
+	}
+	if !strings.Contains(resp.Error.Msg, "unknown field") {
+		t.Fatalf("error msg %q does not name the unknown field", resp.Error.Msg)
+	}
+}
+
+// TestOversizedBodyIsStructured413: a body over MaxBodyBytes is shed
+// with a structured 413 naming the limit — bounded memory, no half-read
+// JSON error leaking into a 400.
+func TestOversizedBodyIsStructured413(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 2048})
+	big := strings.Repeat("x", 8192)
+	body := `{"files":[{"name":"big.v","source":"` + big + `"}]}`
+	res, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var resp Response
+	decodeBody(t, res, &resp)
+	if res.StatusCode != http.StatusRequestEntityTooLarge || resp.Error == nil {
+		t.Fatalf("status=%d resp=%+v, want structured 413", res.StatusCode, resp)
+	}
+	if !strings.Contains(resp.Error.Msg, "2048") {
+		t.Fatalf("error msg %q does not name the byte limit", resp.Error.Msg)
+	}
+	// The server is unharmed: a well-formed request still succeeds.
+	status, ok := post(t, ts.URL+"/run", Request{Files: files("ok.v", okProg)})
+	if status != http.StatusOK || !ok.OK {
+		t.Fatalf("clean request after 413: status=%d resp=%+v", status, ok)
+	}
+}
+
+func decodeBody(t *testing.T, res *http.Response, into *Response) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(res.Body); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), into); err != nil {
+		t.Fatalf("malformed response %q: %v", buf.String(), err)
+	}
+}
+
+// ---- cache eviction × quarantine × tier interaction ----
+
+// TestEvictedQuarantinedProgramNeverTiers pins the interaction of
+// three independent tables: the quarantine table is keyed by program
+// hash and must survive the program's cache entry being evicted, and
+// a quarantined program re-admitted to the cache runs on the switch
+// interpreter — so it must never record profiles and never tier up,
+// no matter how many runs it accumulates past TierAfter.
+func TestEvictedQuarantinedProgramNeverTiers(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		CacheSize:       1, // one entry: any other program evicts
+		QuarantineAfter: 1, // first fallback quarantines
+		TierAfter:       2, // two profiled runs would tier an innocent program
+	})
+	prog := Request{Files: files("victim.v", okProg)}
+
+	// One injected engine fault → fallback #1 → quarantined.
+	reg, err := faultinject.Parse("engine:err:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := faultinject.Set(reg)
+	status, resp := post(t, ts.URL+"/run", prog)
+	restore()
+	if status != http.StatusOK || !resp.OK || !resp.Fallback {
+		t.Fatalf("faulted run: status=%d resp=%+v, want healed fallback", status, resp)
+	}
+
+	// Evict the program's cache entry with an unrelated compile.
+	status, other := post(t, ts.URL+"/run", Request{Files: files("evictor.v", `def main() { System.puti(7); System.ln(); }`)})
+	if status != http.StatusOK || !other.OK {
+		t.Fatalf("evictor run: status=%d resp=%+v", status, other)
+	}
+	if st := s.Snapshot(); st.CacheEntries != 1 {
+		t.Fatalf("cache_entries = %d, want 1 (victim evicted)", st.CacheEntries)
+	}
+
+	// Re-admission: every run past TierAfter must stay quarantined on
+	// the switch interpreter at tier 0 — quarantine survived eviction,
+	// and a switch-pinned program is not tierable.
+	for run := 0; run < 2*2+2; run++ {
+		status, resp := post(t, ts.URL+"/run", prog)
+		if status != http.StatusOK || !resp.OK || resp.Output != "hello\n" {
+			t.Fatalf("run %d: status=%d resp=%+v", run, status, resp)
+		}
+		if !resp.Quarantined || resp.Engine != "switch" {
+			t.Fatalf("run %d: quarantined=%v engine=%q, want pinned to switch", run, resp.Quarantined, resp.Engine)
+		}
+		if resp.Tier != 0 {
+			t.Fatalf("run %d: tier = %d, want 0 (quarantined programs never tier)", run, resp.Tier)
+		}
+		if resp.Fallback {
+			t.Fatalf("run %d: fallback=%v, want pinned (no fresh fault)", run, resp.Fallback)
+		}
+	}
+	st := s.Snapshot()
+	if st.TierUps != 0 || st.TieredPrograms != 0 {
+		t.Fatalf("tier_ups=%d tiered_programs=%d, want 0/0", st.TierUps, st.TieredPrograms)
+	}
+	if st.QuarantinedPrograms != 1 {
+		t.Fatalf("quarantined_programs = %d, want 1", st.QuarantinedPrograms)
+	}
+	if st.EngineFallbacks != 1 {
+		t.Fatalf("engine_fallbacks = %d, want exactly the one injected", st.EngineFallbacks)
+	}
+}

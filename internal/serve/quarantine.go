@@ -8,11 +8,12 @@ import (
 	"sync"
 )
 
-// programHash identifies a program by its source files alone (name +
+// ProgramHash identifies a program by its source files alone (name +
 // content), independent of config or engine: the quarantine decision
-// is about the program, not about one configuration of it. The short
-// hex form is what /stats exposes.
-func programHash(files []FileJSON) string {
+// is about the program, not about one configuration of it, and the
+// cluster tier routes a program to its consistent-hash owner by the
+// same identity. The short hex form is what /stats exposes.
+func ProgramHash(files []FileJSON) string {
 	h := sha256.New()
 	for _, f := range files {
 		var n [8]byte

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"math"
+	"time"
+)
+
+// This file is the single home of the Retry-After arithmetic. Every
+// 429 the service emits — global load shed and per-tenant quota
+// rejection alike — derives its hint here, from the state observed at
+// the moment the response is built: the shed path passes the queue
+// depth it actually saw at rejection plus the EWMA service time read
+// at response time (never a snapshot captured earlier in the request),
+// and the quota path passes the bucket deficit and refill rate it
+// computed under the tenant lock. Both funnel through clampRetrySecs
+// so the wire hint is always a whole number of seconds in [1, 60].
+
+// minRetrySecs..maxRetrySecs bound every Retry-After hint: at least
+// one second so a client never busy-loops on zero, at most sixty so a
+// transient overload never parks clients for minutes.
+const (
+	minRetrySecs = 1
+	maxRetrySecs = 60
+)
+
+// clampRetrySecs clamps a computed backoff to the wire range.
+func clampRetrySecs(secs int) int {
+	if secs < minRetrySecs {
+		return minRetrySecs
+	}
+	if secs > maxRetrySecs {
+		return maxRetrySecs
+	}
+	return secs
+}
+
+// queueDrainSecs estimates how long the wait queue observed at
+// rejection time takes to drain through the admission slots: queued
+// requests, each costing the EWMA service time avg, served slots at a
+// time. A zero or unknown EWMA falls back to 100ms — the cold-start
+// guess before any request has finished.
+func queueDrainSecs(queued int64, avg time.Duration, slots int) int {
+	if avg <= 0 {
+		avg = 100 * time.Millisecond
+	}
+	if queued < 1 {
+		queued = 1
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	est := time.Duration(queued) * avg / time.Duration(slots)
+	return clampRetrySecs(int((est + time.Second - 1) / time.Second))
+}
+
+// deficitSecs estimates how long a token-bucket deficit takes to
+// refill at rate per second, plus one second for the bucket to go
+// positive. A non-positive rate has no meaningful refill and maps to
+// the minimum hint.
+func deficitSecs(deficit, rate float64) int {
+	if rate <= 0 {
+		return minRetrySecs
+	}
+	if deficit < 0 {
+		deficit = 0
+	}
+	return clampRetrySecs(int(math.Ceil(deficit/rate)) + 1)
+}
+
+// retryAfterHint is the load-shed path's hint: the drain estimate for
+// the queue depth observed at the moment of rejection, priced at the
+// EWMA read now. Recomputed per response — two rejections in the same
+// overload window see different hints as the queue and EWMA move.
+func (s *Server) retryAfterHint(queuedAtReject int64) int {
+	return queueDrainSecs(queuedAtReject, time.Duration(s.avgDurNs.Load()), s.cfg.MaxConcurrent)
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// The Retry-After arithmetic is one shared helper family (retry.go);
+// these tables pin both derivations — queue drain for load shed,
+// bucket deficit for quotas — and the common clamp.
+
+func TestClampRetrySecs(t *testing.T) {
+	for _, tt := range []struct{ in, want int }{
+		{-5, 1}, {0, 1}, {1, 1}, {42, 42}, {60, 60}, {61, 60}, {1 << 30, 60},
+	} {
+		if got := clampRetrySecs(tt.in); got != tt.want {
+			t.Errorf("clampRetrySecs(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestQueueDrainSecs(t *testing.T) {
+	for _, tt := range []struct {
+		name   string
+		queued int64
+		avg    time.Duration
+		slots  int
+		want   int
+	}{
+		{"cold start floors at 1s", 1, 0, 4, 1},
+		{"negative avg uses the cold default", 5, -time.Second, 4, 1},
+		{"10 queued 4s requests over 2 slots", 10, 4 * time.Second, 2, 20},
+		{"partial seconds round up", 1, 1500 * time.Millisecond, 1, 2},
+		{"zero queued still hints at least one request", 0, 4 * time.Second, 2, 2},
+		{"zero slots treated as one", 1, 3 * time.Second, 0, 3},
+		{"huge queue clamps to 60", 1_000_000, time.Second, 1, 60},
+		{"fast requests floor at 1", 10, time.Millisecond, 4, 1},
+	} {
+		if got := queueDrainSecs(tt.queued, tt.avg, tt.slots); got != tt.want {
+			t.Errorf("%s: queueDrainSecs(%d, %v, %d) = %d, want %d",
+				tt.name, tt.queued, tt.avg, tt.slots, got, tt.want)
+		}
+	}
+}
+
+func TestDeficitSecs(t *testing.T) {
+	for _, tt := range []struct {
+		name          string
+		deficit, rate float64
+		want          int
+	}{
+		{"zero deficit waits the one-second refill", 0, 100, 1},
+		{"negative deficit treated as zero", -50, 100, 1},
+		{"deficit refills in ceil(1.5)+1", 150, 100, 3},
+		{"huge deficit clamps to 60", 1e9, 1, 60},
+		{"zero rate has no refill; minimum hint", 100, 0, 1},
+		{"negative rate has no refill; minimum hint", 100, -1, 1},
+	} {
+		if got := deficitSecs(tt.deficit, tt.rate); got != tt.want {
+			t.Errorf("%s: deficitSecs(%v, %v) = %d, want %d",
+				tt.name, tt.deficit, tt.rate, got, tt.want)
+		}
+	}
+}
+
+// TestRetryAfterHintRecomputedPerResponse pins the property the shed
+// path relies on: the hint prices the EWMA read at response time, so
+// two rejections seeing the same queue depth produce different hints
+// after the observed service time moves.
+func TestRetryAfterHintRecomputedPerResponse(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2})
+	if got := s.retryAfterHint(1); got != 1 {
+		t.Fatalf("no samples: hint = %d, want the 1s floor", got)
+	}
+	s.observeDuration(4 * time.Second)
+	// 10 queued observed at rejection, 4s EWMA, 2 slots → 20s.
+	if got := s.retryAfterHint(10); got != 20 {
+		t.Fatalf("hint = %d, want 20", got)
+	}
+	// The EWMA follows a shift toward faster requests; the same queue
+	// depth now prices to the floor — no stale snapshot.
+	for i := 0; i < 100; i++ {
+		s.observeDuration(time.Millisecond)
+	}
+	if got := s.retryAfterHint(10); got != 1 {
+		t.Fatalf("hint after fast requests = %d, want 1", got)
+	}
+	if got := s.retryAfterHint(1_000_000); got != 60 {
+		t.Fatalf("hint = %d, want the 60s clamp", got)
+	}
+}

@@ -219,7 +219,14 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, matching net/http.
 func (s *Server) Serve(l net.Listener) error {
-	s.http = &http.Server{Handler: s.mux}
+	return s.ServeWith(l, s.mux)
+}
+
+// ServeWith is Serve with a wrapping handler (the cluster tier wraps
+// this server's mux with peer routing): Shutdown still drains the
+// listener and in-flight requests exactly as for Serve.
+func (s *Server) ServeWith(l net.Listener, h http.Handler) error {
+	s.http = &http.Server{Handler: h}
 	return s.http.Serve(l)
 }
 
@@ -289,13 +296,13 @@ type Stats struct {
 	// TierUps counts profile-guided recompiles performed by the tier-up
 	// path; TieredPrograms is how many tier-2 artifacts are resident in
 	// the warm cache right now.
-	TierUps        int64 `json:"tier_ups"`
-	TieredPrograms int   `json:"tiered_programs"`
-	Engine        string                `json:"engine"`
-	MaxConcurrent int                   `json:"max_concurrent"`
-	QueueDepth    int                   `json:"queue_depth"`
-	FaultsArmed   bool                  `json:"faults_armed"`
-	Draining      bool                  `json:"draining"`
+	TierUps        int64  `json:"tier_ups"`
+	TieredPrograms int    `json:"tiered_programs"`
+	Engine         string `json:"engine"`
+	MaxConcurrent  int    `json:"max_concurrent"`
+	QueueDepth     int    `json:"queue_depth"`
+	FaultsArmed    bool   `json:"faults_armed"`
+	Draining       bool   `json:"draining"`
 }
 
 // Snapshot returns the current counters.
@@ -418,6 +425,18 @@ type Response struct {
 	// recompile. Omitted when the request is not tierable (compile-only,
 	// switch engine, non-optimizing config, tiering disabled).
 	Tier int `json:"tier,omitempty"`
+	// Cluster-routing facts, set by the internal/cluster tier (never by
+	// a lone instance): Routed is the instance that executed the
+	// request; ForwardedFrom is the instance that forwarded it to its
+	// consistent-hash owner; Degraded reports that forwarding to the
+	// owner failed (network fault, 5xx, open breaker, exhausted budget)
+	// and the result came from a local fallback execution; Hedged
+	// reports that a tail-latency hedge launched against the local
+	// instance finished before the forwarded request did.
+	Routed        string `json:"routed,omitempty"`
+	ForwardedFrom string `json:"forwarded_from,omitempty"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	Hedged        bool   `json:"hedged,omitempty"`
 }
 
 // ---- handlers ----
@@ -472,7 +491,20 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	}
 	var req Request
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	dec := json.NewDecoder(body)
+	// Unknown fields are rejected outright: a misspelled knob silently
+	// ignored is a debugging trap, and a misbehaving peer or client
+	// padding requests with junk should fail fast, not balloon memory.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, Response{Error: &ErrorInfo{
+				Kind: "error",
+				Msg:  fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			}})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, Response{Error: &ErrorInfo{Kind: "error", Msg: "bad request body: " + err.Error()}})
 		return
 	}
@@ -522,7 +554,7 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	}
 
 	// Admission: take a slot, or wait in the bounded queue, or shed.
-	release, admitted := s.admit(r.Context())
+	release, queued, admitted := s.admit(r.Context())
 	if !admitted {
 		if r.Context().Err() != nil {
 			// The client gave up while queued — that's a cancellation,
@@ -532,7 +564,9 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 			return
 		}
 		s.shed.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		// The hint is derived from the queue depth this rejection saw and
+		// the EWMA read now — per response, never a stale snapshot.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint(queued)))
 		writeJSON(w, http.StatusTooManyRequests, Response{Error: &ErrorInfo{Kind: "error", Msg: "server at capacity; retry later"}})
 		return
 	}
@@ -567,7 +601,7 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 	// feedback-directed execution checks the tier-2 key first, so a
 	// program that already earned a profile-guided recompile serves
 	// from that artifact.
-	progHash := programHash(req.Files)
+	progHash := ProgramHash(req.Files)
 	engineKind := cfg.EngineKind()
 	if execute && engineKind == core.EngineBytecode && s.fallbacks.quarantined(progHash) {
 		// The watchdog has seen this program fault the bytecode engine
@@ -735,25 +769,27 @@ func (s *Server) tierUp(cfg core.Config, files []core.File, reqFiles []FileJSON,
 
 // admit takes an admission slot, waiting in the bounded queue if the
 // slots are busy. It reports false — load shed — when the queue is
-// full or the client gives up while waiting.
-func (s *Server) admit(ctx context.Context) (release func(), admitted bool) {
+// full or the client gives up while waiting; queued is the wait-queue
+// depth observed at the moment of rejection, which the shed path
+// prices into its Retry-After hint.
+func (s *Server) admit(ctx context.Context) (release func(), queued int64, admitted bool) {
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
+		return func() { <-s.sem }, 0, true
 	default:
 	}
-	if s.waiting.Add(1) > int64(s.cfg.QueueDepth) {
+	if depth := s.waiting.Add(1); depth > int64(s.cfg.QueueDepth) {
 		s.waiting.Add(-1)
-		return nil, false
+		return nil, depth, false
 	}
 	defer s.waiting.Add(-1)
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
+		return func() { <-s.sem }, 0, true
 	case <-ctx.Done():
-		return nil, false
+		return nil, s.waiting.Load(), false
 	case <-s.baseCtx.Done():
-		return nil, false
+		return nil, s.waiting.Load(), false
 	}
 }
 
@@ -781,26 +817,6 @@ func (s *Server) observeDuration(d time.Duration) {
 			return
 		}
 	}
-}
-
-// retryAfterSeconds derives the load-shed backoff hint from the
-// current queue depth and observed drain rate: the estimated time for
-// the wait queue to drain through the admission slots, clamped to
-// [1, 60] whole seconds.
-func (s *Server) retryAfterSeconds() int {
-	avg := time.Duration(s.avgDurNs.Load())
-	if avg <= 0 {
-		avg = 100 * time.Millisecond
-	}
-	est := time.Duration(s.waiting.Load()+1) * avg / time.Duration(s.cfg.MaxConcurrent)
-	secs := int((est + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	if secs > 60 {
-		secs = 60
-	}
-	return secs
 }
 
 // classify maps a pipeline or interpreter error to its structured wire

@@ -98,10 +98,10 @@ func (t *tenantTable) admit(name string) (release func(), retryAfter int, quota 
 		return nil, 1, "concurrency", false
 	case t.stepsRate > 0 && ts.stepsTok <= 0:
 		ts.rejected++
-		return nil, retrySecs(-ts.stepsTok, t.stepsRate), "steps", false
+		return nil, deficitSecs(-ts.stepsTok, t.stepsRate), "steps", false
 	case t.heapRate > 0 && ts.heapTok <= 0:
 		ts.rejected++
-		return nil, retrySecs(-ts.heapTok, t.heapRate), "heap", false
+		return nil, deficitSecs(-ts.heapTok, t.heapRate), "heap", false
 	}
 	ts.inflight++
 	return func() {
@@ -109,20 +109,6 @@ func (t *tenantTable) admit(name string) (release func(), retryAfter int, quota 
 		ts.inflight--
 		t.mu.Unlock()
 	}, 0, "", true
-}
-
-// retrySecs converts a bucket deficit into a whole-second backoff hint:
-// the time for the deficit to refill, plus one second for the bucket to
-// go positive, clamped to [1, 60].
-func retrySecs(deficit, rate float64) int {
-	s := int(math.Ceil(deficit/rate)) + 1
-	if s < 1 {
-		s = 1
-	}
-	if s > 60 {
-		s = 60
-	}
-	return s
 }
 
 // charge debits the tenant's buckets with the work a finished request

@@ -17,17 +17,17 @@ import (
 // ---- unit: program hashing and the fallback table ----
 
 func TestProgramHash(t *testing.T) {
-	a := programHash(files("a.v", "def main() { }"))
-	if a != programHash(files("a.v", "def main() { }")) {
+	a := ProgramHash(files("a.v", "def main() { }"))
+	if a != ProgramHash(files("a.v", "def main() { }")) {
 		t.Fatal("hash is not deterministic")
 	}
 	if len(a) != 16 {
 		t.Fatalf("hash %q, want 8 bytes = 16 hex chars", a)
 	}
-	if a == programHash(files("b.v", "def main() { }")) {
+	if a == ProgramHash(files("b.v", "def main() { }")) {
 		t.Fatal("hash ignores the file name")
 	}
-	if a == programHash(files("a.v", "def main() { var x = 0; }")) {
+	if a == ProgramHash(files("a.v", "def main() { var x = 0; }")) {
 		t.Fatal("hash ignores the source")
 	}
 }
@@ -66,49 +66,6 @@ func TestFallbackTableQuarantineDisabled(t *testing.T) {
 	}
 	if q, _ := ft.snapshot(); q != 0 {
 		t.Fatalf("snapshot reports %d quarantined with quarantine disabled", q)
-	}
-}
-
-// ---- unit: Retry-After derivation ----
-
-func TestRetryAfterDerivation(t *testing.T) {
-	s := New(Config{MaxConcurrent: 2})
-	if got := s.retryAfterSeconds(); got != 1 {
-		t.Fatalf("no samples: Retry-After = %d, want the 1s floor", got)
-	}
-	// One observed 4s request and 9 waiters behind 2 slots: the queue
-	// needs (9+1)*4s/2 = 20s to drain.
-	s.observeDuration(4 * time.Second)
-	s.waiting.Store(9)
-	if got := s.retryAfterSeconds(); got != 20 {
-		t.Fatalf("Retry-After = %d, want 20", got)
-	}
-	s.waiting.Store(1_000_000)
-	if got := s.retryAfterSeconds(); got != 60 {
-		t.Fatalf("Retry-After = %d, want the 60s clamp", got)
-	}
-	// The EWMA follows a shift toward faster requests.
-	s.waiting.Store(0)
-	for i := 0; i < 100; i++ {
-		s.observeDuration(time.Millisecond)
-	}
-	if got := s.retryAfterSeconds(); got != 1 {
-		t.Fatalf("Retry-After = %d after fast requests, want 1", got)
-	}
-}
-
-func TestRetrySecs(t *testing.T) {
-	for _, tt := range []struct {
-		deficit, rate float64
-		want          int
-	}{
-		{0, 100, 1},
-		{150, 100, 3}, // ceil(1.5)+1
-		{1e9, 1, 60},  // clamped
-	} {
-		if got := retrySecs(tt.deficit, tt.rate); got != tt.want {
-			t.Errorf("retrySecs(%v, %v) = %d, want %d", tt.deficit, tt.rate, got, tt.want)
-		}
 	}
 }
 
@@ -159,8 +116,8 @@ func TestEngineFallbackAndQuarantine(t *testing.T) {
 	if st.QuarantinedPrograms != 1 {
 		t.Fatalf("quarantined_programs = %d, want 1", st.QuarantinedPrograms)
 	}
-	if len(st.FallbackHashes) != 1 || st.FallbackHashes[0] != programHash(req.Files) {
-		t.Fatalf("fallback_hashes = %v, want [%s]", st.FallbackHashes, programHash(req.Files))
+	if len(st.FallbackHashes) != 1 || st.FallbackHashes[0] != ProgramHash(req.Files) {
+		t.Fatalf("fallback_hashes = %v, want [%s]", st.FallbackHashes, ProgramHash(req.Files))
 	}
 
 	// An unrelated program is unaffected: it runs on the bytecode engine.
