@@ -15,7 +15,9 @@
 // jobs=4-vs-jobs=1 ratio scales with runtime.NumCPU. What it always
 // catches is a parallel path that got SLOWER than the sequential one.
 // -check also enforces the bytecode engine's E5 speedup floor over the
-// switch interpreter (the Engine_* series) and compares the execution
+// switch interpreter (the Engine_* series), the incremental-compile
+// floor (CompileIncremental/edit1 must beat a from-scratch compile by
+// 5x on the largest generated program), and compares the execution
 // rows against the newest committed BENCH_*.json snapshot, failing on
 // a >1.5x slowdown when the machine shape matches.
 package main
@@ -62,6 +64,9 @@ type result struct {
 	// TierSpeedup is set on Tiered_*/tiered rows: the matching
 	// untiered (no-profile) time divided by the tiered time.
 	TierSpeedup float64 `json:"tier_speedup,omitempty"`
+	// IncrSpeedup is set on CompileIncremental/{edit1,warm} rows: the
+	// cold (from-scratch) time divided by this row's time.
+	IncrSpeedup float64 `json:"incr_speedup,omitempty"`
 }
 
 type report struct {
@@ -175,6 +180,85 @@ func compileSrc(src string, cfg core.Config) func(b *testing.B) {
 	}
 }
 
+// incrFiles builds the two-file incremental corpus: the big generated
+// module plus the small probe file the edit1 series rewrites. The
+// split mirrors a real project layout — an edit lands in one file
+// while the rest are untouched — which lets the store's parse cache
+// hand back the big file's AST without reparsing it.
+func incrFiles(src string, probe int) []core.File {
+	return []core.File{
+		{Name: "gen.v", Source: src},
+		{Name: "edit.v", Source: fmt.Sprintf("def __bench_probe() -> int { return %d; }\n", probe)},
+	}
+}
+
+// incrCold benchmarks a from-scratch compile through the incremental
+// entry point with an empty store: the denominator of the edit1 gate.
+func incrCold(src string, cfg core.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		files := incrFiles(src, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, st, err := core.CompileFilesIncremental(context.Background(), files, cfg, core.NewStore(2))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Mode != core.ModeCold {
+				b.Fatalf("mode %s, want %s", st.Mode, core.ModeCold)
+			}
+		}
+	}
+}
+
+// incrEdit1 benchmarks recompiling after a one-function edit against a
+// warm artifact store. Every iteration changes the probe function's
+// body again, so each compile is a genuine one-function delta against
+// the base left by the previous iteration — never a module hit.
+func incrEdit1(src string, cfg core.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		store := core.NewStore(2)
+		if _, _, err := core.CompileFilesIncremental(ctx, incrFiles(src, 0), cfg, store); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, st, err := core.CompileFilesIncremental(ctx, incrFiles(src, i+1), cfg, store)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Mode != core.ModeIncremental {
+				b.Fatalf("iteration %d: mode %s, want %s", i, st.Mode, core.ModeIncremental)
+			}
+		}
+	}
+}
+
+// incrWarm benchmarks the unchanged-source path: a whole-module store
+// hit that shares the base compilation outright.
+func incrWarm(src string, cfg core.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		store := core.NewStore(2)
+		files := incrFiles(src, 0)
+		if _, _, err := core.CompileFilesIncremental(ctx, files, cfg, store); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, st, err := core.CompileFilesIncremental(ctx, files, cfg, store)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Mode != core.ModeModuleHit {
+				b.Fatalf("mode %s, want %s", st.Mode, core.ModeModuleHit)
+			}
+		}
+	}
+}
+
 // table builds the benchmark list. Short mode shrinks every workload
 // so a CI run finishes in seconds.
 func table(short bool) []bench {
@@ -266,6 +350,26 @@ func table(short bool) []bench {
 		cfg.Jobs = j
 		add(fmt.Sprintf("CompileParallel/jobs=%d", j), compileSrc(src, cfg))
 	}
+	// Incremental series on its own corpus: the largest generated
+	// program extended with straight-line call chains, which weight the
+	// workload toward backend optimization the way a real optimizing
+	// build is weighted (every optimizer round splices one more level
+	// into each chain caller, so the cold side pays inlining costs a
+	// one-function edit never re-pays). cold is a from-scratch compile
+	// through the incremental entry point, edit1 recompiles after a
+	// one-function edit against a warm store, warm is the
+	// unchanged-source module hit. Uses the analysis-free optimized
+	// config — the one the store serves at function granularity. The
+	// cold row runs first so the others can carry IncrSpeedup; -check
+	// enforces the edit1 floor.
+	ip := progen.Scale(scale)
+	ip.Chains = 40 * scale
+	ip.ChainDepth = 16
+	incrSrc := progen.Generate(ip)
+	incrCfg := core.Config{Monomorphize: true, Normalize: true, Optimize: true}
+	add("CompileIncremental/cold", incrCold(incrSrc, incrCfg))
+	add("CompileIncremental/edit1", incrEdit1(incrSrc, incrCfg))
+	add("CompileIncremental/warm", incrWarm(incrSrc, incrCfg))
 	for _, c := range concCounts() {
 		add(fmt.Sprintf("ServeThroughput/conc=%d", c), serveThroughput(c, scale))
 	}
@@ -695,6 +799,11 @@ func main() {
 				res.TierSpeedup = ut / res.NsPerOp
 			}
 		}
+		if strings.HasPrefix(entry.name, "CompileIncremental/") && entry.name != "CompileIncremental/cold" && res.NsPerOp > 0 {
+			if cold, ok := nsByName["CompileIncremental/cold"]; ok {
+				res.IncrSpeedup = cold / res.NsPerOp
+			}
+		}
 		rep.Benchmarks = append(rep.Benchmarks, res)
 		fmt.Printf("%-34s %12.0f ns/op %9d allocs/op\n", entry.name, res.NsPerOp, res.AllocsPerOp)
 	}
@@ -768,8 +877,8 @@ func main() {
 			os.Exit(1)
 		}
 		if !checkEngine(nsByName, fnByName) || !checkTiered(nsByName, fnByName) || !checkHeapReduction(heapRows) ||
-			!checkAnalysisOverhead(nsByName, fnByName) || !checkCluster(rep.Cluster, *short) ||
-			!checkBaseline(baseline, rep, fnByName) {
+			!checkAnalysisOverhead(nsByName, fnByName) || !checkIncremental(nsByName, fnByName) ||
+			!checkCluster(rep.Cluster, *short) || !checkBaseline(baseline, rep, fnByName) {
 			os.Exit(1)
 		}
 	}
@@ -995,6 +1104,44 @@ func checkAnalysisOverhead(ns map[string]float64, fns map[string]func(*testing.B
 	fmt.Printf("check: analysis compile overhead %.2fx (ceiling %.2fx)\n", ratio, analysisOverheadCeiling)
 	if ratio > analysisOverheadCeiling {
 		fmt.Fprintf(os.Stderr, "bench: FAIL: analysis layer slows compilation %.2fx (ceiling %.2fx)\n", ratio, analysisOverheadCeiling)
+		return false
+	}
+	return true
+}
+
+// incrementalSpeedupFloor is the minimum cold/edit1 ratio -check
+// requires on the largest generated program: a one-function edit
+// against a warm artifact store must beat a from-scratch compile by at
+// least this factor. Both rows run in the same process, so the gate
+// never depends on cross-snapshot drift.
+const incrementalSpeedupFloor = 5.0
+
+// checkIncremental gates the incremental-compilation win, re-measuring
+// both sides before failing (single samples on a shared runner are
+// noisy). The warm (module-hit) ratio is printed for context but not
+// gated — it is bounded only by hashing and map lookups.
+func checkIncremental(ns map[string]float64, fns map[string]func(*testing.B)) bool {
+	const coldRow, editRow = "CompileIncremental/cold", "CompileIncremental/edit1"
+	cold, edit := ns[coldRow], ns[editRow]
+	if cold == 0 || edit == 0 {
+		fmt.Fprintln(os.Stderr, "bench: -check: missing CompileIncremental results")
+		return false
+	}
+	for try := 0; try < 2 && cold/edit < incrementalSpeedupFloor; try++ {
+		fmt.Printf("check: incremental edit1 speedup %.2fx below %.2fx floor; re-measuring\n", cold/edit, incrementalSpeedupFloor)
+		if c, e := remeasure(fns[coldRow]), remeasure(fns[editRow]); c > 0 && e > 0 {
+			cold, edit = minf(cold, c), minf(edit, e)
+			ns[coldRow], ns[editRow] = cold, edit
+		}
+	}
+	if warm := ns["CompileIncremental/warm"]; warm > 0 {
+		fmt.Printf("check: incremental warm (module-hit) speedup vs cold = %.0fx (informational)\n", cold/warm)
+	}
+	speedup := cold / edit
+	fmt.Printf("check: CompileIncremental edit1 speedup vs cold = %.2fx (need >= %.2fx)\n",
+		speedup, incrementalSpeedupFloor)
+	if speedup < incrementalSpeedupFloor {
+		fmt.Fprintf(os.Stderr, "bench: FAIL: one-function edit below the %.2fx incremental floor\n", incrementalSpeedupFloor)
 		return false
 	}
 	return true

@@ -267,6 +267,11 @@ type Compilation struct {
 	// pays translation once.
 	engOnce sync.Once
 	engProg *engine.Program
+
+	// incrRec is the optimizer replay recording captured when this
+	// compilation was assembled incrementally; the store carries it
+	// into the next base entry.
+	incrRec *opt.Recording
 }
 
 // engineProgram translates Module to register bytecode once per
@@ -317,103 +322,171 @@ func stageStart(ctx context.Context, stage string) error {
 // panics on malformed input. Cancellation surfaces as an error
 // satisfying errors.Is(err, ctx.Err()).
 func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compilation, error) {
+	p, err := newPipeline(ctx, files, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := p.frontend()
+	if err != nil {
+		return nil, err
+	}
+	return p.backend(mod, backendOpts{})
+}
+
+// pipeline carries one compilation through its stages. The stages are
+// the same whether a compile runs from scratch or incrementally — the
+// incremental path (CompileFilesIncremental) composes them with body
+// filters and an optimizer replay instead of re-deriving everything.
+type pipeline struct {
+	ctx   context.Context
+	cfg   Config
+	comp  *Compilation
+	errs  *src.ErrorList
+	files []File
+	start time.Time
+	// preParsed supplies cached ASTs by file name (incremental parse
+	// reuse); files not in the map are parsed from source. parsed holds
+	// the frontend's AST set for the cache to absorb afterwards.
+	preParsed map[string]*ast.File
+	parsed    []*ast.File
+}
+
+// backendOpts are the incremental hooks into the pipeline's back half:
+// body filters for monomorphization and normalization, an optimizer
+// recording to fill, and a cut point after normalization where the
+// incremental path takes over assembly.
+type backendOpts struct {
+	monoSkip      func(dstName, srcName string) bool
+	normSkip      func(name string) bool
+	record        *opt.Recording
+	stopAfterNorm bool
+}
+
+func newPipeline(ctx context.Context, files []File, cfg Config) (*pipeline, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if os.Getenv("VIRGIL_VERIFY_IR") != "" {
 		cfg.VerifyIR = true
 	}
-	comp := &Compilation{Config: cfg}
-	start := time.Now()
+	return &pipeline{
+		ctx:   ctx,
+		cfg:   cfg,
+		comp:  &Compilation{Config: cfg},
+		errs:  &src.ErrorList{},
+		files: files,
+		start: time.Now(),
+	}, nil
+}
 
-	// verify runs the typed IR verifier after one stage; any finding is
-	// a compiler bug in that stage, reported as a stage-tagged ICE.
-	verify := func(stage string, mod *ir.Module) error {
-		if !cfg.VerifyIR {
-			return nil
-		}
-		err := guard("verify-"+stage, func() error {
-			if err := stageStart(ctx, "verify-"+stage); err != nil {
-				return err
-			}
-			return mod.VerifyConcurrent(ctx, cfg.jobs())
-		})
-		if err == nil {
-			return nil
-		}
-		if !isStructured(err) {
-			err = &src.ICE{Stage: "verify-" + stage, Msg: fmt.Sprintf("invalid IR after %s: %v", stage, err)}
-		}
-		return err
+// verify runs the typed IR verifier after one stage; any finding is
+// a compiler bug in that stage, reported as a stage-tagged ICE.
+func (p *pipeline) verify(stage string, mod *ir.Module) error {
+	if !p.cfg.VerifyIR {
+		return nil
 	}
-
-	errs := &src.ErrorList{}
-	diags := func() error {
-		errs.Sort()
-		errs.Truncate(cfg.maxErrors())
-		return errs
+	err := guard("verify-"+stage, func() error {
+		if err := stageStart(p.ctx, "verify-"+stage); err != nil {
+			return err
+		}
+		return mod.VerifyConcurrent(p.ctx, p.cfg.jobs())
+	})
+	if err == nil {
+		return nil
 	}
+	if !isStructured(err) {
+		err = &src.ICE{Stage: "verify-" + stage, Msg: fmt.Sprintf("invalid IR after %s: %v", stage, err)}
+	}
+	return err
+}
 
+func (p *pipeline) diags() error {
+	p.errs.Sort()
+	p.errs.Truncate(p.cfg.maxErrors())
+	return p.errs
+}
+
+// frontend runs parse, typecheck, and lower — the stages every
+// compilation pays regardless of cached artifacts, since typechecking
+// is whole-program. Parsing alone can be skipped per file via
+// preParsed: the checker re-annotates AST nodes in place, so a cached
+// AST checks the same as a fresh one (the caller serializes compiles
+// that share cached nodes).
+func (p *pipeline) frontend() (*ir.Module, error) {
 	t0 := time.Now()
 	var parsed []*ast.File
 	if err := guard("parse", func() error {
-		if err := stageStart(ctx, "parse"); err != nil {
+		if err := stageStart(p.ctx, "parse"); err != nil {
 			return err
 		}
-		for _, f := range files {
-			parsed = append(parsed, parser.Parse(f.Name, f.Source, errs))
-			comp.Timings.SourceLen += len(f.Source)
+		for _, f := range p.files {
+			pf := p.preParsed[f.Name]
+			if pf == nil {
+				pf = parser.Parse(f.Name, f.Source, p.errs)
+			}
+			parsed = append(parsed, pf)
+			p.comp.Timings.SourceLen += len(f.Source)
 		}
+		p.parsed = parsed
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	comp.Timings.Parse = time.Since(t0)
-	if !errs.Empty() {
-		return nil, diags()
+	p.comp.Timings.Parse = time.Since(t0)
+	if !p.errs.Empty() {
+		return nil, p.diags()
 	}
 
 	t0 = time.Now()
 	var prog *typecheck.Program
 	if err := guard("check", func() error {
-		if err := stageStart(ctx, "check"); err != nil {
+		if err := stageStart(p.ctx, "check"); err != nil {
 			return err
 		}
-		prog = typecheck.Check(parsed, errs)
+		prog = typecheck.Check(parsed, p.errs)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
-	comp.Timings.Check = time.Since(t0)
-	if !errs.Empty() {
-		return nil, diags()
+	p.comp.Timings.Check = time.Since(t0)
+	if !p.errs.Empty() {
+		return nil, p.diags()
 	}
-	comp.Program = prog
+	p.comp.Program = prog
 
 	t0 = time.Now()
 	var mod *ir.Module
 	if err := guard("lower", func() error {
-		if err := stageStart(ctx, "lower"); err != nil {
+		if err := stageStart(p.ctx, "lower"); err != nil {
 			return err
 		}
 		var err error
-		mod, err = lower.Lower(ctx, prog, cfg.jobs())
+		mod, err = lower.Lower(p.ctx, prog, p.cfg.jobs())
 		return err
 	}); err != nil {
 		return nil, err
 	}
-	comp.Timings.Lower = time.Since(t0)
-	if err := verify("lower", mod); err != nil {
+	p.comp.Timings.Lower = time.Since(t0)
+	if err := p.verify("lower", mod); err != nil {
 		return nil, err
 	}
+	return mod, nil
+}
 
+// backend runs the configured transformation stages over the lowered
+// module and finishes the compilation. With opts.stopAfterNorm it
+// returns after normalization with Compilation.Module set to the
+// normalized module and no validation — the incremental path assembles
+// and finishes the module itself.
+func (p *pipeline) backend(mod *ir.Module, opts backendOpts) (*Compilation, error) {
+	ctx, cfg, comp := p.ctx, p.cfg, p.comp
 	if cfg.Monomorphize {
-		t0 = time.Now()
+		t0 := time.Now()
 		if err := guard("mono", func() error {
 			if err := stageStart(ctx, "mono"); err != nil {
 				return err
 			}
-			monoMod, stats, err := mono.Monomorphize(ctx, mod, mono.Config{Jobs: cfg.jobs()})
+			monoMod, stats, err := mono.Monomorphize(ctx, mod, mono.Config{Jobs: cfg.jobs(), SkipBody: opts.monoSkip})
 			if err != nil {
 				return err
 			}
@@ -424,17 +497,19 @@ func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compil
 			return nil, err
 		}
 		comp.Timings.Mono = time.Since(t0)
-		if err := verify("mono", mod); err != nil {
-			return nil, err
+		if opts.monoSkip == nil {
+			if err := p.verify("mono", mod); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if cfg.Normalize {
-		t0 = time.Now()
+		t0 := time.Now()
 		if err := guard("norm", func() error {
 			if err := stageStart(ctx, "norm"); err != nil {
 				return err
 			}
-			normMod, stats, err := norm.Normalize(ctx, mod, cfg.jobs())
+			normMod, stats, err := norm.NormalizeSkip(ctx, mod, cfg.jobs(), opts.normSkip)
 			if err != nil {
 				return err
 			}
@@ -445,17 +520,23 @@ func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compil
 			return nil, err
 		}
 		comp.Timings.Norm = time.Since(t0)
-		if err := verify("norm", mod); err != nil {
-			return nil, err
+		if opts.normSkip == nil {
+			if err := p.verify("norm", mod); err != nil {
+				return nil, err
+			}
 		}
 	}
+	if opts.stopAfterNorm {
+		comp.Module = mod
+		return comp, nil
+	}
 	if cfg.Optimize {
-		t0 = time.Now()
+		t0 := time.Now()
 		if err := guard("opt", func() error {
 			if err := stageStart(ctx, "opt"); err != nil {
 				return err
 			}
-			stats, err := opt.Optimize(ctx, mod, opt.Config{Jobs: cfg.jobs(), Analyze: cfg.Analyze, Profile: cfg.PGO})
+			stats, err := opt.Optimize(ctx, mod, opt.Config{Jobs: cfg.jobs(), Analyze: cfg.Analyze, Profile: cfg.PGO, Record: opts.record})
 			if err != nil {
 				return err
 			}
@@ -465,10 +546,18 @@ func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compil
 			return nil, err
 		}
 		comp.Timings.Opt = time.Since(t0)
-		if err := verify("opt", mod); err != nil {
+		if err := p.verify("opt", mod); err != nil {
 			return nil, err
 		}
 	}
+	return p.finish(mod)
+}
+
+// finish validates the final module, runs the closing analysis pass,
+// and seals the Compilation. Both the scratch and incremental paths
+// end here.
+func (p *pipeline) finish(mod *ir.Module) (*Compilation, error) {
+	ctx, cfg, comp := p.ctx, p.cfg, p.comp
 	if err := guard("validate", func() error {
 		if err := stageStart(ctx, "validate"); err != nil {
 			return err
@@ -486,7 +575,7 @@ func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compil
 		// optimizer's own facts — a pass promoting on stale or wrong
 		// facts is an ICE here, never a silently unsound program. The
 		// result is kept for tooling (virgil analyze, serve).
-		t0 = time.Now()
+		t0 := time.Now()
 		if err := guard("analysis", func() error {
 			if err := stageStart(ctx, "analysis"); err != nil {
 				return err
@@ -509,7 +598,7 @@ func CompileFilesContext(ctx context.Context, files []File, cfg Config) (*Compil
 		comp.Timings.Analysis = time.Since(t0)
 	}
 	comp.Module = mod
-	comp.Timings.Total = time.Since(start)
+	comp.Timings.Total = time.Since(p.start)
 	return comp, nil
 }
 

@@ -84,6 +84,11 @@ func FuzzPipeline(f *testing.F) {
 		// run and feed it back; the profile-guided build must match the
 		// plain build observably and its two engines must match exactly.
 		fuzzDiffTiered(t, source, fullRes)
+		// Fifth axis: incremental recompilation. Warm the artifact
+		// store with this input, apply a synthetic edit, and require
+		// the incremental compile to be byte-identical to a
+		// from-scratch compile of the edited source.
+		fuzzDiffIncremental(t, source)
 		// Step budgets fire at different instruction counts across
 		// configs, so a resource stop on either side voids comparison.
 		var re *interp.ResourceError
@@ -143,6 +148,46 @@ func fuzzDiffAnalyze(t *testing.T, source string, on, off core.RunResult) {
 // tiered module itself. A stale or lying profile is covered elsewhere
 // (internal/opt); here the profile is real but possibly partial, since
 // the harvesting run may have trapped or hit a budget.
+// fuzzDiffIncremental warms an artifact store with source, applies a
+// synthetic edit (an appended function), and diffs the incremental
+// compile of the edited program against a from-scratch compile. The
+// incremental path must produce a byte-identical module dump through
+// every reuse mode it picks — incremental, fallback, or hit — and a
+// repeat compile of the same edited source must be a whole-module hit
+// with the same dump.
+func fuzzDiffIncremental(t *testing.T, source string) {
+	t.Helper()
+	cfg := fuzzGuards(core.Compiled())
+	cfg.Analyze = false
+	store := core.NewStore(2)
+	files := []core.File{{Name: "fuzz.v", Source: source}}
+	if _, _, err := core.CompileFilesIncremental(t.Context(), files, cfg, store); err != nil {
+		checkNoICE(t, "incremental warm compile", err)
+		return
+	}
+	edited := source + "\ndef __incr_fuzz_probe(q: int) -> int { return q * 3 + 1; }\n"
+	efiles := []core.File{{Name: "fuzz.v", Source: edited}}
+	incComp, _, incErr := core.CompileFilesIncremental(t.Context(), efiles, cfg, store)
+	scratch, scratchErr := core.Compile("fuzz.v", edited, cfg)
+	checkNoICE(t, "incremental compile", incErr)
+	checkNoICE(t, "incremental scratch compile", scratchErr)
+	if (incErr == nil) != (scratchErr == nil) {
+		t.Fatalf("incremental changed compile outcome: incr=%v scratch=%v\nsource:\n%s",
+			incErr, scratchErr, source)
+	}
+	if incErr != nil {
+		return
+	}
+	if incComp.Module.String() != scratch.Module.String() {
+		t.Fatalf("incremental module differs from scratch\nsource:\n%s", source)
+	}
+	hitComp, _, hitErr := core.CompileFilesIncremental(t.Context(), efiles, cfg, store)
+	checkNoICE(t, "incremental rehit", hitErr)
+	if hitErr == nil && hitComp.Module.String() != scratch.Module.String() {
+		t.Fatalf("module-hit dump differs from scratch\nsource:\n%s", source)
+	}
+}
+
 func fuzzDiffTiered(t *testing.T, source string, full core.RunResult) {
 	t.Helper()
 	cfg := fuzzGuards(core.Compiled())

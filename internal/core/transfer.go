@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// Type transfer between compilations. Every compilation interns types
+// in its own cache, and the engines key their per-class state by
+// *types.Class pointer — so an incrementally assembled module must
+// live entirely in one type world. Reused functions keep the base
+// compilation's types; freshly recompiled functions are born in the
+// new compilation's cache and their types are re-interned ("
+// transferred") into the base cache before the worlds merge.
+//
+// Transfer is structural: primitives map by kind, composites rebuild
+// from transferred parts, and nominal types (classes, enums) map
+// through def-by-name tables collected from the base compilation. An
+// unknown def means the new world mentions a nominal type the base
+// never had — in that case the caller abandons the incremental path
+// and compiles from scratch, so transfer failure is a fallback signal,
+// never an error the user sees.
+
+type typeXfer struct {
+	tc        *types.Cache
+	classDefs map[string]*types.ClassDef
+	enumDefs  map[string]*types.EnumDef
+	memo      map[types.Type]types.Type
+}
+
+func newTypeXfer(tc *types.Cache, classDefs map[string]*types.ClassDef, enumDefs map[string]*types.EnumDef) *typeXfer {
+	return &typeXfer{tc: tc, classDefs: classDefs, enumDefs: enumDefs, memo: map[types.Type]types.Type{}}
+}
+
+// xfer re-interns t into the base cache, or fails if t mentions a
+// nominal def the base world doesn't know.
+func (x *typeXfer) xfer(t types.Type) (types.Type, error) {
+	if t == nil {
+		return nil, nil
+	}
+	if got, ok := x.memo[t]; ok {
+		return got, nil
+	}
+	var out types.Type
+	switch tt := t.(type) {
+	case *types.Prim:
+		switch tt.Kind {
+		case types.KindVoid:
+			out = x.tc.Void()
+		case types.KindBool:
+			out = x.tc.Bool()
+		case types.KindByte:
+			out = x.tc.Byte()
+		case types.KindInt:
+			out = x.tc.Int()
+		case types.KindNull:
+			out = x.tc.Null()
+		default:
+			return nil, fmt.Errorf("transfer: unknown prim kind %d", tt.Kind)
+		}
+	case *types.Tuple:
+		elems := make([]types.Type, len(tt.Elems))
+		for i, e := range tt.Elems {
+			te, err := x.xfer(e)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = te
+		}
+		out = x.tc.TupleOf(elems)
+	case *types.Func:
+		p, err := x.xfer(tt.Param)
+		if err != nil {
+			return nil, err
+		}
+		r, err := x.xfer(tt.Ret)
+		if err != nil {
+			return nil, err
+		}
+		out = x.tc.FuncOf(p, r)
+	case *types.Array:
+		e, err := x.xfer(tt.Elem)
+		if err != nil {
+			return nil, err
+		}
+		out = x.tc.ArrayOf(e)
+	case *types.Enum:
+		def := x.enumDefs[tt.Def.Name]
+		if def == nil {
+			return nil, fmt.Errorf("transfer: unknown enum def %q", tt.Def.Name)
+		}
+		out = x.tc.EnumOf(def)
+	case *types.Class:
+		def := x.classDefs[tt.Def.Name]
+		if def == nil {
+			return nil, fmt.Errorf("transfer: unknown class def %q", tt.Def.Name)
+		}
+		args := make([]types.Type, len(tt.Args))
+		for i, a := range tt.Args {
+			ta, err := x.xfer(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ta
+		}
+		out = x.tc.ClassOf(def, args)
+	case *types.TypeParam:
+		// Post-mono IR is closed; an open type reaching transfer means
+		// the incremental path was entered for a config it shouldn't be.
+		return nil, fmt.Errorf("transfer: open type parameter %q", tt.Def.Name)
+	default:
+		return nil, fmt.Errorf("transfer: unknown type %T", t)
+	}
+	x.memo[t] = out
+	return out, nil
+}
+
+// xferAll transfers a type slice, preserving nil.
+func (x *typeXfer) xferAll(ts []types.Type) ([]types.Type, error) {
+	if ts == nil {
+		return nil, nil
+	}
+	out := make([]types.Type, len(ts))
+	for i, t := range ts {
+		tt, err := x.xfer(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = tt
+	}
+	return out, nil
+}
+
+// collectDefs walks a finished module and tables its nominal defs by
+// name. Duplicate def names would make name-keyed transfer ambiguous;
+// ok=false tells the caller not to build an incremental base from this
+// module.
+func collectDefs(mod *ir.Module) (classDefs map[string]*types.ClassDef, enumDefs map[string]*types.EnumDef, ok bool) {
+	classDefs = map[string]*types.ClassDef{}
+	enumDefs = map[string]*types.EnumDef{}
+	seen := map[types.Type]bool{}
+	ok = true
+	var visit func(t types.Type)
+	visit = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		switch tt := t.(type) {
+		case *types.Tuple:
+			for _, e := range tt.Elems {
+				visit(e)
+			}
+		case *types.Func:
+			visit(tt.Param)
+			visit(tt.Ret)
+		case *types.Array:
+			visit(tt.Elem)
+		case *types.Enum:
+			if prev, dup := enumDefs[tt.Def.Name]; dup && prev != tt.Def {
+				ok = false
+			}
+			enumDefs[tt.Def.Name] = tt.Def
+		case *types.Class:
+			if prev, dup := classDefs[tt.Def.Name]; dup && prev != tt.Def {
+				ok = false
+			}
+			classDefs[tt.Def.Name] = tt.Def
+			for _, a := range tt.Args {
+				visit(a)
+			}
+		}
+	}
+	for _, c := range mod.Classes {
+		if c.Def != nil {
+			if prev, dup := classDefs[c.Def.Name]; dup && prev != c.Def {
+				ok = false
+			}
+			classDefs[c.Def.Name] = c.Def
+		}
+		visit(c.Type)
+		for _, f := range c.Fields {
+			visit(f.Type)
+		}
+	}
+	for _, g := range mod.Globals {
+		visit(g.Type)
+	}
+	for _, f := range mod.Funcs {
+		for _, p := range f.Params {
+			visit(p.Type)
+		}
+		for _, r := range f.Results {
+			visit(r)
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				visit(in.Type)
+				visit(in.Type2)
+				for _, ta := range in.TypeArgs {
+					visit(ta)
+				}
+				for _, r := range in.Dst {
+					visit(r.Type)
+				}
+				for _, r := range in.Args {
+					visit(r.Type)
+				}
+			}
+		}
+	}
+	return classDefs, enumDefs, ok
+}

@@ -251,6 +251,13 @@ func (f *Func) NewReg(t types.Type, name string) *Reg {
 // NumRegs returns the number of virtual registers allocated in f.
 func (f *Func) NumRegs() int { return f.nextReg }
 
+// SetRegCount seeds the fresh-register counter. The incremental
+// relinker rebuilds a function's registers with their original IDs
+// preserved (so dumps stay byte-identical) and then seeds the counter
+// past them, so later NewReg calls — e.g. from optimizer inlining —
+// continue exactly where the original compilation's counter stood.
+func (f *Func) SetRegCount(n int) { f.nextReg = n }
+
 // NewBlock allocates and appends a fresh basic block.
 func (f *Func) NewBlock() *Block {
 	b := &Block{ID: f.nextBlock}

@@ -60,6 +60,17 @@ type Config struct {
 	// sequentially). The discovery fixpoint is inherently sequential and
 	// unaffected; the output module is identical for every value.
 	Jobs int
+	// SkipBody, when non-nil, suppresses the body copy of specialized
+	// functions it reports true for. It receives the output instance
+	// name and the lowered source function's name it specializes — the
+	// names are related but not mechanically derivable (source names may
+	// themselves contain '<', e.g. operator wrappers). The discovery
+	// fixpoint still runs in full — the instance set, vtable layouts,
+	// and function order are unaffected — but skipped functions come
+	// out with declarations only. Incremental compilation uses this to
+	// avoid copying bodies it will replace with cached artifacts. May
+	// be called concurrently.
+	SkipBody func(dstName, srcName string) bool
 }
 
 type funcKey struct {
@@ -173,6 +184,9 @@ func Monomorphize(ctx context.Context, mod *ir.Module, cfg Config) (*ir.Module, 
 	// Copy the planned bodies; every cross-function fact was resolved
 	// during the fixpoint, so the copies are independent.
 	if err := par.Run(ctx, "mono", cfg.Jobs, len(m.plans), func(i int) error {
+		if cfg.SkipBody != nil && cfg.SkipBody(m.plans[i].dst.Name, m.plans[i].src.Name) {
+			return nil
+		}
 		return m.copyBody(m.plans[i])
 	}); err != nil {
 		return nil, nil, err

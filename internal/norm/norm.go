@@ -61,6 +61,15 @@ type normalizer struct {
 // are whole-program barriers and always run sequentially. The output
 // is identical for every jobs value.
 func Normalize(ctx context.Context, mod *ir.Module, jobs int) (*ir.Module, *Stats, error) {
+	return NormalizeSkip(ctx, mod, jobs, nil)
+}
+
+// NormalizeSkip is Normalize with a body filter: functions skip reports
+// true for (by name) keep their declarations — signature flattening,
+// vtable entries, order — but get no body. The declaration phases run
+// in full either way. Incremental compilation uses this to skip bodies
+// it replaces with cached artifacts.
+func NormalizeSkip(ctx context.Context, mod *ir.Module, jobs int, skip func(name string) bool) (*ir.Module, *Stats, error) {
 	if !mod.Monomorphic {
 		return nil, nil, fmt.Errorf("norm: module must be monomorphized first (§4.2)")
 	}
@@ -90,6 +99,9 @@ func Normalize(ctx context.Context, mod *ir.Module, jobs int) (*ir.Module, *Stat
 	// destination function; per-body statistics merge in function order.
 	tuples := make([]int, len(mod.Funcs))
 	if err := par.Run(ctx, "norm", jobs, len(mod.Funcs), func(i int) error {
+		if skip != nil && skip(mod.Funcs[i].Name) {
+			return nil
+		}
 		c, err := n.normalizeBody(mod.Funcs[i])
 		tuples[i] = c
 		return err

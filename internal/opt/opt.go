@@ -13,6 +13,9 @@ package opt
 
 import (
 	"context"
+	"fmt"
+	"maps"
+
 	"repro/internal/ir"
 	"repro/internal/par"
 	"repro/internal/profile"
@@ -65,6 +68,37 @@ type Config struct {
 	// raised budget. Profiles are advisory: a stale or wrong profile can
 	// cost speed, never correctness.
 	Profile *profile.Profile
+	// Record, when non-nil, captures the per-round inline snapshots and
+	// change bits of this optimization, the replay substrate of
+	// incremental compilation (core.Store). Recording copies every
+	// inline-candidate body once per round and costs nothing else.
+	Record *Recording
+}
+
+// Snapshot is a frozen copy of an inline-candidate function body taken
+// at a round boundary (after folding, before any inlining of that
+// round). Inlining splices from snapshots, never from live bodies, so
+// one function's optimization trajectory depends only on its own body
+// and the round's snapshot set — the property that makes per-function
+// incremental replay (OptimizeReplay) byte-identical to a from-scratch
+// optimization. Immutable after creation.
+type Snapshot struct {
+	Params []*ir.Reg
+	Instrs []*ir.Instr
+}
+
+// RoundRecord is the replay record of one fold/inline round: the
+// snapshot of every inline candidate the round's inlining read, and
+// the set of functions the round changed (fold or inline). Changed
+// stores only true entries.
+type RoundRecord struct {
+	Snaps   map[string]*Snapshot
+	Changed map[string]bool
+}
+
+// Recording is the complete replay record of one optimization run.
+type Recording struct {
+	Rounds []RoundRecord
 }
 
 // Optimize runs all passes over the module in place.
@@ -94,33 +128,8 @@ func Optimize(ctx context.Context, mod *ir.Module, cfg Config) (*Stats, error) {
 		o.devirtualizeCG(res)
 		o.elimPureCalls(res)
 	}
-	folded := make([]bool, len(mod.Funcs))
-	foldStats := make([]Stats, len(mod.Funcs))
-	for r := 0; r < cfg.Rounds; r++ {
-		changed := false
-		if err := par.Run(ctx, "opt", cfg.Jobs, len(mod.Funcs), func(i int) error {
-			w := &optimizer{mod: mod, tc: o.tc, cfg: cfg, st: &foldStats[i]}
-			folded[i] = w.foldFunc(mod.Funcs[i])
-			return nil
-		}); err != nil {
-			// foldFunc is error-free, so any error here is a recovered
-			// worker panic (an ICE) or the ctx ending mid-fan-out.
-			return st, err
-		}
-		for i := range mod.Funcs {
-			changed = changed || folded[i]
-			st.QueriesFolded += foldStats[i].QueriesFolded
-			st.CastsElided += foldStats[i].CastsElided
-			st.BranchesFolded += foldStats[i].BranchesFolded
-			st.InstrsRemoved += foldStats[i].InstrsRemoved
-			foldStats[i] = Stats{}
-		}
-		for _, f := range mod.Funcs {
-			changed = o.inlineCalls(f) || changed
-		}
-		if !changed {
-			break
-		}
+	if err := o.rounds(ctx, mod.Funcs, nil); err != nil {
+		return st, err
 	}
 	// Profile-guided passes run after the deterministic fold/inline
 	// rounds — so the call-site ordinals counted here match the ones the
@@ -148,6 +157,228 @@ type optimizer struct {
 	tc  *types.Cache
 	cfg Config
 	st  *Stats
+}
+
+// round returns the replay record for round r, clamped to the last
+// recorded round: a recording that ended early did so because its last
+// round changed nothing, so that round's snapshots are the final
+// bodies and stay valid for every later round.
+func (rec *Recording) round(r int) RoundRecord {
+	if r < len(rec.Rounds) {
+		return rec.Rounds[r]
+	}
+	if n := len(rec.Rounds); n > 0 {
+		return RoundRecord{Snaps: rec.Rounds[n-1].Snaps}
+	}
+	return RoundRecord{}
+}
+
+// Filter drops recorded entries for functions outside keep, in place.
+// Incremental compilation uses it to trim replay records of deleted
+// functions, whose stale change bits would otherwise desynchronize a
+// later replay's round count from a from-scratch compilation's.
+func (rec *Recording) Filter(keep func(name string) bool) {
+	for _, rr := range rec.Rounds {
+		for n := range rr.Snaps {
+			if !keep(n) {
+				delete(rr.Snaps, n)
+			}
+		}
+		for n := range rr.Changed {
+			if !keep(n) {
+				delete(rr.Changed, n)
+			}
+		}
+	}
+}
+
+// OptimizeReplay re-optimizes only the dirty functions of a module
+// whose clean functions were reused from a previous compilation, using
+// that compilation's Recording for the clean functions' per-round
+// inline snapshots and change bits. Because inlining reads only round
+// snapshots, replaying the dirty subset this way produces bodies
+// byte-identical to optimizing the whole module from scratch — clean
+// functions never reference dirty ones (or they would be dirty
+// themselves), so their recorded trajectories are exactly what a
+// from-scratch run would recompute.
+//
+// Analysis- and profile-driven passes read whole-program state and are
+// not replayable; cfg.Analyze and cfg.Profile must be off.
+func OptimizeReplay(ctx context.Context, dirty []*ir.Func, tc *types.Cache, cfg Config, base *Recording) (*Stats, error) {
+	if cfg.InlineLimit == 0 {
+		cfg.InlineLimit = 16
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 4
+	}
+	if cfg.Analyze || cfg.Profile != nil {
+		return nil, fmt.Errorf("opt: replay cannot run analysis- or profile-driven passes")
+	}
+	st := &Stats{}
+	for _, f := range dirty {
+		st.InstrsBefore += f.NumInstrs()
+	}
+	o := &optimizer{tc: tc, cfg: cfg, st: st}
+	if err := o.rounds(ctx, dirty, base); err != nil {
+		return st, err
+	}
+	for _, f := range dirty {
+		st.InstrsAfter += f.NumInstrs()
+	}
+	return st, nil
+}
+
+// rounds runs the bounded fold/inline fixpoint over funcs. With a nil
+// base this is the whole-module optimization; with a non-nil base it
+// is an incremental replay where funcs is the dirty subset and base
+// supplies the remaining (clean) functions' snapshots and change bits.
+// Each round folds every function in parallel, snapshots the inline
+// candidates, inlines every function in parallel from the frozen
+// snapshots, and stops when neither the live functions nor the base's
+// recorded round changed anything.
+func (o *optimizer) rounds(ctx context.Context, funcs []*ir.Func, base *Recording) error {
+	cfg := o.cfg
+	live := make(map[string]bool, len(funcs))
+	for _, f := range funcs {
+		live[f.Name] = true
+	}
+	folded := make([]bool, len(funcs))
+	inlined := make([]bool, len(funcs))
+	workStats := make([]Stats, len(funcs))
+	for r := 0; r < cfg.Rounds; r++ {
+		if err := par.Run(ctx, "opt", cfg.Jobs, len(funcs), func(i int) error {
+			w := &optimizer{mod: o.mod, tc: o.tc, cfg: cfg, st: &workStats[i]}
+			folded[i] = w.foldFunc(funcs[i])
+			return nil
+		}); err != nil {
+			// foldFunc is error-free, so any error here is a recovered
+			// worker panic (an ICE) or the ctx ending mid-fan-out.
+			return err
+		}
+		// Freeze this round's inline candidates. Inlining below reads
+		// only these snapshots, so the parallel fan-out and any replay
+		// see identical callee bodies regardless of processing order.
+		snaps := map[string]*Snapshot{}
+		for _, f := range funcs {
+			if s := snapshotOf(f, cfg.InlineLimit); s != nil {
+				snaps[f.Name] = s
+			}
+		}
+		lookup := func(name string) *Snapshot {
+			if live[name] {
+				return snaps[name]
+			}
+			if base != nil {
+				return base.round(r).Snaps[name]
+			}
+			return nil
+		}
+		if err := par.Run(ctx, "opt", cfg.Jobs, len(funcs), func(i int) error {
+			w := &optimizer{mod: o.mod, tc: o.tc, cfg: cfg, st: &workStats[i]}
+			inlined[i] = w.inlineCalls(funcs[i], lookup)
+			return nil
+		}); err != nil {
+			return err
+		}
+		changed := false
+		for i := range funcs {
+			changed = changed || folded[i] || inlined[i]
+			o.st.QueriesFolded += workStats[i].QueriesFolded
+			o.st.CastsElided += workStats[i].CastsElided
+			o.st.BranchesFolded += workStats[i].BranchesFolded
+			o.st.InstrsRemoved += workStats[i].InstrsRemoved
+			o.st.Inlined += workStats[i].Inlined
+			workStats[i] = Stats{}
+		}
+		baseChanged := false
+		if base != nil && r < len(base.Rounds) {
+			for n := range base.Rounds[r].Changed {
+				if !live[n] {
+					baseChanged = true
+					break
+				}
+			}
+		}
+		if cfg.Record != nil {
+			var rec RoundRecord
+			if base != nil {
+				// Bulk-clone the base round's tables, then evict the live
+				// (replayed) names: on the incremental path the dirty set is
+				// tiny and the base tables are module-sized, so clone+delete
+				// beats inserting the complement entry by entry.
+				br := base.round(r)
+				rec.Snaps = maps.Clone(br.Snaps)
+				if r < len(base.Rounds) {
+					rec.Changed = maps.Clone(base.Rounds[r].Changed)
+				}
+				for n := range live {
+					delete(rec.Snaps, n)
+					delete(rec.Changed, n)
+				}
+			}
+			if rec.Snaps == nil {
+				rec.Snaps = map[string]*Snapshot{}
+			}
+			if rec.Changed == nil {
+				rec.Changed = map[string]bool{}
+			}
+			for n, s := range snaps {
+				rec.Snaps[n] = s
+			}
+			for i, f := range funcs {
+				if folded[i] || inlined[i] {
+					rec.Changed[f.Name] = true
+				}
+			}
+			cfg.Record.Rounds = append(cfg.Record.Rounds, rec)
+		}
+		if !changed && !baseChanged {
+			break
+		}
+	}
+	return nil
+}
+
+// snapshotOf returns a frozen copy of f's body if f is an inline
+// candidate — a small single-block function ending in a return that
+// never writes its own parameters — or nil. The instruction objects
+// are copied (later rounds fold them in place) but registers are
+// shared; splicing allocates fresh caller registers anyway.
+func snapshotOf(f *ir.Func, limit int) *Snapshot {
+	if len(f.Blocks) != 1 {
+		return nil
+	}
+	body := f.Blocks[0].Instrs
+	if len(body) == 0 || len(body) > limit {
+		return nil
+	}
+	if body[len(body)-1].Op != ir.OpRet {
+		return nil
+	}
+	params := map[*ir.Reg]bool{}
+	for _, p := range f.Params {
+		params[p] = true
+	}
+	for _, in := range body {
+		for _, d := range in.Dst {
+			if params[d] {
+				return nil
+			}
+		}
+	}
+	s := &Snapshot{Params: f.Params, Instrs: make([]*ir.Instr, len(body))}
+	for i, in := range body {
+		ni := &ir.Instr{
+			Op: in.Op, FieldSlot: in.FieldSlot, IVal: in.IVal,
+			SVal: in.SVal, Global: in.Global, Fn: in.Fn,
+			Type: in.Type, Type2: in.Type2, TypeArgs: in.TypeArgs,
+			Pos: in.Pos, StackAlloc: in.StackAlloc,
+		}
+		ni.Dst = append([]*ir.Reg{}, in.Dst...)
+		ni.Args = append([]*ir.Reg{}, in.Args...)
+		s.Instrs[i] = ni
+	}
+	return s
 }
 
 // constVal is a known compile-time constant.
@@ -619,19 +850,24 @@ func (o *optimizer) dce(f *ir.Func) bool {
 }
 
 // inlineCalls splices small single-block callees into their callers
-// (§3.3: "which the compiler may then inline").
-func (o *optimizer) inlineCalls(f *ir.Func) bool {
+// (§3.3: "which the compiler may then inline"). Callee bodies come
+// from lookup — the round's frozen snapshots — never from live
+// functions, so the result is independent of inlining order.
+func (o *optimizer) inlineCalls(f *ir.Func, lookup func(name string) *Snapshot) bool {
 	changed := false
 	for _, blk := range f.Blocks {
 		var out []*ir.Instr
 		for _, in := range blk.Instrs {
-			if in.Op != ir.OpCallStatic || !o.inlinable(in.Fn, f) {
+			var snap *Snapshot
+			if in.Op == ir.OpCallStatic && in.Fn != nil && in.Fn.Name != f.Name {
+				snap = lookup(in.Fn.Name)
+			}
+			if snap == nil {
 				out = append(out, in)
 				continue
 			}
-			callee := in.Fn
 			regMap := map[*ir.Reg]*ir.Reg{}
-			for k, p := range callee.Params {
+			for k, p := range snap.Params {
 				regMap[p] = in.Args[k]
 			}
 			mapReg := func(r *ir.Reg) *ir.Reg {
@@ -642,7 +878,7 @@ func (o *optimizer) inlineCalls(f *ir.Func) bool {
 				regMap[r] = nr
 				return nr
 			}
-			body := callee.Blocks[0].Instrs
+			body := snap.Instrs
 			for _, ci := range body[:len(body)-1] {
 				ni := &ir.Instr{
 					Op: ci.Op, FieldSlot: ci.FieldSlot, IVal: ci.IVal,
@@ -670,33 +906,4 @@ func (o *optimizer) inlineCalls(f *ir.Func) bool {
 		blk.Instrs = out
 	}
 	return changed
-}
-
-// inlinable reports whether callee is a small single-block function
-// ending in a return, and is not the caller itself.
-func (o *optimizer) inlinable(callee, caller *ir.Func) bool {
-	if callee == nil || callee == caller || len(callee.Blocks) != 1 {
-		return false
-	}
-	body := callee.Blocks[0].Instrs
-	if len(body) == 0 || len(body) > o.cfg.InlineLimit {
-		return false
-	}
-	if body[len(body)-1].Op != ir.OpRet {
-		return false
-	}
-	// A callee that writes to its own parameters cannot be spliced over
-	// the caller's argument registers.
-	params := map[*ir.Reg]bool{}
-	for _, p := range callee.Params {
-		params[p] = true
-	}
-	for _, in := range body {
-		for _, d := range in.Dst {
-			if params[d] {
-				return false
-			}
-		}
-	}
-	return true
 }

@@ -232,9 +232,19 @@ func (o *optimizer) inlineHot(prof *profile.Profile, names map[*ir.Func]string) 
 	ho := &optimizer{mod: o.mod, tc: o.tc, cfg: o.cfg, st: hs}
 	ho.cfg.InlineLimit = hotInlineLimit
 	for round := 0; round < 2; round++ {
+		// Hot inlining reads round-frozen snapshots like the main
+		// rounds, built here over the whole module since hot callers
+		// may inline any callee.
+		snaps := map[string]*Snapshot{}
+		for _, f := range o.mod.Funcs {
+			if s := snapshotOf(f, hotInlineLimit); s != nil {
+				snaps[f.Name] = s
+			}
+		}
+		lookup := func(name string) *Snapshot { return snaps[name] }
 		changed := false
 		for _, f := range hot {
-			if ho.inlineCalls(f) {
+			if ho.inlineCalls(f, lookup) {
 				changed = true
 			}
 		}

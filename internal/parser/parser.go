@@ -53,7 +53,10 @@ func (p *Parser) exceeded() bool {
 // New lexes the whole file and returns a parser over its tokens.
 func New(file *src.File, errs *src.ErrorList) *Parser {
 	lx := lexer.New(file, errs)
-	var toks []token.Token
+	// Pre-size from the source length: tokens average a few bytes of
+	// source each, and growing a zero-cap slice to a whole file's worth
+	// of tokens costs more in growslice copies than the lexing itself.
+	toks := make([]token.Token, 0, len(file.Content)/3+16)
 	for {
 		t := lx.Next()
 		toks = append(toks, t)

@@ -87,11 +87,35 @@ func newCompCache(capacity int) *compCache {
 	return &compCache{cap: capacity, ll: list.New(), m: map[[sha256.Size]byte]*list.Element{}}
 }
 
+// newArtifactStore sizes the content-addressed artifact store from the
+// server's cache capacity. The store is keyed by config fingerprint
+// (engine/jobs-independent), so it needs far fewer slots than the warm
+// cache; a small floor keeps function-granular reuse alive even for
+// tiny caches. A non-positive capacity disables caching entirely, and
+// core.CompileFilesIncremental degrades to plain compilation on a nil
+// store.
+func newArtifactStore(capacity int) *core.Store {
+	if capacity <= 0 {
+		return nil
+	}
+	n := capacity
+	if n < 8 {
+		n = 8
+	}
+	return core.NewStore(n)
+}
+
 // cacheKey digests everything a compilation's identity depends on.
-// Run-time knobs (MaxSteps, TimeoutMs) are deliberately excluded: they
-// are applied per request at execution time, not baked into the
-// compilation. The tier is included so a profile-guided recompile
-// never aliases the plain artifact of the same sources.
+// Pure run-time knobs (MaxSteps, Timeout) are deliberately excluded:
+// they are applied per request at execution time, not baked into the
+// compilation. MaxErrors and MaxHeap are included — both ride on the
+// cached Compilation's Config (MaxErrors shapes the diagnostic list, a
+// Compilation's MaxHeap is its default run budget), so two requests
+// differing there must not alias one artifact. The tier is included so
+// a profile-guided recompile never aliases the plain artifact of the
+// same sources. TestCacheKeyCoversConfig enumerates every core.Config
+// field and fails when a new field is neither hashed here nor
+// explicitly proven output-irrelevant.
 func cacheKey(cfg core.Config, files []FileJSON, tier int) [sha256.Size]byte {
 	h := sha256.New()
 	writeStr := func(s string) {
@@ -100,11 +124,14 @@ func cacheKey(cfg core.Config, files []FileJSON, tier int) [sha256.Size]byte {
 		h.Write(n[:])
 		h.Write([]byte(s))
 	}
+	writeInt := func(v int64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
 	writeStr(cfg.Name())
 	writeStr(cfg.Engine)
-	var jb [8]byte
-	binary.LittleEndian.PutUint64(jb[:], uint64(cfg.Jobs))
-	h.Write(jb[:])
+	writeInt(int64(cfg.Jobs))
 	// A compilation with analysis-driven passes (and its cached
 	// analysis facts) is a different artifact from one without.
 	if cfg.Analyze {
@@ -112,6 +139,8 @@ func cacheKey(cfg core.Config, files []FileJSON, tier int) [sha256.Size]byte {
 	} else {
 		h.Write([]byte{0})
 	}
+	writeInt(int64(cfg.MaxErrors))
+	writeInt(cfg.MaxHeap)
 	h.Write([]byte{byte(tier)})
 	for _, f := range files {
 		writeStr(f.Name)

@@ -166,6 +166,8 @@ type Server struct {
 	http      *http.Server
 	start     time.Time
 	cache     *compCache
+	store     *core.Store
+	flights   *flightGroup
 	fallbacks *fallbackTable
 	tenants   *tenantTable
 
@@ -185,6 +187,10 @@ type Server struct {
 	engineFallbacks atomic.Int64
 	quotaRejected   atomic.Int64
 	tierUps         atomic.Int64
+	coalescedReqs   atomic.Int64
+	incrHits        atomic.Int64
+	incrFuncsReused atomic.Int64
+	incrFallbacks   atomic.Int64
 	// avgDurNs is an EWMA of request service time, feeding the
 	// Retry-After estimate for load-shed and quota rejections.
 	avgDurNs atomic.Int64
@@ -202,6 +208,8 @@ func New(cfg Config) *Server {
 		cancel:    cancel,
 		start:     time.Now(),
 		cache:     newCompCache(cfg.CacheSize),
+		store:     newArtifactStore(cfg.CacheSize),
+		flights:   newFlightGroup(),
 		fallbacks: newFallbackTable(128, cfg.QuarantineAfter),
 		tenants:   newTenantTable(cfg),
 	}
@@ -296,8 +304,21 @@ type Stats struct {
 	// TierUps counts profile-guided recompiles performed by the tier-up
 	// path; TieredPrograms is how many tier-2 artifacts are resident in
 	// the warm cache right now.
-	TierUps        int64  `json:"tier_ups"`
-	TieredPrograms int    `json:"tiered_programs"`
+	TierUps        int64 `json:"tier_ups"`
+	TieredPrograms int   `json:"tiered_programs"`
+	// Coalesced counts requests that shared another request's in-flight
+	// compile instead of compiling themselves (single-flight warm-miss
+	// coalescing).
+	Coalesced int64 `json:"coalesced"`
+	// IncrementalHits counts compiles served wholly or partly from the
+	// artifact store (whole-module hits plus function-granular
+	// incremental compiles); IncrementalFuncsReused totals the compiled
+	// function bodies those compiles did not have to rebuild;
+	// IncrementalFallbacks counts compiles that found a base but had to
+	// rebuild from scratch (type-level edit, layout change).
+	IncrementalHits        int64 `json:"incremental_hits"`
+	IncrementalFuncsReused int64 `json:"incremental_funcs_reused"`
+	IncrementalFallbacks   int64 `json:"incremental_fallbacks"`
 	Engine         string `json:"engine"`
 	MaxConcurrent  int    `json:"max_concurrent"`
 	QueueDepth     int    `json:"queue_depth"`
@@ -324,6 +345,11 @@ func (s *Server) Snapshot() Stats {
 		EngineFallbacks: s.engineFallbacks.Load(),
 		QuotaRejected:   s.quotaRejected.Load(),
 		TierUps:         s.tierUps.Load(),
+		Coalesced:       s.coalescedReqs.Load(),
+
+		IncrementalHits:        s.incrHits.Load(),
+		IncrementalFuncsReused: s.incrFuncsReused.Load(),
+		IncrementalFallbacks:   s.incrFallbacks.Load(),
 		TieredPrograms:  s.cache.tiered(),
 		Tenants:         s.tenants.snapshot(),
 		Engine:          core.Config{Engine: s.cfg.Engine}.EngineKind(),
@@ -347,7 +373,8 @@ type FileJSON struct {
 // Request is the body of /compile and /run.
 type Request struct {
 	Files []FileJSON `json:"files"`
-	// Config selects the pipeline: ref, mono, norm, or full (default).
+	// Config selects the pipeline: ref, mono, norm, opt, or full
+	// (default).
 	Config string `json:"config,omitempty"`
 	// MaxErrors caps reported diagnostics (0 = server default).
 	MaxErrors int `json:"max_errors,omitempty"`
@@ -411,8 +438,11 @@ type Response struct {
 	Trap   *TrapInfo `json:"trap,omitempty"`
 	Steps  int64     `json:"steps,omitempty"`
 	// Cached reports that the compilation was served from the warm
-	// cache (execution still ran fresh).
-	Cached bool `json:"cached,omitempty"`
+	// cache (execution still ran fresh). Coalesced reports that this
+	// request shared another request's in-flight compile of the same
+	// key (single-flight) rather than compiling itself.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Engine is the engine that produced the execution result; Fallback
 	// reports that the bytecode engine faulted and the result came from
 	// a switch-interpreter re-run; Quarantined reports that the program
@@ -631,14 +661,39 @@ func (s *Server) handleWork(w http.ResponseWriter, r *http.Request, execute bool
 			resp.Cached = true
 		} else {
 			s.cacheMiss.Add(1)
-			var err error
-			comp, err = core.CompileFilesContext(ctx, files, cfg)
+			// Warm-miss stampedes coalesce: one leader compiles (through
+			// the artifact store, so an edit recompiles only its dirty
+			// functions), followers share its result.
+			c, coalesced, err := s.flights.do(ctx, key, func() (*core.Compilation, error) {
+				comp, ist, cerr := core.CompileFilesIncremental(ctx, files, cfg, s.store)
+				if ist != nil {
+					switch ist.Mode {
+					case core.ModeModuleHit, core.ModeIncremental:
+						s.incrHits.Add(1)
+						s.incrFuncsReused.Add(int64(ist.FuncsReused))
+					case core.ModeFallback:
+						s.incrFallbacks.Add(1)
+					}
+				}
+				return comp, cerr
+			})
 			if err != nil {
 				status := s.classify(r, ctx, err, &resp)
 				writeJSON(w, status, resp)
 				return
 			}
-			entry = s.cache.put(key, comp, 1)
+			comp = c
+			if coalesced {
+				s.coalescedReqs.Add(1)
+				resp.Coalesced = true
+				// The leader already installed the entry; pick it up for
+				// tier accounting.
+				if e, ok := s.cache.get(key); ok {
+					entry = e
+				}
+			} else {
+				entry = s.cache.put(key, comp, 1)
+			}
 		}
 		if tierable {
 			resp.Tier = 1
@@ -895,8 +950,13 @@ func configByName(name string) (core.Config, error) {
 		return core.Config{Monomorphize: true}, nil
 	case "norm":
 		return core.Config{Monomorphize: true, Normalize: true}, nil
+	case "opt":
+		// The full pipeline without the analysis layer: the config the
+		// artifact store serves at function granularity (analysis-driven
+		// passes read whole-program state and only get module-level hits).
+		return core.Config{Monomorphize: true, Normalize: true, Optimize: true}, nil
 	}
-	return core.Config{}, fmt.Errorf("unknown config %q (want ref, mono, norm, or full)", name)
+	return core.Config{}, fmt.Errorf("unknown config %q (want ref, mono, norm, opt, or full)", name)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

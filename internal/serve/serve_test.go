@@ -104,7 +104,7 @@ func TestCompileOK(t *testing.T) {
 
 func TestCompileConfigs(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	for _, cfg := range []string{"ref", "mono", "norm", "full"} {
+	for _, cfg := range []string{"ref", "mono", "norm", "opt", "full"} {
 		status, resp := post(t, ts.URL+"/compile", Request{Files: files("ok.v", okProg), Config: cfg})
 		if status != http.StatusOK || !resp.OK {
 			t.Fatalf("config %s: status=%d resp=%+v", cfg, status, resp)

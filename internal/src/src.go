@@ -49,6 +49,25 @@ func (p Pos) Line() int {
 	return i + 1
 }
 
+// LineColHint resolves off to 1-based line and column, trying hint (a
+// 0-based line index from a previous lookup in the same file) before
+// falling back to a binary search. Walks that resolve mostly
+// consecutive positions — instruction streams, token streams — pay
+// O(1) per lookup instead of O(log lines). A stale or out-of-range
+// hint costs only the fallback search, never a wrong answer.
+func (f *File) LineColHint(off, hint int) (line, col, idx int) {
+	lines := f.lines
+	n := len(lines)
+	i := hint
+	if i < 0 || i >= n || lines[i] > off || (i+1 < n && lines[i+1] <= off) {
+		i++
+		if i < 0 || i >= n || lines[i] > off || (i+1 < n && lines[i+1] <= off) {
+			i = sort.SearchInts(lines, off+1) - 1
+		}
+	}
+	return i + 1, off - lines[i] + 1, i
+}
+
 // Col returns the 1-based column number of p.
 func (p Pos) Col() int {
 	if p.File == nil {
